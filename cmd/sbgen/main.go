@@ -1,0 +1,74 @@
+// Command sbgen emits the synthetic benchmark corpora as .sb files, one
+// file per application:
+//
+//	go run ./cmd/sbgen -dir corpus -scale 0.5 -input 0
+//
+// With -app only that application is generated; with -dir "" the blocks
+// stream to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"vcsched/internal/workload"
+)
+
+func main() {
+	dir := flag.String("dir", "corpus", "output directory (empty = stdout)")
+	scale := flag.Float64("scale", 1.0, "corpus scale factor")
+	input := flag.Int("input", 0, "profile input (0 = ref, 1 = alternative)")
+	appName := flag.String("app", "", "generate only this benchmark")
+	flag.Parse()
+
+	profiles := workload.Benchmarks()
+	if *appName != "" {
+		p, err := workload.BenchmarkByName(*appName)
+		if err != nil {
+			fatal(err)
+		}
+		profiles = []workload.AppProfile{p}
+	}
+
+	if *dir != "" {
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	total := 0
+	for _, p := range profiles {
+		app := p.Generate(*scale, *input)
+		total += len(app.Blocks)
+		if *dir == "" {
+			for _, sb := range app.Blocks {
+				if err := sb.Write(os.Stdout); err != nil {
+					fatal(err)
+				}
+			}
+			continue
+		}
+		path := filepath.Join(*dir, fmt.Sprintf("%s.input%d.sb", p.Name, *input))
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		for _, sb := range app.Blocks {
+			if err := sb.Write(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d superblocks)\n", path, len(app.Blocks))
+	}
+	fmt.Fprintf(os.Stderr, "%d superblocks total\n", total)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sbgen:", err)
+	os.Exit(1)
+}

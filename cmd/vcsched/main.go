@@ -1,0 +1,172 @@
+// Command vcsched schedules superblocks from .sb files on a clustered
+// VLIW machine with the virtual-cluster scheduler, the CARS baseline, or
+// both:
+//
+//	go run ./cmd/vcsched -machine 4c1l -algo both block.sb
+//
+// With no file arguments it reads one .sb stream from stdin. The paper's
+// Figure 1 example is built in: pass -example instead of files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"vcsched/internal/cars"
+	"vcsched/internal/core"
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/sched"
+	"vcsched/internal/sg"
+	"vcsched/internal/workload"
+)
+
+func main() {
+	machName := flag.String("machine", "2c1l", "target: 2c1l, 4c1l, 4c2l, sec5 (paper §5 example)")
+	algo := flag.String("algo", "both", "scheduler: vc, cars or both")
+	timeout := flag.Duration("timeout", 5*time.Second, "VC scheduling timeout per block")
+	example := flag.Bool("example", false, "schedule the paper's Figure 1 superblock")
+	showSched := flag.Bool("print", true, "print the schedules, not just the metrics")
+	dot := flag.Bool("dot", false, "emit Graphviz DOT for each block's dependence and scheduling graphs instead of scheduling")
+	save := flag.String("save", "", "append the VC schedules in .sched form to this file")
+	seed := flag.Int64("seed", 1, "live-in/live-out pin seed")
+	flag.Parse()
+
+	m, err := pickMachine(*machName)
+	if err != nil {
+		fatal(err)
+	}
+
+	var blocks []*ir.Superblock
+	switch {
+	case *example:
+		blocks = []*ir.Superblock{ir.PaperFigure1()}
+	case flag.NArg() == 0:
+		blocks, err = ir.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			bs, err := ir.ReadAll(f)
+			f.Close()
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", path, err))
+			}
+			blocks = append(blocks, bs...)
+		}
+	}
+	if len(blocks) == 0 {
+		fatal(fmt.Errorf("no superblocks to schedule"))
+	}
+
+	if *dot {
+		for _, sb := range blocks {
+			fmt.Print(sb.Dot())
+			fmt.Print(sg.Build(sb, m).Dot())
+		}
+		return
+	}
+
+	var saveTo io.Writer
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		saveTo = f
+	}
+
+	for _, sb := range blocks {
+		pins := workload.PinsFor(sb, m.Clusters, *seed)
+		fmt.Printf("== %s (%d instructions) on %s\n", sb.Name, sb.N(), m)
+		if *algo == "vc" || *algo == "both" {
+			runVC(sb, m, pins, *timeout, *showSched, saveTo)
+		}
+		if *algo == "cars" || *algo == "both" {
+			runCARS(sb, m, pins, *showSched)
+		}
+	}
+}
+
+func runVC(sb *ir.Superblock, m *machine.Config, pins sched.Pins, timeout time.Duration, show bool, saveTo io.Writer) {
+	start := time.Now()
+	s, stats, err := core.Schedule(sb, m, core.Options{Pins: pins, Timeout: timeout})
+	el := time.Since(start).Round(time.Microsecond)
+	if err != nil {
+		fmt.Printf("  VC:   failed after %v: %v\n", el, err)
+		return
+	}
+	fmt.Printf("  VC:   AWCT %.3f (lower bound %.3f, %d AWCT values tried, %d comms, %v)\n",
+		s.AWCT(), stats.MinAWCT, stats.AWCTTried, s.NumComms(), el)
+	if show {
+		indent(os.Stdout, s.Format())
+	}
+	if saveTo != nil {
+		if err := s.WriteText(saveTo); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runCARS(sb *ir.Superblock, m *machine.Config, pins sched.Pins, show bool) {
+	start := time.Now()
+	s, err := cars.Schedule(sb, m, pins)
+	el := time.Since(start).Round(time.Microsecond)
+	if err != nil {
+		fmt.Printf("  CARS: failed: %v\n", err)
+		return
+	}
+	fmt.Printf("  CARS: AWCT %.3f (%d comms, %v)\n", s.AWCT(), s.NumComms(), el)
+	if show {
+		indent(os.Stdout, s.Format())
+	}
+}
+
+func pickMachine(name string) (*machine.Config, error) {
+	switch name {
+	case "2c1l":
+		return machine.TwoCluster1Lat(), nil
+	case "4c1l":
+		return machine.FourCluster1Lat(), nil
+	case "4c2l":
+		return machine.FourCluster2Lat(), nil
+	case "sec5":
+		return machine.PaperExampleSection5(), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q (want 2c1l, 4c1l, 4c2l or sec5)", name)
+}
+
+func indent(w io.Writer, s string) {
+	for _, line := range splitLines(s) {
+		fmt.Fprintf(w, "    %s\n", line)
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vcsched:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+// Archsweep explores the machine-design space the paper's technique
+// targets: it schedules one workload across cluster counts and bus
+// latencies (including a heterogeneous configuration, the paper's §2.1
+// extension) and prints how the achievable AWCT moves.
+//
+//	go run ./examples/archsweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vcsched/internal/cars"
+	"vcsched/internal/core"
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/regpressure"
+	"vcsched/internal/workload"
+)
+
+func main() {
+	p, err := workload.BenchmarkByName("epicenc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blocks := p.Generate(0.1, 0).Blocks
+
+	var fu [ir.NumClasses]int
+	fu[ir.Int], fu[ir.FP], fu[ir.Mem], fu[ir.Branch] = 1, 1, 1, 1
+
+	configs := []*machine.Config{
+		{Name: "1 cluster", Clusters: 1, FU: fu},
+		{Name: "2 clusters, 1-cycle bus", Clusters: 2, FU: fu, Buses: 1, BusLatency: 1, BusPipelined: true},
+		{Name: "2 clusters, 2-cycle bus", Clusters: 2, FU: fu, Buses: 1, BusLatency: 2},
+		{Name: "4 clusters, 1-cycle bus", Clusters: 4, FU: fu, Buses: 1, BusLatency: 1, BusPipelined: true},
+		{Name: "4 clusters, 2 buses", Clusters: 4, FU: fu, Buses: 2, BusLatency: 1, BusPipelined: true},
+	}
+	// Heterogeneous: a fat cluster 0 (two int units) beside a thin one.
+	het := &machine.Config{Name: "heterogeneous 2 clusters", Clusters: 2, FU: fu, Buses: 1, BusLatency: 1, BusPipelined: true}
+	var fat [ir.NumClasses]int
+	fat[ir.Int], fat[ir.FP], fat[ir.Mem], fat[ir.Branch] = 2, 1, 1, 1
+	het.SetClusterFU(0, fat)
+	configs = append(configs, het)
+
+	fmt.Printf("workload: %s, %d superblocks\n\n", p.Name, len(blocks))
+	fmt.Printf("%-26s %12s %12s %8s %9s\n", "machine", "Σ AWCT", "per block", "comms", "peak live")
+	for _, m := range configs {
+		if err := m.Validate(); err != nil {
+			log.Fatal(err)
+		}
+		var sum float64
+		comms, peak := 0, 0
+		for _, sb := range blocks {
+			pins := workload.PinsFor(sb, m.Clusters, 1)
+			s, _, err := core.Schedule(sb, m, core.Options{Pins: pins, Timeout: 3 * time.Second})
+			if err != nil {
+				// The harness policy: fall back to the list scheduler
+				// when the search does not finish in time.
+				s, err = cars.Schedule(sb, m, pins)
+				if err != nil {
+					log.Fatalf("%s on %s: %v", sb.Name, m.Name, err)
+				}
+			}
+			sum += s.AWCT()
+			comms += s.NumComms()
+			rep, err := regpressure.Analyze(s, 64)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if rep.PeakLive() > peak {
+				peak = rep.PeakLive()
+			}
+		}
+		fmt.Printf("%-26s %12.2f %12.3f %8d %9d\n", m.Name, sum, sum/float64(len(blocks)), comms, peak)
+	}
+}

@@ -1,0 +1,94 @@
+// Fromcfg demonstrates the complete toolchain: build a control-flow
+// graph with register def/use, derive a profile, form superblocks
+// (profile-guided trace selection), and schedule each region on a
+// clustered VLIW with the virtual-cluster scheduler.
+//
+//	go run ./examples/fromcfg
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vcsched/internal/cfg"
+	"vcsched/internal/core"
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/sched"
+)
+
+func main() {
+	// A loop body with a rarely-taken error path and a hot continue
+	// path:
+	//
+	//	head:  load, compare  — 5% to slow, 95% to fast
+	//	fast:  multiply-accumulate, store
+	//	slow:  recompute (cold)
+	//	latch: induction update
+	head := &cfg.Block{
+		Name: "head",
+		Ops: []cfg.Op{
+			{Name: "ld_x", Class: ir.Mem, Latency: 2, Defs: []cfg.Reg{"x"}, Uses: []cfg.Reg{"ptr"}},
+			{Name: "cmp", Class: ir.Int, Latency: 1, Defs: []cfg.Reg{"t"}, Uses: []cfg.Reg{"x", "bound"}},
+		},
+		BranchOp:  &cfg.Op{Name: "bgt", Latency: 2, Uses: []cfg.Reg{"t"}},
+		Taken:     "slow",
+		TakenProb: 0.05,
+		Next:      "fast",
+	}
+	fast := &cfg.Block{
+		Name: "fast",
+		Ops: []cfg.Op{
+			{Name: "mul", Class: ir.Int, Latency: 1, Defs: []cfg.Reg{"m"}, Uses: []cfg.Reg{"x", "coef"}},
+			{Name: "acc", Class: ir.Int, Latency: 1, Defs: []cfg.Reg{"sum"}, Uses: []cfg.Reg{"sum", "m"}},
+			{Name: "st_sum", Class: ir.Mem, Latency: 2, Uses: []cfg.Reg{"sum", "ptr"}, Store: true},
+		},
+		Next: "latch",
+	}
+	slow := &cfg.Block{
+		Name: "slow",
+		Ops: []cfg.Op{
+			{Name: "fix", Class: ir.FP, Latency: 3, Defs: []cfg.Reg{"sum"}, Uses: []cfg.Reg{"x"}},
+		},
+		Next: "latch",
+	}
+	latch := &cfg.Block{
+		Name: "latch",
+		Ops: []cfg.Op{
+			{Name: "inc", Class: ir.Int, Latency: 1, Defs: []cfg.Reg{"ptr"}, Uses: []cfg.Reg{"ptr"}},
+		},
+	}
+	g, err := cfg.New("kernel", "head", head, fast, slow, latch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	prof := g.UniformProfile(100000)
+	fmt.Println("profile:")
+	for _, b := range g.Blocks {
+		fmt.Printf("  %-6s %8d executions\n", b.Name, prof[b.Name])
+	}
+
+	sbs, err := g.FormSuperblocks(prof, cfg.TraceOpts{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nformed %d superblock(s):\n\n", len(sbs))
+
+	m := machine.TwoCluster1Lat()
+	for _, sb := range sbs {
+		fmt.Print(sb)
+		pins := sched.Pins{}
+		for i := range sb.LiveIns {
+			pins.LiveIn = append(pins.LiveIn, i%m.Clusters)
+		}
+		for range sb.LiveOuts {
+			pins.LiveOut = append(pins.LiveOut, 0)
+		}
+		s, stats, err := core.Schedule(sb, m, core.Options{Pins: pins})
+		if err != nil {
+			log.Fatalf("%s: %v", sb.Name, err)
+		}
+		fmt.Printf("scheduled (minAWCT %.3f):\n%s\n", stats.MinAWCT, s.Format())
+	}
+}

@@ -1,0 +1,48 @@
+// Mediapipeline schedules a whole synthetic MediaBench-style application
+// with both schedulers and reports the per-application outcome — the
+// inner loop of the paper's Figure 11 experiment, at readable size.
+//
+//	go run ./examples/mediapipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vcsched/internal/bench"
+	"vcsched/internal/machine"
+	"vcsched/internal/workload"
+)
+
+func main() {
+	p, err := workload.BenchmarkByName("mpeg2enc")
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := p.Generate(0.25, 0)
+	fmt.Printf("generated %s: %d superblocks\n\n", p.Name, len(app.Blocks))
+
+	cfg := bench.Config{Thresholds: []time.Duration{100 * time.Millisecond, 1 * time.Second, 3 * time.Second}}
+	for _, m := range machine.EvaluationConfigs() {
+		res := bench.RunApp(app, m, cfg)
+		th := cfg.Thresholds[len(cfg.Thresholds)-1]
+		vcBlocks, wins, losses := 0, 0, 0
+		var slowest time.Duration
+		for _, b := range res.Blocks {
+			if b.UseVC(th) {
+				vcBlocks++
+				if b.VCAWCT < b.CARSAWCT {
+					wins++
+				} else if b.VCAWCT > b.CARSAWCT {
+					losses++
+				}
+			}
+			if b.VCTime > slowest {
+				slowest = b.VCTime
+			}
+		}
+		fmt.Printf("%-18s speed-up %.4f | VC scheduled %d/%d blocks (better on %d, worse on %d), slowest block %v\n",
+			m.Name, res.Speedup(th), vcBlocks, len(res.Blocks), wins, losses, slowest.Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,3 @@
+module vcsched
+
+go 1.22

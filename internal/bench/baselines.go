@@ -1,0 +1,51 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"vcsched/internal/cars"
+	"vcsched/internal/core"
+	"vcsched/internal/twophase"
+	"vcsched/internal/workload"
+)
+
+// BaselineComparison is an extension experiment beyond the paper's
+// figures: it positions the three scheduler families of the related-work
+// section against each other — two-phase (partition, then schedule),
+// integrated single-pass (CARS), and the paper's deduction-driven
+// approach — as total-cycle speed-ups over the two-phase baseline.
+func BaselineComparison(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	threshold := cfg.Thresholds[len(cfg.Thresholds)-1]
+	fmt.Fprintln(w, "Extension — scheduler-family comparison (speed-up over the two-phase baseline)")
+	fmt.Fprintf(w, "%-18s %12s %12s %12s\n", "machine", "two-phase", "CARS", "VC")
+	for _, m := range cfg.Machines {
+		var tcTwo, tcCARS, tcVC float64
+		for _, p := range cfg.Apps {
+			app := p.Generate(cfg.Scale, 0)
+			for _, sb := range app.Blocks {
+				pins := workload.PinsFor(sb, m.Clusters, cfg.Seed)
+				tp, err := twophase.Schedule(sb, m, pins)
+				if err != nil {
+					return fmt.Errorf("two-phase on %s: %w", sb.Name, err)
+				}
+				cs, err := cars.Schedule(sb, m, pins)
+				if err != nil {
+					return fmt.Errorf("cars on %s: %w", sb.Name, err)
+				}
+				vcAWCT := cs.AWCT()
+				if vs, _, err := core.Schedule(sb, m, core.Options{Pins: pins, Timeout: threshold}); err == nil {
+					vcAWCT = vs.AWCT()
+				}
+				weight := float64(sb.ExecCount)
+				tcTwo += tp.AWCT() * weight
+				tcCARS += cs.AWCT() * weight
+				tcVC += vcAWCT * weight
+			}
+		}
+		fmt.Fprintf(w, "%-18s %12.4f %12.4f %12.4f\n", m.Name, 1.0, tcTwo/tcCARS, tcTwo/tcVC)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

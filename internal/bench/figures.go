@@ -1,0 +1,183 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"vcsched/internal/machine"
+	"vcsched/internal/workload"
+)
+
+// Figure10 renders the compilation-time comparison: for every machine
+// and threshold, the percentage of superblocks each scheduler compiled
+// within the threshold (the paper's Figure 10).
+func Figure10(w io.Writer, cfg Config, results [][]AppResult) {
+	cfg = cfg.withDefaults()
+	fmt.Fprintln(w, "Figure 10 — compilation time comparison")
+	fmt.Fprintf(w, "(thresholds %v scale the paper's 1 s / 1 min / 4 min; see DESIGN.md)\n\n", cfg.Thresholds)
+	fmt.Fprintf(w, "%-18s %-10s", "machine", "scheduler")
+	for _, t := range cfg.Thresholds {
+		fmt.Fprintf(w, " %10s", "≤"+t.String())
+	}
+	fmt.Fprintln(w)
+	for mi, m := range cfg.Machines {
+		for _, vc := range []bool{true, false} {
+			name := "VC"
+			if !vc {
+				name = "CARS"
+			}
+			fmt.Fprintf(w, "%-18s %-10s", m.Name, name)
+			for _, t := range cfg.Thresholds {
+				fmt.Fprintf(w, " %9.1f%%", 100*CompiledWithin(results[mi], t, vc))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintln(w)
+	// Compile-time distribution detail (the paper's prose: which share
+	// of blocks needs how long).
+	fmt.Fprintf(w, "%-18s %-10s %10s %10s %10s\n", "machine", "scheduler", "p50", "p90", "max")
+	for mi, m := range cfg.Machines {
+		for _, vc := range []bool{true, false} {
+			name := "VC"
+			if !vc {
+				name = "CARS"
+			}
+			p50, p90, maxT := compileTimePercentiles(results[mi], vc)
+			fmt.Fprintf(w, "%-18s %-10s %10v %10v %10v\n", m.Name, name, p50, p90, maxT)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// compileTimePercentiles returns the 50th/90th percentile and maximum
+// per-block scheduling time for one scheduler.
+func compileTimePercentiles(apps []AppResult, vc bool) (p50, p90, max time.Duration) {
+	var ts []time.Duration
+	for _, a := range apps {
+		for _, b := range a.Blocks {
+			if vc {
+				ts = append(ts, b.VCTime)
+			} else {
+				ts = append(ts, b.CARSTime)
+			}
+		}
+	}
+	if len(ts) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+	pick := func(q float64) time.Duration {
+		i := int(q * float64(len(ts)-1))
+		return ts[i].Round(time.Microsecond * 100)
+	}
+	return pick(0.5), pick(0.9), ts[len(ts)-1].Round(time.Microsecond * 100)
+}
+
+// Figure11 renders the speed-up of the VC scheduler over CARS per
+// benchmark, per machine, for the two larger thresholds (the paper's
+// Figure 11, thresholds "1 min" and "4 min").
+func Figure11(w io.Writer, cfg Config, results [][]AppResult) {
+	cfg = cfg.withDefaults()
+	ths := figure11Thresholds(cfg)
+	fmt.Fprintln(w, "Figure 11 — speed-up of the proposed scheduler over CARS")
+	fmt.Fprintf(w, "%-16s", "benchmark")
+	for _, m := range cfg.Machines {
+		for _, t := range ths {
+			fmt.Fprintf(w, " %16s", shortName(m)+" th="+t.String())
+		}
+	}
+	fmt.Fprintln(w)
+
+	row := func(label string, pick func(apps []AppResult) []AppResult) {
+		fmt.Fprintf(w, "%-16s", label)
+		for mi := range cfg.Machines {
+			apps := pick(results[mi])
+			for _, t := range ths {
+				fmt.Fprintf(w, " %16.4f", meanSpeedup(apps, t))
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	for ai, p := range cfg.Apps {
+		ai := ai
+		row(p.Name, func(apps []AppResult) []AppResult { return apps[ai : ai+1] })
+	}
+	row("Spec Mean", func(apps []AppResult) []AppResult { return suiteApps(apps, cfg.Apps, workload.SpecInt95) })
+	row("Media Mean", func(apps []AppResult) []AppResult { return suiteApps(apps, cfg.Apps, workload.MediaBench) })
+	row("Mean", func(apps []AppResult) []AppResult { return apps })
+	fmt.Fprintln(w)
+}
+
+// figure11Thresholds picks the analogues of the paper's 1-min and 4-min
+// thresholds: the last two configured thresholds.
+func figure11Thresholds(cfg Config) []time.Duration {
+	if len(cfg.Thresholds) >= 2 {
+		return cfg.Thresholds[len(cfg.Thresholds)-2:]
+	}
+	return cfg.Thresholds
+}
+
+// Figure12 runs and renders the cross-input experiment: schedules built
+// with input-0 profiles evaluated under input-1 profiles for three
+// benchmarks (the paper's Figure 12, threshold "1 min").
+func Figure12(w io.Writer, cfg Config) error {
+	cfg = cfg.withDefaults()
+	names := []string{"099.go", "132.ijpeg", "134.perl"}
+	threshold := figure11Thresholds(cfg)[0]
+	fmt.Fprintln(w, "Figure 12 — speed-up with different profiling and execution inputs")
+	fmt.Fprintf(w, "(schedule with input 0, execute with input 1; threshold %v)\n\n", threshold)
+	fmt.Fprintf(w, "%-16s", "benchmark")
+	for _, m := range cfg.Machines {
+		fmt.Fprintf(w, " %16s", shortName(m))
+	}
+	fmt.Fprintln(w)
+	for _, name := range names {
+		p, err := workload.BenchmarkByName(name)
+		if err != nil {
+			return err
+		}
+		app0 := p.Generate(cfg.Scale, 0)
+		app1 := p.Generate(cfg.Scale, 1)
+		fmt.Fprintf(w, "%-16s", name)
+		for _, m := range cfg.Machines {
+			res := RunApp(app0, m, cfg)
+			tcVC, tcCARS := EvalCrossInput(res, app1, threshold)
+			fmt.Fprintf(w, " %16.4f", tcCARS/tcVC)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// meanSpeedup averages per-app speedups (arithmetic, as the paper's
+// "Mean" bars do).
+func meanSpeedup(apps []AppResult, threshold time.Duration) float64 {
+	if len(apps) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, a := range apps {
+		sum += a.Speedup(threshold)
+	}
+	return sum / float64(len(apps))
+}
+
+func suiteApps(apps []AppResult, profiles []workload.AppProfile, suite workload.Suite) []AppResult {
+	var out []AppResult
+	for i, p := range profiles {
+		if p.Suite == suite && i < len(apps) {
+			out = append(out, apps[i])
+		}
+	}
+	return out
+}
+
+func shortName(m *machine.Config) string {
+	return strings.ReplaceAll(m.Name, " 1b", "")
+}

@@ -1,0 +1,170 @@
+// Package cfg provides the front half of the paper's toolchain: a
+// control-flow graph of basic blocks with register def/use information,
+// profile-guided trace selection, and superblock formation (Hwu et al.)
+// — the role IMPACT plays for the paper. The resulting ir.Superblocks
+// carry dependence edges derived from def-use chains, conservative
+// memory ordering, control dependences for non-speculable operations,
+// live-ins, live-outs, and exit probabilities computed from the edge
+// profile.
+package cfg
+
+import (
+	"fmt"
+
+	"vcsched/internal/ir"
+)
+
+// Reg names a virtual register.
+type Reg string
+
+// Op is one operation of a basic block.
+type Op struct {
+	Name    string
+	Class   ir.Class
+	Latency int
+	Defs    []Reg
+	Uses    []Reg
+	// Store marks memory writes: they order against other memory
+	// operations and never move above a branch.
+	Store bool
+}
+
+// Block is a basic block: straight-line ops, then control transfer. A
+// conditional block has both Taken (with probability TakenProb) and
+// Next; an unconditional one only Next. An empty Next leaves the
+// function.
+type Block struct {
+	Name      string
+	Ops       []Op
+	BranchOp  *Op     // the terminating branch op (nil = fallthrough only)
+	Taken     string  // branch target ("" = no conditional branch)
+	TakenProb float64 // probability the branch is taken
+	Next      string  // fallthrough / jump target ("" = function exit)
+}
+
+// Graph is a function CFG.
+type Graph struct {
+	Name   string
+	Entry  string
+	Blocks []*Block
+
+	byName map[string]*Block
+}
+
+// New assembles and validates a CFG.
+func New(name, entry string, blocks ...*Block) (*Graph, error) {
+	g := &Graph{Name: name, Entry: entry, Blocks: blocks, byName: make(map[string]*Block, len(blocks))}
+	for _, b := range g.Blocks {
+		if b.Name == "" {
+			return nil, fmt.Errorf("cfg %s: unnamed block", name)
+		}
+		if _, dup := g.byName[b.Name]; dup {
+			return nil, fmt.Errorf("cfg %s: duplicate block %q", name, b.Name)
+		}
+		g.byName[b.Name] = b
+	}
+	if _, ok := g.byName[entry]; !ok {
+		return nil, fmt.Errorf("cfg %s: entry block %q missing", name, entry)
+	}
+	for _, b := range g.Blocks {
+		if b.Taken != "" {
+			if _, ok := g.byName[b.Taken]; !ok {
+				return nil, fmt.Errorf("cfg %s: block %q branches to missing %q", name, b.Name, b.Taken)
+			}
+			if b.TakenProb <= 0 || b.TakenProb >= 1 {
+				return nil, fmt.Errorf("cfg %s: block %q taken probability %g outside (0,1)", name, b.Name, b.TakenProb)
+			}
+			if b.BranchOp == nil {
+				return nil, fmt.Errorf("cfg %s: block %q has a conditional target but no branch op", name, b.Name)
+			}
+		}
+		if b.Next != "" {
+			if _, ok := g.byName[b.Next]; !ok {
+				return nil, fmt.Errorf("cfg %s: block %q falls through to missing %q", name, b.Name, b.Next)
+			}
+		}
+		for _, op := range b.Ops {
+			if op.Class == ir.Branch || op.Class == ir.Copy {
+				return nil, fmt.Errorf("cfg %s: block %q: op %q has control/copy class", name, b.Name, op.Name)
+			}
+			if op.Latency < 1 {
+				return nil, fmt.Errorf("cfg %s: block %q: op %q latency %d", name, b.Name, op.Name, op.Latency)
+			}
+		}
+		if b.BranchOp != nil && b.BranchOp.Latency < 1 {
+			return nil, fmt.Errorf("cfg %s: block %q: branch latency %d", name, b.Name, b.BranchOp.Latency)
+		}
+	}
+	return g, nil
+}
+
+// Block returns a block by name.
+func (g *Graph) Block(name string) *Block { return g.byName[name] }
+
+// Preds returns the names of a block's CFG predecessors.
+func (g *Graph) Preds(name string) []string {
+	var out []string
+	for _, b := range g.Blocks {
+		if b.Taken == name || b.Next == name {
+			out = append(out, b.Name)
+		}
+	}
+	return out
+}
+
+// succProb returns a block's successors with transition probabilities.
+func (b *Block) succProb() map[string]float64 {
+	out := make(map[string]float64, 2)
+	if b.Taken != "" {
+		out[b.Taken] = b.TakenProb
+		if b.Next != "" {
+			out[b.Next] = 1 - b.TakenProb
+		}
+	} else if b.Next != "" {
+		out[b.Next] = 1
+	}
+	return out
+}
+
+// Profile carries execution counts per block (e.g. from instrumentation
+// or the workload model).
+type Profile map[string]int64
+
+// UniformProfile derives block counts by propagating probabilities from
+// the entry, executed n times. Cyclic CFGs get the standard geometric
+// treatment: a back edge multiplies its target's count. Iterates to a
+// fixpoint, which converges for probabilities < 1 on every cycle.
+func (g *Graph) UniformProfile(n int64) Profile {
+	counts := make(map[string]float64, len(g.Blocks))
+	counts[g.Entry] = float64(n)
+	for iter := 0; iter < 64; iter++ {
+		next := make(map[string]float64, len(g.Blocks))
+		next[g.Entry] = float64(n)
+		for _, b := range g.Blocks {
+			for succ, p := range b.succProb() {
+				next[succ] += counts[b.Name] * p
+			}
+		}
+		delta := 0.0
+		for k, v := range next {
+			d := v - counts[k]
+			if d < 0 {
+				d = -d
+			}
+			if d > delta {
+				delta = d
+			}
+		}
+		counts = next
+		if delta < 0.5 {
+			break
+		}
+	}
+	prof := make(Profile, len(counts))
+	for k, v := range counts {
+		if v >= 0.5 {
+			prof[k] = int64(v + 0.5)
+		}
+	}
+	return prof
+}

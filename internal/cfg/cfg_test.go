@@ -1,0 +1,272 @@
+package cfg
+
+import (
+	"math"
+	"testing"
+
+	"vcsched/internal/cars"
+	"vcsched/internal/core"
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/sched"
+)
+
+// hotPath builds the canonical diamond-with-hot-path CFG:
+//
+//	entry → (cond, 10% taken → cold) hot → join → exit-ish tail
+//
+// with register flow across the blocks.
+func hotPath(t *testing.T) *Graph {
+	t.Helper()
+	entry := &Block{
+		Name: "entry",
+		Ops: []Op{
+			{Name: "ld_a", Class: ir.Mem, Latency: 2, Defs: []Reg{"a"}, Uses: []Reg{"p"}},
+			{Name: "add_b", Class: ir.Int, Latency: 1, Defs: []Reg{"b"}, Uses: []Reg{"a"}},
+		},
+		BranchOp:  &Op{Name: "beq", Latency: 2, Uses: []Reg{"b"}},
+		Taken:     "cold",
+		TakenProb: 0.1,
+		Next:      "hot",
+	}
+	hot := &Block{
+		Name: "hot",
+		Ops: []Op{
+			{Name: "mul_c", Class: ir.Int, Latency: 1, Defs: []Reg{"c"}, Uses: []Reg{"b", "k"}},
+			{Name: "st_c", Class: ir.Mem, Latency: 2, Uses: []Reg{"c", "p"}, Store: true},
+		},
+		Next: "join",
+	}
+	cold := &Block{
+		Name: "cold",
+		Ops: []Op{
+			{Name: "neg_c", Class: ir.Int, Latency: 1, Defs: []Reg{"c"}, Uses: []Reg{"b"}},
+		},
+		Next: "join",
+	}
+	join := &Block{
+		Name: "join",
+		Ops: []Op{
+			{Name: "use_c", Class: ir.Int, Latency: 1, Defs: []Reg{"d"}, Uses: []Reg{"c"}},
+		},
+	}
+	g, err := New("f", "entry", entry, hot, cold, join)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		blocks []*Block
+		entry  string
+	}{
+		{"missing entry", []*Block{{Name: "a"}}, "nope"},
+		{"dup block", []*Block{{Name: "a"}, {Name: "a"}}, "a"},
+		{"bad target", []*Block{{Name: "a", Next: "ghost"}}, "a"},
+		{"cond without branch op", []*Block{{Name: "a", Taken: "a2", TakenProb: 0.5}, {Name: "a2"}}, "a"},
+		{"bad prob", []*Block{{Name: "a", BranchOp: &Op{Name: "b", Latency: 1}, Taken: "a2", TakenProb: 1.5}, {Name: "a2"}}, "a"},
+		{"branch-class op", []*Block{{Name: "a", Ops: []Op{{Name: "x", Class: ir.Branch, Latency: 1}}}}, "a"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New("f", tc.entry, tc.blocks...); err == nil {
+				t.Error("validation passed")
+			}
+		})
+	}
+}
+
+func TestUniformProfile(t *testing.T) {
+	g := hotPath(t)
+	prof := g.UniformProfile(1000)
+	if prof["entry"] != 1000 {
+		t.Errorf("entry count %d", prof["entry"])
+	}
+	if prof["hot"] != 900 || prof["cold"] != 100 {
+		t.Errorf("hot/cold = %d/%d, want 900/100", prof["hot"], prof["cold"])
+	}
+	if prof["join"] != 1000 {
+		t.Errorf("join = %d, want 1000", prof["join"])
+	}
+}
+
+func TestUniformProfileLoop(t *testing.T) {
+	// entry → head; head loops back to itself with p=0.9 via the latch:
+	// expected trip count multiplies block counts by ~10.
+	entry := &Block{Name: "entry", Next: "head"}
+	head := &Block{
+		Name:      "head",
+		Ops:       []Op{{Name: "body", Class: ir.Int, Latency: 1, Defs: []Reg{"i"}, Uses: []Reg{"i"}}},
+		BranchOp:  &Op{Name: "loop", Latency: 1, Uses: []Reg{"i"}},
+		Taken:     "head",
+		TakenProb: 0.9,
+		Next:      "done",
+	}
+	done := &Block{Name: "done"}
+	g, err := New("loop", "entry", entry, head, done)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := g.UniformProfile(100)
+	if prof["head"] < 900 || prof["head"] > 1100 {
+		t.Errorf("loop head count %d, want ≈1000 (geometric trip count)", prof["head"])
+	}
+	if prof["done"] < 90 || prof["done"] > 110 {
+		t.Errorf("exit count %d, want ≈100", prof["done"])
+	}
+	// The hottest trace seeds at the loop head.
+	sbs, err := g.FormSuperblocks(prof, TraceOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sbs[0].Name != "loop:head" {
+		t.Errorf("hottest trace starts at %q, want the loop head", sbs[0].Name)
+	}
+	if err := sbs[0].Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormSuperblocksHotTrace(t *testing.T) {
+	g := hotPath(t)
+	prof := g.UniformProfile(1000)
+	sbs, err := g.FormSuperblocks(prof, TraceOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sbs) < 2 {
+		t.Fatalf("got %d superblocks, want the hot trace plus the cold block", len(sbs))
+	}
+	main := sbs[0]
+	if main.Name != "f:entry" {
+		t.Fatalf("hottest trace starts at %q", main.Name)
+	}
+	if err := main.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The hot trace covers entry → hot → join: the early exit is the
+	// conditional (prob 0.1) and the final jump carries 0.9.
+	exits := main.Exits()
+	if len(exits) != 2 {
+		t.Fatalf("exits = %v", exits)
+	}
+	if p := main.Instrs[exits[0]].Prob; math.Abs(p-0.1) > 1e-9 {
+		t.Errorf("early exit prob %g, want 0.1", p)
+	}
+	if p := main.Instrs[exits[1]].Prob; math.Abs(p-0.9) > 1e-9 {
+		t.Errorf("final exit prob %g, want 0.9", p)
+	}
+	if main.ExecCount != 1000 {
+		t.Errorf("exec count %d", main.ExecCount)
+	}
+	// Live-ins: p and k (used before defined); b's def is internal.
+	if len(main.LiveIns) != 2 {
+		t.Errorf("live-ins: %+v", main.LiveIns)
+	}
+	// Live-out: c is used by the cold-side join duplicate... c is used
+	// by "join", which IS in the trace, and d is used nowhere outside ⇒
+	// live-outs only if used outside the trace. The cold block uses b.
+	foundB := false
+	for _, u := range main.LiveOuts {
+		if main.Instrs[u].Name == "add_b" {
+			foundB = true
+		}
+	}
+	if !foundB {
+		t.Errorf("b not live-out: %v", main.LiveOuts)
+	}
+	// The store must not move above the guarding branch: a ctrl edge
+	// from the conditional exit to st_c.
+	foundCtrl := false
+	for _, e := range main.Edges {
+		if e.Kind == ir.Ctrl && main.Instrs[e.From].Name == "beq" && main.Instrs[e.To].Name == "st_c" {
+			foundCtrl = true
+		}
+	}
+	if !foundCtrl {
+		t.Error("store speculated above its branch")
+	}
+}
+
+func TestMemoryOrdering(t *testing.T) {
+	// load; store; load; store — conservative ordering chains them.
+	b := &Block{
+		Name: "m",
+		Ops: []Op{
+			{Name: "ld1", Class: ir.Mem, Latency: 2, Defs: []Reg{"x"}},
+			{Name: "st1", Class: ir.Mem, Latency: 2, Uses: []Reg{"x"}, Store: true},
+			{Name: "ld2", Class: ir.Mem, Latency: 2, Defs: []Reg{"y"}},
+			{Name: "st2", Class: ir.Mem, Latency: 2, Uses: []Reg{"y"}, Store: true},
+		},
+	}
+	g, err := New("mem", "m", b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbs, err := g.FormSuperblocks(g.UniformProfile(10), TraceOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := sbs[0]
+	// Expect ctrl edges ld1→st1 (also data), st1→ld2, ld2→st2.
+	want := [][2]string{{"ld1", "st1"}, {"st1", "ld2"}, {"ld2", "st2"}}
+	for _, w := range want {
+		found := false
+		for _, e := range sb.Edges {
+			if sb.Instrs[e.From].Name == w[0] && sb.Instrs[e.To].Name == w[1] {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing ordering %s→%s", w[0], w[1])
+		}
+	}
+}
+
+// TestPipelineEndToEnd: CFG → superblocks → both schedulers → simulator
+// agreement. The complete toolchain in one test.
+func TestPipelineEndToEnd(t *testing.T) {
+	g := hotPath(t)
+	sbs, err := g.FormSuperblocks(g.UniformProfile(1000), TraceOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.TwoCluster1Lat()
+	for _, sb := range sbs {
+		pins := sched.Pins{}
+		for range sb.LiveIns {
+			pins.LiveIn = append(pins.LiveIn, 0)
+		}
+		for range sb.LiveOuts {
+			pins.LiveOut = append(pins.LiveOut, 1)
+		}
+		vs, _, err := core.Schedule(sb, m, core.Options{Pins: pins})
+		if err != nil {
+			t.Fatalf("%s: VC: %v", sb.Name, err)
+		}
+		if err := vs.Validate(); err != nil {
+			t.Fatalf("%s: %v", sb.Name, err)
+		}
+		cs, err := cars.Schedule(sb, m, pins)
+		if err != nil {
+			t.Fatalf("%s: CARS: %v", sb.Name, err)
+		}
+		if vs.AWCT() > cs.AWCT()+1e-9 {
+			t.Logf("%s: VC %.3f vs CARS %.3f (VC behind on this tiny block)", sb.Name, vs.AWCT(), cs.AWCT())
+		}
+	}
+}
+
+func TestPredsAndBlock(t *testing.T) {
+	g := hotPath(t)
+	preds := g.Preds("join")
+	if len(preds) != 2 {
+		t.Errorf("Preds(join) = %v", preds)
+	}
+	if g.Block("hot") == nil || g.Block("ghost") != nil {
+		t.Error("Block lookup wrong")
+	}
+}

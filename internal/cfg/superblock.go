@@ -1,0 +1,276 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"vcsched/internal/ir"
+)
+
+// TraceOpts tunes trace selection.
+type TraceOpts struct {
+	// MinRatio is the minimum transition probability to keep growing a
+	// trace (default 0.6, the classic superblock-formation threshold).
+	MinRatio float64
+	// MaxBlocks caps the trace length (default 8).
+	MaxBlocks int
+	// BranchLatency is used for the synthetic unconditional exit that
+	// terminates each superblock (default 2).
+	BranchLatency int
+}
+
+func (o TraceOpts) withDefaults() TraceOpts {
+	if o.MinRatio == 0 {
+		o.MinRatio = 0.6
+	}
+	if o.MaxBlocks == 0 {
+		o.MaxBlocks = 8
+	}
+	if o.BranchLatency == 0 {
+		o.BranchLatency = 2
+	}
+	return o
+}
+
+// FormSuperblocks selects traces from the profiled CFG (hottest
+// unvisited seed, grow along the most likely successor while it stays
+// above MinRatio and unvisited — Hwu et al.'s mutually-most-likely
+// criterion) and converts each trace into an ir.Superblock. Side
+// entrances into trace tails are resolved by tail duplication, which in
+// this representation simply means the duplicated blocks also remain
+// available as seeds for later traces.
+func (g *Graph) FormSuperblocks(prof Profile, opts TraceOpts) ([]*ir.Superblock, error) {
+	opts = opts.withDefaults()
+	visited := make(map[string]bool, len(g.Blocks))
+	// Seeds in decreasing hotness, ties by name for determinism.
+	seeds := make([]string, 0, len(g.Blocks))
+	for _, b := range g.Blocks {
+		seeds = append(seeds, b.Name)
+	}
+	sort.SliceStable(seeds, func(i, j int) bool {
+		if prof[seeds[i]] != prof[seeds[j]] {
+			return prof[seeds[i]] > prof[seeds[j]]
+		}
+		return seeds[i] < seeds[j]
+	})
+
+	var out []*ir.Superblock
+	for _, seed := range seeds {
+		if visited[seed] || prof[seed] == 0 {
+			continue
+		}
+		trace := []*Block{g.byName[seed]}
+		visited[seed] = true
+		for len(trace) < opts.MaxBlocks {
+			cur := trace[len(trace)-1]
+			bestName, bestP := "", 0.0
+			for succ, p := range cur.succProb() {
+				if p > bestP {
+					bestName, bestP = succ, p
+				}
+			}
+			if bestName == "" || bestP < opts.MinRatio || visited[bestName] {
+				break
+			}
+			// Mutually most likely: the successor's hottest predecessor
+			// must be the current block.
+			if hottest := g.hottestPred(bestName, prof); hottest != cur.Name {
+				break
+			}
+			visited[bestName] = true
+			trace = append(trace, g.byName[bestName])
+		}
+		sb, err := g.traceToSuperblock(trace, prof, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sb)
+	}
+	return out, nil
+}
+
+func (g *Graph) hottestPred(name string, prof Profile) string {
+	best, bestC := "", int64(-1)
+	for _, p := range g.Preds(name) {
+		pb := g.byName[p]
+		c := int64(float64(prof[p]) * pb.succProb()[name])
+		if c > bestC || (c == bestC && p < best) {
+			best, bestC = p, c
+		}
+	}
+	return best
+}
+
+// traceToSuperblock lowers a trace into an ir.Superblock: ops become
+// instructions; def-use chains become data edges; memory operations
+// order conservatively; stores and branches take control dependences
+// from the previous branch; branch exit probabilities follow the edge
+// profile; registers live into the trace become live-ins and registers
+// used outside the trace become live-outs.
+func (g *Graph) traceToSuperblock(trace []*Block, prof Profile, opts TraceOpts) (*ir.Superblock, error) {
+	b := ir.NewBuilder(g.Name + ":" + trace[0].Name)
+	if c := prof[trace[0].Name]; c > 0 {
+		b.SetExecCount(c)
+	}
+
+	lastDef := make(map[Reg]int)     // reg → defining instruction id
+	liveInIDs := make(map[Reg][]int) // reg → consumers before any def
+	var lastBranch, lastStore int = -1, -1
+	var lastMems []int // memory ops since the previous store
+	var exitIDs []int
+	var exitProbs []float64
+
+	reachProb := 1.0
+	inTrace := make(map[string]bool, len(trace))
+	for _, blk := range trace {
+		inTrace[blk.Name] = true
+	}
+
+	addOp := func(op Op, class ir.Class, prob float64) int {
+		var id int
+		if class == ir.Branch {
+			id = b.Exit(op.Name, op.Latency, prob)
+		} else {
+			id = b.Instr(op.Name, op.Class, op.Latency)
+		}
+		for _, r := range op.Uses {
+			if def, ok := lastDef[r]; ok {
+				b.Data(def, id)
+			} else {
+				liveInIDs[r] = append(liveInIDs[r], id)
+			}
+		}
+		for _, r := range op.Defs {
+			lastDef[r] = id
+		}
+		// Conservative memory ordering: stores order after every
+		// preceding memory op; loads order after the last store.
+		if op.Class == ir.Mem || op.Store {
+			if op.Store {
+				for _, m := range lastMems {
+					b.Ctrl(m, id)
+				}
+				if lastStore >= 0 && len(lastMems) == 0 {
+					b.Ctrl(lastStore, id)
+				}
+				lastStore = id
+				lastMems = lastMems[:0]
+			} else {
+				if lastStore >= 0 {
+					b.Ctrl(lastStore, id)
+				}
+				lastMems = append(lastMems, id)
+			}
+		}
+		// Stores and branches do not speculate above an earlier branch.
+		if (op.Store || class == ir.Branch) && lastBranch >= 0 {
+			b.Ctrl(lastBranch, id)
+		}
+		return id
+	}
+
+	for bi, blk := range trace {
+		for _, op := range blk.Ops {
+			addOp(op, op.Class, 0)
+		}
+		// The block's branch: an exit if control can leave the trace
+		// here.
+		nextInTrace := bi+1 < len(trace) && (trace[bi+1].Name == blk.Taken || trace[bi+1].Name == blk.Next)
+		leaveProb := 0.0
+		for succ, p := range blk.succProb() {
+			if bi+1 >= len(trace) || succ != trace[bi+1].Name {
+				leaveProb += p
+			}
+		}
+		if bi+1 == len(trace) {
+			leaveProb = 1 // the trace ends here: everything leaves
+		}
+		if blk.BranchOp != nil && leaveProb > 0 {
+			prob := reachProb * leaveProb
+			id := addOp(*blk.BranchOp, ir.Branch, prob)
+			lastBranch = id
+			exitIDs = append(exitIDs, id)
+			exitProbs = append(exitProbs, prob)
+			reachProb *= 1 - leaveProb
+		} else if blk.BranchOp != nil {
+			// A branch that stays in the trace contributes its ops'
+			// dependences but is folded away (the trace linearizes it).
+			_ = nextInTrace
+		}
+		if bi+1 == len(trace) && (blk.BranchOp == nil || leaveProb == 0) {
+			// Synthesize the unconditional jump that ends the region.
+			id := addOp(Op{Name: "jump." + blk.Name, Latency: opts.BranchLatency}, ir.Branch, reachProb)
+			exitIDs = append(exitIDs, id)
+			exitProbs = append(exitProbs, reachProb)
+			reachProb = 0
+		}
+	}
+	// Rounding guard: force the exit probabilities to sum to exactly 1.
+	sum := 0.0
+	for _, p := range exitProbs {
+		sum += p
+	}
+	if len(exitProbs) > 0 && sum != 1 {
+		exitProbs[len(exitProbs)-1] += 1 - sum
+	}
+
+	// Live-ins.
+	regs := make([]Reg, 0, len(liveInIDs))
+	for r := range liveInIDs {
+		regs = append(regs, r)
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i] < regs[j] })
+	for _, r := range regs {
+		b.LiveIn(string(r), dedup(liveInIDs[r])...)
+	}
+	// Live-outs: registers defined in the trace and used by blocks
+	// outside it.
+	usedOutside := make(map[Reg]bool)
+	for _, blk := range g.Blocks {
+		if inTrace[blk.Name] {
+			continue
+		}
+		for _, op := range blk.Ops {
+			for _, r := range op.Uses {
+				usedOutside[r] = true
+			}
+		}
+		if blk.BranchOp != nil {
+			for _, r := range blk.BranchOp.Uses {
+				usedOutside[r] = true
+			}
+		}
+	}
+	outRegs := make([]Reg, 0, len(lastDef))
+	for r := range lastDef {
+		if usedOutside[r] {
+			outRegs = append(outRegs, r)
+		}
+	}
+	sort.Slice(outRegs, func(i, j int) bool { return outRegs[i] < outRegs[j] })
+	seenOut := map[int]bool{}
+	for _, r := range outRegs {
+		if id := lastDef[r]; !seenOut[id] && !b.IsExitID(id) {
+			seenOut[id] = true
+			b.LiveOut(id)
+		}
+	}
+
+	sb, err := b.FinishWithProbs(exitProbs)
+	if err != nil {
+		return nil, fmt.Errorf("cfg %s: trace at %s: %w", g.Name, trace[0].Name, err)
+	}
+	return sb, nil
+}
+
+func dedup(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}

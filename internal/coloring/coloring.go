@@ -1,0 +1,143 @@
+// Package coloring implements the Chaitin-style greedy graph coloring
+// used by the paper in two places: detecting virtual-cluster-graph
+// configurations that cannot be mapped onto the physical clusters
+// (cliques larger than the cluster count, approximated by the coloring
+// bound), and ordering virtual clusters for the final VC→PC mapping.
+package coloring
+
+import "sort"
+
+// Graph is a simple undirected graph on vertices 0..N-1 described by an
+// adjacency predicate. Build one with New.
+type Graph struct {
+	N   int
+	adj []map[int]bool
+}
+
+// New creates an empty graph with n vertices.
+func New(n int) *Graph {
+	g := &Graph{N: n, adj: make([]map[int]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// AddEdge inserts an undirected edge (idempotent; self loops ignored).
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		return
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+}
+
+// HasEdge reports whether u and v are adjacent.
+func (g *Graph) HasEdge(u, v int) bool { return g.adj[u][v] }
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Order returns the vertices sorted by decreasing degree (ties by
+// index), the order the paper uses for the final mapping stage.
+func (g *Graph) Order() []int {
+	order := make([]int, g.N)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// Greedy colors the graph greedily in decreasing-degree order and
+// returns the colors (0-based) and the number of colors used. The count
+// upper-bounds the chromatic number, so Greedy(k) <= k proves a valid
+// k-cluster mapping exists; Greedy(k) > k is the paper's signal to
+// discard a decision ("a process to detect cliques based on a graph
+// coloring scheme").
+func (g *Graph) Greedy() (colors []int, used int) {
+	colors = make([]int, g.N)
+	for i := range colors {
+		colors[i] = -1
+	}
+	for _, u := range g.Order() {
+		taken := make(map[int]bool, len(g.adj[u]))
+		for v := range g.adj[u] {
+			if colors[v] >= 0 {
+				taken[colors[v]] = true
+			}
+		}
+		c := 0
+		for taken[c] {
+			c++
+		}
+		colors[u] = c
+		if c+1 > used {
+			used = c + 1
+		}
+	}
+	return colors, used
+}
+
+// Colorable reports whether the greedy coloring fits in k colors.
+func (g *Graph) Colorable(k int) bool {
+	_, used := g.Greedy()
+	return used <= k
+}
+
+// MaxCliqueLB returns a lower bound on the maximum clique size, found by
+// greedily extending a clique from each vertex in decreasing-degree
+// order. If MaxCliqueLB(g) > k the graph is certainly not k-colorable.
+func (g *Graph) MaxCliqueLB() int {
+	best := 0
+	if g.N > 0 {
+		best = 1
+	}
+	for _, seed := range g.Order() {
+		clique := []int{seed}
+		for _, v := range g.Order() {
+			if v == seed {
+				continue
+			}
+			ok := true
+			for _, c := range clique {
+				if !g.HasEdge(v, c) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				clique = append(clique, v)
+			}
+		}
+		if len(clique) > best {
+			best = len(clique)
+		}
+	}
+	return best
+}
+
+// Valid reports whether the given coloring assigns distinct colors to
+// all adjacent vertex pairs and uses only colors 0..k-1.
+func (g *Graph) Valid(colors []int, k int) bool {
+	if len(colors) != g.N {
+		return false
+	}
+	for u := 0; u < g.N; u++ {
+		if colors[u] < 0 || colors[u] >= k {
+			return false
+		}
+		for v := range g.adj[u] {
+			if colors[u] == colors[v] {
+				return false
+			}
+		}
+	}
+	return true
+}

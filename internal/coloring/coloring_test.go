@@ -1,0 +1,175 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+func TestGreedyBasics(t *testing.T) {
+	g := New(3)
+	colors, used := g.Greedy()
+	if used != 1 {
+		t.Errorf("edgeless graph used %d colors", used)
+	}
+	if !g.Valid(colors, 1) {
+		t.Error("edgeless coloring invalid")
+	}
+
+	k5 := complete(5)
+	colors, used = k5.Greedy()
+	if used != 5 {
+		t.Errorf("K5 used %d colors, want 5", used)
+	}
+	if !k5.Valid(colors, 5) {
+		t.Error("K5 coloring invalid")
+	}
+	if k5.Colorable(4) {
+		t.Error("K5 reported 4-colorable")
+	}
+	if !k5.Colorable(5) {
+		t.Error("K5 not 5-colorable")
+	}
+}
+
+func TestGreedyBipartite(t *testing.T) {
+	// Complete bipartite K(3,3): greedy in degree order uses 2 colors.
+	g := New(6)
+	for u := 0; u < 3; u++ {
+		for v := 3; v < 6; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	if _, used := g.Greedy(); used != 2 {
+		t.Errorf("K33 used %d colors, want 2", used)
+	}
+}
+
+func TestPaperFigure5(t *testing.T) {
+	// Figure 5: six VCs, nine incompatibility edges, mappable onto four
+	// physical clusters after fusing VC2+VC3 and VC1+VC4. The concrete
+	// edge set is chosen to match the mapping narrative: the VCG is
+	// 4-colorable, fusing the two compatible pairs leaves 4 VCs.
+	g := New(6)
+	edges := [][2]int{
+		{0, 1}, {0, 2}, {0, 5}, {1, 2}, {1, 5}, {2, 4}, {3, 4}, {3, 5}, {4, 5},
+	}
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	colors, used := g.Greedy()
+	if used > 4 {
+		t.Fatalf("figure-5 VCG used %d colors, want ≤ 4", used)
+	}
+	if !g.Valid(colors, used) {
+		t.Error("coloring invalid")
+	}
+	// VC2 and VC3 are compatible (no edge), as are VC1 and VC4.
+	if g.HasEdge(2, 3) || g.HasEdge(1, 4) {
+		t.Error("pairs that the paper fuses must be compatible")
+	}
+}
+
+func TestOrderByDegree(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(1, 2)
+	order := g.Order()
+	if order[0] != 0 {
+		t.Errorf("highest-degree vertex not first: %v", order)
+	}
+	if g.Degree(0) != 3 || g.Degree(3) != 1 {
+		t.Errorf("degrees wrong: %d %d", g.Degree(0), g.Degree(3))
+	}
+}
+
+func TestMaxCliqueLB(t *testing.T) {
+	if got := complete(4).MaxCliqueLB(); got != 4 {
+		t.Errorf("K4 clique bound %d, want 4", got)
+	}
+	g := New(5) // a triangle plus pendant edges
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 4)
+	if got := g.MaxCliqueLB(); got != 3 {
+		t.Errorf("clique bound %d, want 3", got)
+	}
+	if got := New(0).MaxCliqueLB(); got != 0 {
+		t.Errorf("empty graph clique bound %d", got)
+	}
+}
+
+func TestValidRejects(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	if g.Valid([]int{0, 0}, 2) {
+		t.Error("same color on adjacent vertices accepted")
+	}
+	if g.Valid([]int{0, 2}, 2) {
+		t.Error("color out of range accepted")
+	}
+	if g.Valid([]int{0}, 2) {
+		t.Error("wrong length accepted")
+	}
+}
+
+// Property: greedy coloring is always valid, uses at most maxDegree+1
+// colors, and at least the clique lower bound.
+func TestGreedyProperties(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(15)
+		g := New(n)
+		maxDeg := 0
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		for u := 0; u < n; u++ {
+			if g.Degree(u) > maxDeg {
+				maxDeg = g.Degree(u)
+			}
+		}
+		colors, used := g.Greedy()
+		if !g.Valid(colors, used) {
+			return false
+		}
+		if used > maxDeg+1 {
+			return false
+		}
+		return used >= g.MaxCliqueLB()
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddEdgeIdempotent(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(0, 0)
+	if g.Degree(0) != 1 || g.Degree(1) != 1 {
+		t.Errorf("degrees after duplicate adds: %d %d", g.Degree(0), g.Degree(1))
+	}
+	if g.HasEdge(0, 0) {
+		t.Error("self loop stored")
+	}
+}

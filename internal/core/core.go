@@ -1,0 +1,514 @@
+// Package core implements the paper's scheduling algorithm: instruction
+// scheduling and cluster assignment for superblocks on clustered VLIW
+// machines, driven by the scheduling graph, virtual clusters and the
+// deduction process (Section 4).
+//
+// The driver enumerates target AWCT values. For each value the exit
+// branches are pinned to a cycle vector and a schedule is sought in six
+// stages:
+//
+//  1. decide (choose or discard) every combination between original
+//     instructions — most-constraining pair first, every alternative
+//     studied through the DP, the best surviving alternative applied;
+//  2. fix the remaining slack of original instructions to cycles;
+//  3. eliminate outedges: fuse or split virtual cluster pairs selected
+//     by a maximum-weight matching over the matching graph;
+//  4. map the remaining virtual clusters onto physical clusters in
+//     decreasing-degree (coloring) order, via the anchor VCs;
+//  5. + 6. decide the remaining freedom of communications (in this
+//     implementation the two stages collapse into per-copy cycle
+//     fixing; pairwise copy interaction is already captured by the bus
+//     occupancy rules of the DP).
+//
+// If any stage runs out of alternatives the AWCT value is infeasible:
+// the enumeration bumps the exit vector (by the smallest exit
+// probability whose branch can move without pushing the others) and
+// retries. A deterministic step budget and a wall-clock timeout bound
+// compilation time; on exhaustion the caller is expected to fall back to
+// a list scheduler (the paper uses CARS beyond its thresholds).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vcsched/internal/deduce"
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/sched"
+	"vcsched/internal/sg"
+)
+
+// ErrTimeout is returned when the wall-clock timeout expires before a
+// schedule is found.
+var ErrTimeout = errors.New("core: timeout")
+
+// ErrExhausted is returned when the AWCT enumeration or the step budget
+// gives out.
+var ErrExhausted = errors.New("core: search exhausted")
+
+// Options tunes the scheduler. The zero value selects sensible defaults.
+type Options struct {
+	// Pins assigns live-in/live-out values to clusters (shared with the
+	// baseline for fair comparisons).
+	Pins sched.Pins
+	// Timeout bounds wall-clock scheduling time (0 = none).
+	Timeout time.Duration
+	// MaxSteps bounds deduction passes across the whole attempt
+	// (0 = default; < 0 = unlimited).
+	MaxSteps int
+	// ShaveRounds controls the bound-probing depth (default 2).
+	ShaveRounds int
+	// CandidateLimit is the number of most-constraining candidates
+	// studied per stage iteration (default 3).
+	CandidateLimit int
+	// CycleCandLimit caps the cycles studied per stage-2/6 candidate
+	// (default 6).
+	CycleCandLimit int
+	// MaxAWCTIters caps the AWCT enumeration (default 64).
+	MaxAWCTIters int
+	// Retries is the number of perturbed decision orders tried per AWCT
+	// value before bumping it (default 3): heuristic dead-ends are
+	// order-sensitive, so rotating the candidate order recovers many
+	// feasible AWCTs.
+	Retries int
+	// NoStage3Matching disables the maximum-weight matching in the
+	// outedge-elimination stage, falling back to one VC pair at a time
+	// (an ablation of the paper's global-view argument in §4.4.1.2).
+	NoStage3Matching bool
+	// Trace, when non-nil, receives search progress lines (AWCT
+	// attempts, stage failures) for debugging.
+	Trace func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 400000
+	}
+	if o.ShaveRounds == 0 {
+		o.ShaveRounds = 2
+	}
+	if o.CandidateLimit == 0 {
+		o.CandidateLimit = 3
+	}
+	if o.CycleCandLimit == 0 {
+		o.CycleCandLimit = 6
+	}
+	if o.MaxAWCTIters == 0 {
+		o.MaxAWCTIters = 64
+	}
+	if o.Retries == 0 {
+		o.Retries = 3
+	}
+	return o
+}
+
+// Stats reports how the search went.
+type Stats struct {
+	MinAWCT    float64       // enhanced lower bound the enumeration started from
+	FinalAWCT  float64       // AWCT of the returned schedule
+	AWCTTried  int           // number of exit vectors attempted
+	Elapsed    time.Duration // wall-clock scheduling time
+	Comms      int           // communications in the final schedule
+	StepsSpent int           // deduction passes consumed
+}
+
+type scheduler struct {
+	sb       *ir.Superblock
+	m        *machine.Config
+	g        *sg.Graph
+	opts     Options
+	budget   *deduce.Budget
+	deadline time.Time
+	dist     [][]int
+	tail     []int // longest completion tail from each node (see bump)
+	variant  int   // perturbs candidate order across retries of one AWCT
+}
+
+// Schedule runs the full algorithm on one superblock. On ErrTimeout or
+// ErrExhausted no schedule is returned and the caller should fall back
+// to a baseline scheduler.
+func Schedule(sb *ir.Superblock, m *machine.Config, opts Options) (*sched.Schedule, Stats, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	s := newScheduler(sb, m, opts)
+	if opts.Timeout > 0 {
+		s.deadline = start.Add(opts.Timeout)
+		// The deadline must also interrupt long propagation runs deep
+		// inside the DP, not just stage boundaries.
+		if s.budget == nil {
+			s.budget = deduce.NewBudget(0)
+		}
+		s.budget.SetDeadline(s.deadline)
+	}
+
+	var stats Stats
+	ests, err := s.enhancedExitEsts()
+	if err != nil {
+		stats.Elapsed = time.Since(start)
+		return nil, stats, s.mapErr(err)
+	}
+	stats.MinAWCT = s.awctOf(ests)
+
+	// Best-first enumeration over exit-cycle vectors: vectors are tried
+	// in increasing AWCT order; a failed vector enqueues every
+	// single-exit bump the Section 4.2 rule allows. (A strict
+	// lowest-probability-only path can skip feasible vectors whose bump
+	// coordinate differs from the rule's pick.)
+	queue := newVectorQueue(s)
+	queue.push(append([]int(nil), ests...))
+	for iter := 0; iter < opts.MaxAWCTIters; iter++ {
+		vector, ok := queue.pop()
+		if !ok {
+			break
+		}
+		stats.AWCTTried++
+		for v := 0; v < opts.Retries; v++ {
+			if err := s.checkTime(); err != nil {
+				stats.Elapsed = time.Since(start)
+				return nil, stats, err
+			}
+			s.variant = v
+			schedule, err := s.attempt(vector)
+			if s.opts.Trace != nil {
+				s.opts.Trace("attempt vector=%v awct=%.3f variant=%d err=%v", vector, s.awctOf(vector), v, err)
+			}
+			if err == nil {
+				stats.FinalAWCT = schedule.AWCT()
+				stats.Comms = schedule.NumComms()
+				stats.Elapsed = time.Since(start)
+				stats.StepsSpent = s.stepsSpent()
+				return schedule, stats, nil
+			}
+			if !deduce.IsContradiction(err) {
+				stats.Elapsed = time.Since(start)
+				return nil, stats, s.mapErr(err)
+			}
+		}
+		for _, succ := range s.bumpSuccessors(vector) {
+			queue.push(succ)
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return nil, stats, fmt.Errorf("%w: no schedule within %d AWCT values", ErrExhausted, opts.MaxAWCTIters)
+}
+
+// newScheduler precomputes the immutable search context. tail[u] is the
+// longest "completion tail" hanging off u — the largest d(u,n) + λ(n)
+// over all reachable nodes n; everything must complete by the region
+// end, so any exit-deadline vector must keep deadline(u) + tail(u) ≤
+// deadline(last) + λ(last).
+func newScheduler(sb *ir.Superblock, m *machine.Config, opts Options) *scheduler {
+	opts = opts.withDefaults()
+	s := &scheduler{
+		sb:   sb,
+		m:    m,
+		g:    sg.Build(sb, m),
+		opts: opts,
+		dist: sb.LongestDist(),
+	}
+	s.tail = make([]int, sb.N())
+	for u := 0; u < sb.N(); u++ {
+		for n := 0; n < sb.N(); n++ {
+			if d := s.dist[u][n]; d != ir.NegInf {
+				if v := d + sb.Instrs[n].Latency; v > s.tail[u] {
+					s.tail[u] = v
+				}
+			}
+		}
+	}
+	if opts.MaxSteps > 0 {
+		s.budget = deduce.NewBudget(opts.MaxSteps)
+	}
+	return s
+}
+
+// mapErr translates internal abort signals into the package's public
+// errors: a budget abort caused by the wall clock is a timeout, a
+// step-count abort is search exhaustion.
+func (s *scheduler) mapErr(err error) error {
+	if errors.Is(err, deduce.ErrBudget) {
+		if s.checkTime() != nil {
+			return ErrTimeout
+		}
+		return fmt.Errorf("%w: %v", ErrExhausted, err)
+	}
+	return err
+}
+
+func (s *scheduler) stepsSpent() int {
+	if s.budget == nil {
+		return 0
+	}
+	return s.opts.MaxSteps - s.budget.Steps
+}
+
+func (s *scheduler) checkTime() error {
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// exitIndex returns the exits and a lookup from exit id to vector slot.
+func (s *scheduler) exits() []int { return s.sb.Exits() }
+
+func (s *scheduler) awctOf(vector []int) float64 {
+	cyc := make(map[int]int, len(vector))
+	for i, x := range s.exits() {
+		cyc[x] = vector[i]
+	}
+	return s.sb.AWCT(cyc)
+}
+
+func (s *scheduler) deadlinesOf(vector []int) map[int]int {
+	d := make(map[int]int, len(vector))
+	for i, x := range s.exits() {
+		d[x] = vector[i]
+	}
+	return d
+}
+
+// horizon is a generous upper bound on any sensible schedule length:
+// every instruction serialized plus communication room for every value.
+func (s *scheduler) horizon() int {
+	h := 0
+	for _, in := range s.sb.Instrs {
+		h += in.Latency
+	}
+	return h + (s.sb.N()+len(s.sb.LiveIns)+1)*s.m.BusLatency + 4
+}
+
+// enhancedExitEsts computes the per-exit earliest starts enhanced by the
+// DP (Section 4.2): starting from the dependence-based earliest starts,
+// each exit is probed with the others relaxed to the horizon; if the DP
+// refutes the exit at its current cycle, the cycle is bumped.
+func (s *scheduler) enhancedExitEsts() ([]int, error) {
+	exits := s.exits()
+	base := s.sb.EStarts()
+	ests := make([]int, len(exits))
+	for i, x := range exits {
+		ests[i] = base[x]
+	}
+	// The final exit's completion ends the region, so it cannot precede
+	// the completion of any other instruction (dangling chains
+	// included).
+	last := len(exits) - 1
+	lastLat := s.sb.Instrs[exits[last]].Latency
+	for n := 0; n < s.sb.N(); n++ {
+		if v := base[n] + s.sb.Instrs[n].Latency - lastLat; v > ests[last] {
+			ests[last] = v
+		}
+	}
+	h := s.horizon()
+	const maxBumps = 24
+	for bumps := 0; bumps < maxBumps; bumps++ {
+		moved := false
+		for i, x := range exits {
+			deadlines := make(map[int]int, len(exits))
+			for j, z := range exits {
+				if i == j {
+					deadlines[z] = ests[j]
+				} else {
+					deadlines[z] = ests[j] + h
+				}
+			}
+			err := s.probe(deadlines)
+			if err == nil {
+				continue
+			}
+			if !deduce.IsContradiction(err) {
+				return nil, err
+			}
+			ests[i]++
+			// Pushing x may push later exits via dependences.
+			for j, z := range exits {
+				if d := s.dist[x][z]; d != ir.NegInf && ests[j] < ests[i]+d {
+					ests[j] = ests[i] + d
+				}
+			}
+			moved = true
+		}
+		if !moved {
+			break
+		}
+	}
+	return ests, nil
+}
+
+// probe builds a state (exits bounded, not pinned) and shaves it.
+func (s *scheduler) probe(deadlines map[int]int) error {
+	st, err := deduce.NewState(s.sb, s.m, s.g, deadlines, s.stateOpts(false))
+	if err != nil {
+		return err
+	}
+	return st.Shave(s.opts.ShaveRounds)
+}
+
+func (s *scheduler) stateOpts(pinExits bool) deduce.Options {
+	return deduce.Options{Pins: s.opts.Pins, Budget: s.budget, PinExits: pinExits}
+}
+
+// bumpCandidates returns the exits that can move one cycle without
+// pushing any other exit (Section 4.2's condition): dependence distances
+// to the other exits stay satisfied and the exit's completion tail
+// (dangling successors included) still fits before the region end. The
+// final exit always qualifies (moving it grows the region).
+func (s *scheduler) bumpCandidates(vector []int) []int {
+	exits := s.exits()
+	last := exits[len(exits)-1]
+	end := vector[len(exits)-1] + s.sb.Instrs[last].Latency
+	var out []int
+	for i, x := range exits {
+		ok := true
+		for j, z := range exits {
+			if i == j {
+				continue
+			}
+			if d := s.dist[x][z]; d != ir.NegInf && vector[i]+1+d > vector[j] {
+				ok = false
+				break
+			}
+		}
+		if ok && x != last && vector[i]+1+s.tail[x] > end {
+			ok = false
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, len(exits)-1)
+	}
+	return out
+}
+
+// bumpSuccessors returns every vector reachable by moving one qualifying
+// exit one cycle later.
+func (s *scheduler) bumpSuccessors(vector []int) [][]int {
+	var out [][]int
+	for _, i := range s.bumpCandidates(vector) {
+		next := append([]int(nil), vector...)
+		next[i]++
+		out = append(out, next)
+	}
+	return out
+}
+
+// bump is the paper's single-path rule: among the qualifying exits, the
+// one with the lowest probability moves. The best-first enumeration in
+// Schedule generalizes it; bump documents (and tests) the base rule.
+func (s *scheduler) bump(vector []int) []int {
+	exits := s.exits()
+	best := -1
+	for _, i := range s.bumpCandidates(vector) {
+		if best < 0 || s.sb.Instrs[exits[i]].Prob < s.sb.Instrs[exits[best]].Prob {
+			best = i
+		}
+	}
+	next := append([]int(nil), vector...)
+	next[best]++
+	// Keep the vector dependence-consistent.
+	x := exits[best]
+	for j, z := range exits {
+		if d := s.dist[x][z]; d != ir.NegInf && next[j] < next[best]+d {
+			next[j] = next[best] + d
+		}
+	}
+	return next
+}
+
+// vectorQueue is a small best-first queue of exit-cycle vectors ordered
+// by AWCT, with visited-deduplication.
+type vectorQueue struct {
+	s       *scheduler
+	items   [][]int
+	awct    []float64
+	visited map[string]bool
+}
+
+func newVectorQueue(s *scheduler) *vectorQueue {
+	return &vectorQueue{s: s, visited: make(map[string]bool)}
+}
+
+func (q *vectorQueue) key(v []int) string {
+	b := make([]byte, 0, len(v)*3)
+	for _, x := range v {
+		b = append(b, byte(x), byte(x>>8), ';')
+	}
+	return string(b)
+}
+
+func (q *vectorQueue) push(v []int) {
+	k := q.key(v)
+	if q.visited[k] {
+		return
+	}
+	q.visited[k] = true
+	q.items = append(q.items, v)
+	q.awct = append(q.awct, q.s.awctOf(v))
+}
+
+func (q *vectorQueue) pop() ([]int, bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	best := 0
+	for i := 1; i < len(q.items); i++ {
+		if q.awct[i] < q.awct[best]-1e-12 {
+			best = i
+		}
+	}
+	v := q.items[best]
+	q.items[best] = q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	q.awct[best] = q.awct[len(q.awct)-1]
+	q.awct = q.awct[:len(q.awct)-1]
+	return v, true
+}
+
+// attempt searches for a valid schedule with the exits pinned to the
+// given cycle vector.
+func (s *scheduler) attempt(vector []int) (*sched.Schedule, error) {
+	deadlines := s.deadlinesOf(vector)
+	st, err := deduce.NewState(s.sb, s.m, s.g, deadlines, s.stateOpts(true))
+	if err != nil {
+		return nil, err
+	}
+	if err := st.Shave(s.opts.ShaveRounds); err != nil {
+		return nil, err
+	}
+	stages := []struct {
+		name string
+		run  func(*deduce.State) error
+	}{
+		{"combinations", s.stageCombinations},
+		{"fix-instrs", s.stageFixInstrs},
+		{"outedges", s.stageOutedges},
+		{"mapping", s.stageMapping},
+		{"fix-copies", s.stageFixCopies},
+	}
+	for _, stage := range stages {
+		if err := s.checkTime(); err != nil {
+			return nil, err
+		}
+		if err := stage.run(st); err != nil {
+			if s.opts.Trace != nil {
+				s.opts.Trace("  stage %s: %v", stage.name, err)
+			}
+			return nil, err
+		}
+	}
+	if !st.AllPairsResolved() {
+		return nil, fmt.Errorf("%w: unresolved pairs remain", deduce.ErrContradiction)
+	}
+	schedule, err := st.ExtractSchedule()
+	if err != nil {
+		return nil, err
+	}
+	if err := schedule.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: extracted schedule invalid: %v", deduce.ErrContradiction, err)
+	}
+	return schedule, nil
+}

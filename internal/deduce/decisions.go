@@ -1,0 +1,175 @@
+package deduce
+
+import "vcsched/internal/sg"
+
+// The methods in this file are the decisions of Section 3: each applies
+// one action to the state and immediately runs the deduction process so
+// the caller observes all mandatory consequences (or a contradiction).
+
+// ChooseComb selects combination comb for pair (a,b): the two
+// instructions join one connected component at that cycle distance.
+func (st *State) ChooseComb(a, b, comb int) error {
+	i, ok := st.pairIdx[sg.MakePair(a, b)]
+	if !ok {
+		return contraf("no SG pair (%d,%d)", a, b)
+	}
+	p := &st.pairs[i]
+	// Normalize: comb is defined as Cyc(U)−Cyc(V) for U < V.
+	if a > b {
+		comb = -comb
+	}
+	switch p.Status {
+	case Chosen:
+		if p.Comb != comb {
+			return contraf("pair (%d,%d) already chose %d", p.U, p.V, p.Comb)
+		}
+		return nil
+	case Dropped:
+		return contraf("pair (%d,%d) already dropped", p.U, p.V)
+	}
+	if !containsInt(p.Combs, comb) {
+		return contraf("pair (%d,%d): combination %d already discarded", p.U, p.V, comb)
+	}
+	if err := st.commitComb(p, comb); err != nil {
+		return err
+	}
+	return st.Propagate()
+}
+
+// DiscardComb removes one combination from a pair.
+func (st *State) DiscardComb(a, b, comb int) error {
+	i, ok := st.pairIdx[sg.MakePair(a, b)]
+	if !ok {
+		return contraf("no SG pair (%d,%d)", a, b)
+	}
+	p := &st.pairs[i]
+	if a > b {
+		comb = -comb
+	}
+	if p.Status == Chosen {
+		if p.Comb == comb {
+			return contraf("pair (%d,%d): discarding the chosen combination %d", p.U, p.V, comb)
+		}
+		return nil
+	}
+	kept := p.Combs[:0]
+	for _, c := range p.Combs {
+		if c != comb {
+			kept = append(kept, c)
+		}
+	}
+	p.Combs = kept
+	if len(p.Combs) == 0 {
+		p.Status = Dropped
+	}
+	return st.Propagate()
+}
+
+// DropPair discards every remaining combination of a pair: the two
+// instructions will not overlap.
+func (st *State) DropPair(a, b int) error {
+	i, ok := st.pairIdx[sg.MakePair(a, b)]
+	if !ok {
+		return contraf("no SG pair (%d,%d)", a, b)
+	}
+	p := &st.pairs[i]
+	if p.Status == Chosen {
+		return contraf("pair (%d,%d): cannot drop, combination %d chosen", p.U, p.V, p.Comb)
+	}
+	p.Status = Dropped
+	p.Combs = nil
+	return st.Propagate()
+}
+
+// FixCycle schedules a node at one specific cycle.
+func (st *State) FixCycle(node, cycle int) error {
+	if cycle < st.est[node] || cycle > st.lst[node] {
+		return contraf("node %d: cycle %d outside window [%d,%d]", node, cycle, st.est[node], st.lst[node])
+	}
+	st.est[node] = cycle
+	st.lst[node] = cycle
+	return st.Propagate()
+}
+
+// TightenEst raises a node's earliest start (used by shaving when a
+// probe at the boundary cycle contradicts).
+func (st *State) TightenEst(node, est int) error {
+	if est > st.est[node] {
+		st.est[node] = est
+		if st.est[node] > st.lst[node] {
+			return contraf("node %d window emptied by estart %d", node, est)
+		}
+	}
+	return st.Propagate()
+}
+
+// TightenLst lowers a node's latest start.
+func (st *State) TightenLst(node, lst int) error {
+	if lst < st.lst[node] {
+		st.lst[node] = lst
+		if st.est[node] > st.lst[node] {
+			return contraf("node %d window emptied by lstart %d", node, lst)
+		}
+	}
+	return st.Propagate()
+}
+
+// FuseVC merges the virtual clusters of two VCG nodes (instruction ids
+// for instructions; use VC().Anchor for anchors).
+func (st *State) FuseVC(a, b int) error {
+	if err := st.vc.Fuse(a, b); err != nil {
+		return contraf("%v", err)
+	}
+	return st.Propagate()
+}
+
+// SplitVC marks the virtual clusters of two VCG nodes incompatible.
+func (st *State) SplitVC(a, b int) error {
+	if err := st.vc.SetIncompatible(a, b); err != nil {
+		return contraf("%v", err)
+	}
+	return st.Propagate()
+}
+
+// Shave probes the boundary cycles of unpinned nodes: if pinning a node
+// at its earliest (latest) start contradicts, that cycle is impossible
+// in every schedule and the bound tightens — a one-level lookahead that
+// recovers many of the paper's PLC-style bound deductions. It repeats up
+// to rounds times or until no bound moves.
+func (st *State) Shave(rounds int) error {
+	for r := 0; r < rounds; r++ {
+		changed := false
+		for node := 0; node < len(st.est); node++ {
+			if st.Pinned(node) {
+				continue
+			}
+			probe := st.Clone()
+			if err := probe.FixCycle(node, st.est[node]); err != nil {
+				if err == ErrBudget || !isContradiction(err) {
+					return err
+				}
+				if err := st.TightenEst(node, st.est[node]+1); err != nil {
+					return err
+				}
+				changed = true
+			}
+			if st.Pinned(node) {
+				continue
+			}
+			probe = st.Clone()
+			if err := probe.FixCycle(node, st.lst[node]); err != nil {
+				if err == ErrBudget || !isContradiction(err) {
+					return err
+				}
+				if err := st.TightenLst(node, st.lst[node]-1); err != nil {
+					return err
+				}
+				changed = true
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+	return nil
+}

@@ -1,0 +1,732 @@
+package deduce
+
+import (
+	"sort"
+
+	"vcsched/internal/ir"
+	"vcsched/internal/sg"
+)
+
+// Propagate runs every rule family to a fixpoint, returning nil, a
+// contradiction, or ErrBudget. It is the paper's deduction process: each
+// pass may conclude new mandatory changes, which are themselves fed back
+// in until nothing changes.
+func (st *State) Propagate() error {
+	for {
+		if err := st.budget.spend(); err != nil {
+			return err
+		}
+		changed := false
+		families := []func() (bool, error){
+			st.propagateBounds,
+			st.ruleCCCoherence,
+			st.rulePrunePairs,
+			st.ruleCCResources,
+			st.rulePinnedResources,
+			st.ruleClusterEdges,
+			st.ruleCPLC,
+			st.rulePPLC,
+			st.ruleWindowPacking,
+		}
+		for _, f := range families {
+			ch, err := f()
+			if err != nil {
+				return err
+			}
+			changed = changed || ch
+		}
+		if err := st.ruleCliqueVeto(); err != nil {
+			return err
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// propagateBounds is rule U1: earliest starts forward and latest starts
+// backward over all precedence arcs, plus coherence inside connected
+// components (members move together at fixed offsets).
+func (st *State) propagateBounds() (bool, error) {
+	changed := false
+	for {
+		pass := false
+		for _, a := range st.arcs {
+			if v := st.est[a.From] + a.Lat; v > st.est[a.To] {
+				st.est[a.To] = v
+				pass = true
+			}
+			if v := st.lst[a.To] - a.Lat; v < st.lst[a.From] {
+				st.lst[a.From] = v
+				pass = true
+			}
+		}
+		if ch, err := st.ccBounds(); err != nil {
+			return changed, err
+		} else if ch {
+			pass = true
+		}
+		if !pass {
+			break
+		}
+		changed = true
+	}
+	for i := range st.est {
+		if st.est[i] > st.lst[i] {
+			return changed, contraf("node %d window empty: [%d,%d]", i, st.est[i], st.lst[i])
+		}
+	}
+	return changed, nil
+}
+
+// ccBounds aligns the bounds of connected-component members: with
+// Cyc(x) = Cyc(root) + off(x), the component-wide feasible root window
+// is the intersection of every member's window shifted by its offset.
+func (st *State) ccBounds() (bool, error) {
+	groups := make(map[int][]int)
+	for node := 0; node < st.nOrig; node++ {
+		root, _ := st.cc.Find(node)
+		groups[root] = append(groups[root], node)
+	}
+	changed := false
+	for root, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		lo, hi := -1<<30, 1<<30
+		for _, m := range members {
+			_, off := st.cc.Find(m)
+			if v := st.est[m] - off; v > lo {
+				lo = v
+			}
+			if v := st.lst[m] - off; v < hi {
+				hi = v
+			}
+		}
+		if lo > hi {
+			return changed, contraf("connected component of %d has empty window", root)
+		}
+		for _, m := range members {
+			_, off := st.cc.Find(m)
+			if st.est[m] < lo+off {
+				st.est[m] = lo + off
+				changed = true
+			}
+			if st.lst[m] > hi+off {
+				st.lst[m] = hi + off
+				changed = true
+			}
+		}
+	}
+	return changed, nil
+}
+
+// ruleCCCoherence resolves pairs whose relative offset became known
+// through transitive component merges (rule U3): the implied combination
+// is auto-chosen if still available, the pair is dropped if the offset
+// precludes overlap, and a discarded-but-implied combination is a
+// contradiction.
+func (st *State) ruleCCCoherence() (bool, error) {
+	changed := false
+	for i := range st.pairs {
+		p := &st.pairs[i]
+		if p.Status != Open {
+			continue
+		}
+		delta, same := st.cc.Delta(p.U, p.V)
+		if !same {
+			continue
+		}
+		lo, hi := sg.CombRange(st.lat[p.U], st.lat[p.V])
+		if delta < lo || delta > hi {
+			p.Status = Dropped
+			p.Combs = nil
+			changed = true
+			continue
+		}
+		if !containsInt(p.Combs, delta) {
+			return changed, contraf("pair (%d,%d): implied combination %d already discarded", p.U, p.V, delta)
+		}
+		p.Status = Chosen
+		p.Comb = delta
+		p.Combs = []int{delta}
+		changed = true
+	}
+	return changed, nil
+}
+
+// rulePrunePairs is rule U2 plus deduction rule D1: combinations whose
+// offset cannot be realized inside the current windows are discarded;
+// if the pair is forced to overlap, a single surviving combination is
+// mandatory (chosen), and zero surviving combinations contradict.
+func (st *State) rulePrunePairs() (bool, error) {
+	changed := false
+	for i := range st.pairs {
+		p := &st.pairs[i]
+		if p.Status == Dropped {
+			if st.mustOverlap(p.U, p.V) {
+				return changed, contraf("pair (%d,%d) dropped but forced to overlap", p.U, p.V)
+			}
+			continue
+		}
+		kept := p.Combs[:0]
+		for _, c := range p.Combs {
+			if sg.CombFeasibleAt(c, st.est[p.U], st.lst[p.U], st.est[p.V], st.lst[p.V]) {
+				kept = append(kept, c)
+			}
+		}
+		if len(kept) != len(p.Combs) {
+			changed = true
+		}
+		p.Combs = kept
+		if p.Status == Chosen {
+			if len(p.Combs) == 0 {
+				return changed, contraf("pair (%d,%d): chosen combination %d became infeasible", p.U, p.V, p.Comb)
+			}
+			continue
+		}
+		if len(p.Combs) == 0 {
+			p.Status = Dropped
+			changed = true
+			if st.mustOverlap(p.U, p.V) {
+				return changed, contraf("pair (%d,%d): no combination left but overlap forced", p.U, p.V)
+			}
+			continue
+		}
+		if st.mustOverlap(p.U, p.V) && len(p.Combs) == 1 {
+			// D1: mandatory choice.
+			if err := st.commitComb(p, p.Combs[0]); err != nil {
+				return changed, err
+			}
+			changed = true
+		}
+	}
+	return changed, nil
+}
+
+func (st *State) mustOverlap(u, v int) bool {
+	return sg.MustOverlap(st.est[u], st.lst[u], st.lat[u], st.est[v], st.lst[v], st.lat[v])
+}
+
+// commitComb records a chosen combination: pair state plus the offset
+// relation in the connected-component structure.
+func (st *State) commitComb(p *PairState, comb int) error {
+	p.Status = Chosen
+	p.Comb = comb
+	p.Combs = []int{comb}
+	if err := st.cc.Relate(p.U, p.V, comb); err != nil {
+		return contraf("pair (%d,%d): offset %d conflicts with connected components", p.U, p.V, comb)
+	}
+	return nil
+}
+
+// ruleCCResources analyses resource usage inside connected components
+// (rule U3's resource half): members at one relative cycle issue
+// together in any schedule, so their per-class count must fit the
+// machine, and with single-unit clusters same-class co-issuers must
+// spread across clusters (rule D3 / paper Rule 2).
+func (st *State) ruleCCResources() (bool, error) {
+	groups := make(map[int][]int)
+	for node := 0; node < st.nOrig; node++ {
+		root, _ := st.cc.Find(node)
+		groups[root] = append(groups[root], node)
+	}
+	changed := false
+	for _, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		type key struct {
+			off   int
+			class ir.Class
+		}
+		byCycle := make(map[key][]int)
+		for _, m := range members {
+			_, off := st.cc.Find(m)
+			k := key{off, st.class[m]}
+			byCycle[k] = append(byCycle[k], m)
+		}
+		for k, nodes := range byCycle {
+			if len(nodes) < 2 {
+				continue
+			}
+			ch, err := st.spreadAcrossClusters(nodes, k.class)
+			if err != nil {
+				return changed, err
+			}
+			changed = changed || ch
+		}
+	}
+	return changed, nil
+}
+
+// rulePinnedResources applies the same co-issue analysis to nodes pinned
+// to absolute cycles, and checks bus capacity among pinned copies.
+func (st *State) rulePinnedResources() (bool, error) {
+	type key struct {
+		cycle int
+		class ir.Class
+	}
+	byCycle := make(map[key][]int)
+	var pinnedCopies []int
+	for node := 0; node < len(st.est); node++ {
+		if !st.Pinned(node) {
+			continue
+		}
+		if st.class[node] == ir.Copy {
+			pinnedCopies = append(pinnedCopies, node)
+			continue
+		}
+		k := key{st.est[node], st.class[node]}
+		byCycle[k] = append(byCycle[k], node)
+	}
+	changed := false
+	for k, nodes := range byCycle {
+		if len(nodes) < 2 {
+			continue
+		}
+		ch, err := st.spreadAcrossClusters(nodes, k.class)
+		if err != nil {
+			return changed, err
+		}
+		changed = changed || ch
+	}
+	// Bus capacity among pinned copies: each occupies BusOccupancy
+	// cycles.
+	occ := st.M.BusOccupancy()
+	use := make(map[int]int)
+	for _, node := range pinnedCopies {
+		for t := st.est[node]; t < st.est[node]+occ; t++ {
+			use[t]++
+			if use[t] > st.M.Buses {
+				return changed, contraf("cycle %d: %d pinned copies exceed %d bus(es)", t, use[t], st.M.Buses)
+			}
+		}
+	}
+	return changed, nil
+}
+
+// spreadAcrossClusters handles a set of same-class nodes that certainly
+// issue in the same cycle: more than the machine holds is a
+// contradiction; with single-unit clusters every pair must go to
+// different clusters (their VCs become incompatible — paper Rule 2).
+func (st *State) spreadAcrossClusters(nodes []int, class ir.Class) (bool, error) {
+	if len(nodes) > st.M.TotalFU(class) {
+		return false, contraf("%d %s instructions forced into one cycle on a machine with %d unit(s)",
+			len(nodes), class, st.M.TotalFU(class))
+	}
+	if st.M.MaxClusterFU(class) != 1 {
+		return false, nil // only the single-unit case yields pairwise facts
+	}
+	changed := false
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			a, b := st.vcID(nodes[i]), st.vcID(nodes[j])
+			if st.vc.Incompatible(a, b) {
+				continue
+			}
+			if st.vc.SameVC(a, b) {
+				return changed, contraf("instructions %d and %d share a cycle and a virtual cluster with one %s unit per cluster",
+					nodes[i], nodes[j], class)
+			}
+			if err := st.vc.SetIncompatible(a, b); err != nil {
+				return changed, contraf("cannot spread %d and %d: %v", nodes[i], nodes[j], err)
+			}
+			changed = true
+		}
+	}
+	return changed, nil
+}
+
+// ruleClusterEdges walks every value flow (data edges, live-in
+// consumers, live-out pins) and applies the cluster rules: a definite
+// cross-cluster flow materializes its communication (U4); a flow with no
+// room for a communication fuses the two VCs (D4 / paper Rule 1); a
+// fused flow needs nothing.
+func (st *State) ruleClusterEdges() (bool, error) {
+	changed := false
+	visit := func(value, consumer int) error {
+		ch, err := st.handleFlow(value, consumer)
+		changed = changed || ch
+		return err
+	}
+	for _, e := range st.SB.Edges {
+		if e.Kind != ir.Data {
+			continue
+		}
+		if err := visit(e.From, e.To); err != nil {
+			return changed, err
+		}
+	}
+	for li := range st.SB.LiveIns {
+		for _, c := range st.SB.LiveIns[li].Consumers {
+			if err := visit(-(li + 1), c); err != nil {
+				return changed, err
+			}
+		}
+	}
+	for oi, u := range st.SB.LiveOuts {
+		ch, err := st.handleLiveOut(u, st.pins.LiveOut[oi])
+		changed = changed || ch
+		if err != nil {
+			return changed, err
+		}
+	}
+	return changed, nil
+}
+
+// handleFlow treats one value→consumer flow.
+func (st *State) handleFlow(value, consumer int) (bool, error) {
+	pNode := st.valueVCNode(value)
+	cNode := st.vcID(consumer)
+	if st.vc.SameVC(pNode, cNode) {
+		return false, nil
+	}
+	if st.vc.Incompatible(pNode, cNode) {
+		// Definite cross-cluster flow: the value must be broadcast, and
+		// the consumer waits for the bus (U4).
+		node, ch, err := st.ensureComm(value)
+		if err != nil {
+			return ch, err
+		}
+		if st.addArc(node, consumer, st.M.BusLatency) {
+			ch = true
+		}
+		return ch, nil
+	}
+	// Undecided: is there room for a communication if they split? The
+	// copy must issue at or after the value is ready and arrive by the
+	// consumer's latest start.
+	if st.M.Buses > 0 && st.valueReadyEst(value)+st.M.BusLatency <= st.lst[consumer] {
+		return false, nil
+	}
+	// No room (or no bus): they must share a cluster (D4).
+	if err := st.vc.Fuse(pNode, cNode); err != nil {
+		return false, contraf("flow %d→%d must fuse but cannot: %v", value, consumer, err)
+	}
+	return true, nil
+}
+
+// handleLiveOut treats a live-out value pinned to physical cluster pc:
+// like a consumer at the anchor whose latest start is the region end.
+func (st *State) handleLiveOut(u, pc int) (bool, error) {
+	anchor := st.vc.Anchor(pc)
+	uNode := st.vcID(u)
+	if st.vc.SameVC(uNode, anchor) {
+		return false, nil
+	}
+	if st.vc.Incompatible(uNode, anchor) {
+		node, ch, err := st.ensureComm(u)
+		if err != nil {
+			return ch, err
+		}
+		// The copy must complete by the region end.
+		if st.lst[node] > st.End-st.M.BusLatency {
+			st.lst[node] = st.End - st.M.BusLatency
+			ch = true
+		}
+		return ch, nil
+	}
+	if st.M.Buses > 0 && st.valueReadyEst(u)+st.M.BusLatency <= st.End {
+		return false, nil
+	}
+	if err := st.vc.Fuse(uNode, anchor); err != nil {
+		return false, contraf("live-out %d must stay in cluster %d but cannot: %v", u, pc, err)
+	}
+	return true, nil
+}
+
+// ensureComm materializes the (single, broadcast) communication for a
+// value. Returns the copy's state node.
+func (st *State) ensureComm(value int) (node int, changed bool, err error) {
+	if n, ok := st.commByValue[value]; ok {
+		return st.comms[n].Node, false, nil
+	}
+	if st.M.Buses < 1 {
+		return 0, false, contraf("value %d needs a communication but the machine has no bus", value)
+	}
+	est := st.valueReadyEst(value)
+	lst := st.End - st.M.BusLatency
+	if est > lst {
+		return 0, false, contraf("communication of value %d cannot fit: ready %d, deadline %d", value, est, lst)
+	}
+	node = st.addNode(ir.Copy, st.M.BusLatency, est, lst)
+	st.commByValue[value] = len(st.comms)
+	st.comms = append(st.comms, commRec{Node: node, Value: value})
+	// The copy executes in the value's home cluster.
+	if err := st.vc.Fuse(st.vcID(node), st.valueVCNode(value)); err != nil {
+		return 0, true, contraf("copy of value %d cannot join its producer's VC: %v", value, err)
+	}
+	if value >= 0 {
+		st.addArc(value, node, st.lat[value])
+	}
+	return node, true, nil
+}
+
+// ruleCPLC is paper-style consumer-driven communication deduction: two
+// consumers of one value in incompatible VCs cannot both sit with the
+// producer, so the value's communication is mandatory even though which
+// consumer is remote is unknown (C-PLC, immediately a concrete copy in
+// the broadcast model). Its deadline is bounded by the later of the two
+// consumers.
+func (st *State) ruleCPLC() (bool, error) {
+	changed := false
+	values := make([]int, 0, st.nOrig+len(st.SB.LiveIns))
+	for v := 0; v < st.nOrig; v++ {
+		values = append(values, v)
+	}
+	for li := range st.SB.LiveIns {
+		values = append(values, -(li + 1))
+	}
+	for _, v := range values {
+		consumers := st.consumersOf(v)
+		if len(consumers) < 2 {
+			continue
+		}
+		for i := 0; i < len(consumers); i++ {
+			for j := i + 1; j < len(consumers); j++ {
+				c1, c2 := consumers[i], consumers[j]
+				if !st.vc.Incompatible(st.vcID(c1), st.vcID(c2)) {
+					continue
+				}
+				node, ch, err := st.ensureComm(v)
+				changed = changed || ch
+				if err != nil {
+					return changed, err
+				}
+				// At least one of c1, c2 reads from the bus.
+				deadline := max(st.lst[c1], st.lst[c2]) - st.M.BusLatency
+				if st.lst[node] > deadline {
+					st.lst[node] = deadline
+					changed = true
+				}
+			}
+		}
+	}
+	return changed, nil
+}
+
+// rulePPLC is paper Rule 5: a consumer whose producers sit in
+// incompatible VCs will receive at least one value over the bus, so its
+// earliest start moves past the earliest possible arrival, and a PLC
+// records the pending bus demand until one alternative materializes.
+func (st *State) rulePPLC() (bool, error) {
+	changed := false
+	for c := 0; c < st.nOrig; c++ {
+		values := st.valuesConsumedBy(c)
+		if len(values) < 2 {
+			continue
+		}
+		for i := 0; i < len(values); i++ {
+			for j := i + 1; j < len(values); j++ {
+				v1, v2 := values[i], values[j]
+				if !st.vc.Incompatible(st.valueVCNode(v1), st.valueVCNode(v2)) {
+					continue
+				}
+				arrive := min(st.valueReadyEst(v1), st.valueReadyEst(v2)) + st.M.BusLatency
+				if st.est[c] < arrive {
+					st.est[c] = arrive
+					changed = true
+					if st.est[c] > st.lst[c] {
+						return changed, contraf("consumer %d of incompatible producers %d,%d: arrival %d after lstart %d",
+							c, v1, v2, arrive, st.lst[c])
+					}
+				}
+				key := [3]int{c, min(v1, v2), max(v1, v2)}
+				if !st.plcSeen[key] {
+					st.plcSeen[key] = true
+					st.plcs = append(st.plcs, plcRec{Consumer: c, Alts: [2]int{v1, v2}})
+					changed = true
+				}
+			}
+		}
+	}
+	return changed, nil
+}
+
+// valuesConsumedBy lists the values instruction c reads: data-edge
+// producers plus live-ins.
+func (st *State) valuesConsumedBy(c int) []int {
+	var out []int
+	for _, ei := range st.SB.InEdges(c) {
+		e := st.SB.Edges[ei]
+		if e.Kind == ir.Data {
+			out = append(out, e.From)
+		}
+	}
+	for li := range st.SB.LiveIns {
+		for _, cc := range st.SB.LiveIns[li].Consumers {
+			if cc == c {
+				out = append(out, -(li + 1))
+			}
+		}
+	}
+	return out
+}
+
+// packingSizeLimit bounds the O(n³) window-packing analysis; beyond this
+// many nodes of one class the rule is skipped (fewer deductions, still
+// sound).
+const packingSizeLimit = 80
+
+// ruleWindowPacking is rule D2, a Hall-style interval bound per
+// instruction class: if the instructions whose windows fit inside [a,b]
+// outnumber the capacity cap·(b−a+1), no schedule exists; at exact
+// saturation, instructions merely overlapping [a,b] are pushed outside.
+// Copies are packed against bus capacity with their occupancy, together
+// with pending PLC reservations.
+func (st *State) ruleWindowPacking() (bool, error) {
+	changed := false
+	byClass := make(map[ir.Class][]int)
+	for node := 0; node < len(st.est); node++ {
+		byClass[st.class[node]] = append(byClass[st.class[node]], node)
+	}
+	for class, nodes := range byClass {
+		if len(nodes) < 2 || len(nodes) > packingSizeLimit {
+			continue
+		}
+		var cap, dur int
+		if class == ir.Copy {
+			cap, dur = st.M.Buses, st.M.BusOccupancy()
+		} else {
+			cap, dur = st.M.TotalFU(class), 1
+		}
+		if cap < 1 {
+			return changed, contraf("instructions of class %s on a machine without %s units", class, class)
+		}
+		ivs := make([]interval, 0, len(nodes))
+		for _, n := range nodes {
+			ivs = append(ivs, interval{node: n, lo: st.est[n], hi: st.lst[n] + dur - 1})
+		}
+		if class == ir.Copy {
+			// Pending PLCs reserve bus bandwidth — but one broadcast can
+			// cover every PLC it is an alternative of, so only PLCs with
+			// pairwise-disjoint alternative sets are certain to need
+			// distinct copies (a sound lower bound on future demand).
+			seen := make(map[int]bool)
+			for _, p := range st.plcs {
+				if st.plcCovered(p) || seen[p.Alts[0]] || seen[p.Alts[1]] {
+					continue
+				}
+				seen[p.Alts[0]], seen[p.Alts[1]] = true, true
+				lo := min(st.valueReadyEst(p.Alts[0]), st.valueReadyEst(p.Alts[1]))
+				hi := st.lst[p.Consumer] - st.M.BusLatency + dur - 1
+				ivs = append(ivs, interval{node: -1, lo: lo, hi: hi})
+			}
+		}
+		ch, err := st.packIntervals(ivs, cap, dur)
+		if err != nil {
+			return changed, err
+		}
+		changed = changed || ch
+	}
+	return changed, nil
+}
+
+type interval struct {
+	node   int // −1 for PLC reservations (no bound to tighten)
+	lo, hi int // occupied-cycle window (inclusive)
+}
+
+func (st *State) packIntervals(ivs []interval, cap, dur int) (bool, error) {
+	los := make([]int, 0, len(ivs))
+	his := make([]int, 0, len(ivs))
+	for _, iv := range ivs {
+		los = append(los, iv.lo)
+		his = append(his, iv.hi)
+	}
+	sort.Ints(los)
+	sort.Ints(his)
+	los = dedupInts(los)
+	his = dedupInts(his)
+	changed := false
+	for _, a := range los {
+		for _, b := range his {
+			if b < a {
+				continue
+			}
+			demand := 0
+			for _, iv := range ivs {
+				if iv.lo >= a && iv.hi <= b {
+					demand += dur
+				}
+			}
+			room := cap * (b - a + 1)
+			if demand > room {
+				return changed, contraf("window [%d,%d]: demand %d exceeds capacity %d", a, b, demand, room)
+			}
+			if demand != room {
+				continue
+			}
+			// Saturated: overlapping outsiders must leave [a,b].
+			for i := range ivs {
+				iv := &ivs[i]
+				if iv.node < 0 || (iv.lo >= a && iv.hi <= b) || iv.hi < a || iv.lo > b {
+					continue
+				}
+				if iv.lo >= a {
+					// Starts inside, ends after b: push the start past b.
+					newEst := b + 1
+					if newEst > st.est[iv.node] {
+						st.est[iv.node] = newEst
+						iv.lo = newEst
+						changed = true
+						if st.est[iv.node] > st.lst[iv.node] {
+							return changed, contraf("packing pushed node %d past its deadline", iv.node)
+						}
+					}
+				} else if iv.hi <= b {
+					// Ends inside, starts before a: pull the end before a.
+					newLst := a - 1 - (dur - 1)
+					if newLst < st.lst[iv.node] {
+						st.lst[iv.node] = newLst
+						iv.hi = a - 1
+						changed = true
+						if st.est[iv.node] > st.lst[iv.node] {
+							return changed, contraf("packing pulled node %d before its release", iv.node)
+						}
+					}
+				}
+			}
+		}
+	}
+	return changed, nil
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != out[len(out)-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// ruleCliqueVeto is rule D9: a VCG whose (greedily lower-bounded) max
+// clique exceeds the physical cluster count can never be mapped. On
+// heterogeneous machines it additionally vetoes pinning an instruction
+// to a cluster without units of its class.
+func (st *State) ruleCliqueVeto() error {
+	if st.vc.CliqueExceeds(st.M.Clusters) {
+		return contraf("virtual cluster graph contains a clique larger than %d clusters", st.M.Clusters)
+	}
+	if st.M.Heterogeneous() {
+		for i := 0; i < st.nOrig; i++ {
+			if pc, ok := st.vc.PinnedPC(st.vcID(i)); ok && st.M.ClusterFU(pc, st.class[i]) == 0 {
+				return contraf("instruction %d (%s) pinned to cluster %d which has no %s units",
+					i, st.class[i], pc, st.class[i])
+			}
+		}
+	}
+	return nil
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,347 @@
+package deduce
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/sched"
+	"vcsched/internal/sg"
+)
+
+// mk builds a state for an arbitrary block/machine with the given exit
+// deadlines.
+func mk(t *testing.T, sb *ir.Superblock, m *machine.Config, deadlines map[int]int, pins sched.Pins) *State {
+	t.Helper()
+	st, err := NewState(sb, m, sg.Build(sb, m), deadlines, Options{Pins: pins, PinExits: true})
+	if err != nil {
+		t.Fatalf("NewState: %v", err)
+	}
+	return st
+}
+
+// TestWindowPackingContradiction: three 1-cycle int instructions
+// squeezed into a 1-cycle window on a 2-int machine contradict via the
+// Hall bound.
+func TestWindowPackingContradiction(t *testing.T) {
+	b := ir.NewBuilder("pack")
+	b.Instr("a", ir.Int, 1)
+	b.Instr("b", ir.Int, 1)
+	b.Instr("c", ir.Int, 1)
+	x := b.Exit("x", 1, 1.0)
+	sb := b.MustFinish()
+	m := machine.TwoCluster1Lat() // 2 int units machine-wide
+	// Deadline 1 for the exit ⇒ every int must issue at cycle 0 (they
+	// must complete by end = 2, each latency 1, exit at 1... window
+	// [0,1] minus completion-by-end leaves [0,1]): 3 ints in 2 cycles is
+	// fine; deadline 0 forces end = 1 ⇒ all at cycle 0: 3 > 2.
+	_, err := NewState(sb, m, sg.Build(sb, m), map[int]int{x: 0}, Options{PinExits: true})
+	if err == nil {
+		t.Fatal("overpacked window accepted")
+	}
+	if !IsContradiction(err) {
+		t.Fatalf("want contradiction, got %v", err)
+	}
+}
+
+// TestWindowPackingTightens: at exact saturation, an instruction merely
+// overlapping the saturated window is pushed out of it.
+func TestWindowPackingTightens(t *testing.T) {
+	b := ir.NewBuilder("tighten")
+	a := b.Instr("a", ir.Int, 1)
+	c := b.Instr("b", ir.Int, 1)
+	d := b.Instr("c", ir.Int, 1)
+	e := b.Instr("d", ir.Int, 1)
+	f := b.Instr("e", ir.Int, 1) // the outsider
+	x := b.Exit("x", 1, 1.0)
+	// a,b,c,d confined to cycles {0,1} via the exit-dependence chain; e free.
+	for _, u := range []int{a, c, d, e} {
+		b.Dep(ir.Data, u, x, 2) // completes-by + dep: u ≤ deadline − 2
+	}
+	b.Data(f, x)
+	sb := b.MustFinish()
+	m := machine.TwoCluster1Lat()
+	st := mk(t, sb, m, map[int]int{x: 3}, sched.Pins{})
+	// a..d all in [0,1]: 4 instructions saturate 2 units × 2 cycles, so
+	// the fifth int must start at 2.
+	if got := st.Est(f); got != 2 {
+		t.Errorf("outsider est = %d, want 2 (windows: a=[%d,%d] f=[%d,%d])",
+			got, st.Est(a), st.Lst(a), st.Est(f), st.Lst(f))
+	}
+}
+
+// TestCPLCMaterializesComm: two consumers of one value forced into the
+// same cycle (hence incompatible clusters) make the value's broadcast
+// mandatory even though neither consumer is individually cross-cluster.
+func TestCPLCMaterializesComm(t *testing.T) {
+	b := ir.NewBuilder("cplc")
+	p := b.Instr("p", ir.Int, 1)
+	f1 := b.Instr("f1", ir.Mem, 1)
+	f2 := b.Instr("f2", ir.Mem, 1)
+	c1 := b.Instr("c1", ir.Int, 1)
+	c2 := b.Instr("c2", ir.Int, 1)
+	x := b.Exit("x", 1, 1.0)
+	b.Data(p, c1).Data(p, c2)
+	// Long edges pin c1/c2 to cycle 2 without extra int pressure.
+	b.Dep(ir.Data, f1, c1, 2)
+	b.Dep(ir.Data, f2, c2, 2)
+	b.Dep(ir.Data, c1, x, 2)
+	b.Dep(ir.Data, c2, x, 2)
+	sb := b.MustFinish()
+	m := machine.TwoCluster1Lat()
+	// Deadline 4: c1, c2 pinned to cycle 2 — same cycle, one int unit
+	// per cluster ⇒ incompatible ⇒ one of them reads p over the bus,
+	// so p's broadcast (ready at 1, arriving at 2) is mandatory.
+	st := mk(t, sb, m, map[int]int{x: 4}, sched.Pins{})
+	if !st.VC().Incompatible(c1, c2) {
+		t.Fatalf("same-cycle consumers not incompatible (c1=[%d,%d])", st.Est(c1), st.Lst(c1))
+	}
+	if len(st.Comms()) != 1 || st.Comms()[0][1] != p {
+		t.Fatalf("comms = %v, want exactly the broadcast of p", st.Comms())
+	}
+}
+
+// TestD4FusesNoRoom: a producer/consumer pair with no room for a bus
+// copy must fuse.
+func TestD4FusesNoRoom(t *testing.T) {
+	b := ir.NewBuilder("fuse")
+	p := b.Instr("p", ir.Int, 2)
+	c := b.Instr("c", ir.Int, 1)
+	x := b.Exit("x", 1, 1.0)
+	b.Data(p, c).Data(c, x)
+	sb := b.MustFinish()
+	st := mk(t, sb, machine.TwoCluster1Lat(), map[int]int{x: 3}, sched.Pins{})
+	// c ∈ [2,2]: a copy of p (ready at 2) would arrive at 3 > 2 ⇒ fuse.
+	if !st.VC().SameVC(p, c) {
+		t.Errorf("no-room flow not fused (c=[%d,%d])", st.Est(c), st.Lst(c))
+	}
+}
+
+// TestShaveBudgetPropagates: exhausting the budget inside a shave probe
+// must surface ErrBudget, not a contradiction.
+func TestShaveBudgetPropagates(t *testing.T) {
+	sb := ir.PaperFigure1()
+	m := machine.PaperExampleSection5()
+	g := sg.Build(sb, m)
+	budget := NewBudget(12) // survives NewState, dies inside Shave
+	st, err := NewState(sb, m, g, map[int]int{4: 5, 6: 7}, Options{Budget: budget, PinExits: true})
+	if err != nil {
+		if err == ErrBudget {
+			t.Skip("budget too small even for init on this build")
+		}
+		t.Fatal(err)
+	}
+	if err := st.Shave(8); err != ErrBudget {
+		t.Fatalf("Shave err = %v, want ErrBudget", err)
+	}
+}
+
+// TestPendingPLCCoverage: a PLC is no longer pending once a comm on one
+// of its alternatives materializes.
+func TestPendingPLCCoverage(t *testing.T) {
+	sb := ir.PaperFigure1()
+	m := machine.PaperExampleSection5()
+	st := mk(t, sb, m, map[int]int{4: 5, 6: 7}, sched.Pins{})
+	if err := st.Shave(2); err != nil {
+		t.Fatal(err)
+	}
+	// Force I1 and I2 incompatible: I4 consumes both → a P-PLC appears.
+	if err := st.SplitVC(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if st.PendingPLCs() == 0 {
+		t.Fatal("no pending PLC after splitting I4's producers")
+	}
+	// Making I2 definitively cross from I4 materializes comm(I2), which
+	// covers the PLC.
+	if err := st.SplitVC(2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if st.PendingPLCs() != 0 {
+		t.Errorf("PLC still pending after a covering comm: %d", st.PendingPLCs())
+	}
+}
+
+// TestBoundsMonotoneUnderDecisions: random decision sequences never
+// widen any window and never produce est > lst without a contradiction.
+func TestBoundsMonotoneUnderDecisions(t *testing.T) {
+	sb := ir.PaperFigure1()
+	m := machine.PaperExampleSection5()
+	g := sg.Build(sb, m)
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st, err := NewState(sb, m, g, map[int]int{4: 5 + rng.Intn(2), 6: 7 + rng.Intn(2)}, Options{PinExits: true})
+		if err != nil {
+			return true // harsher deadline may contradict; fine
+		}
+		prevEst := make([]int, st.NumNodes())
+		prevLst := make([]int, st.NumNodes())
+		snap := func() {
+			prevEst = prevEst[:0]
+			prevLst = prevLst[:0]
+			for n := 0; n < st.NumNodes(); n++ {
+				prevEst = append(prevEst, st.Est(n))
+				prevLst = append(prevLst, st.Lst(n))
+			}
+		}
+		snap()
+		for step := 0; step < 12; step++ {
+			var err error
+			switch rng.Intn(4) {
+			case 0:
+				n := rng.Intn(st.NOrig())
+				if !st.Pinned(n) {
+					err = st.FixCycle(n, st.Est(n)+rng.Intn(st.Slack(n)+1))
+				}
+			case 1:
+				a, b := rng.Intn(st.NOrig()), rng.Intn(st.NOrig())
+				if a != b {
+					err = st.FuseVC(a, b)
+				}
+			case 2:
+				a, b := rng.Intn(st.NOrig()), rng.Intn(st.NOrig())
+				if a != b {
+					err = st.SplitVC(a, b)
+				}
+			case 3:
+				pairs := st.Pairs()
+				if len(pairs) > 0 {
+					p := pairs[rng.Intn(len(pairs))]
+					if p.Status == Open && len(p.Combs) > 0 {
+						err = st.ChooseComb(p.U, p.V, p.Combs[rng.Intn(len(p.Combs))])
+					}
+				}
+			}
+			if err != nil {
+				return IsContradiction(err) // only contradictions allowed
+			}
+			// Windows must only shrink (monotone deduction), and only
+			// over the nodes that already existed.
+			for n := 0; n < len(prevEst); n++ {
+				if st.Est(n) < prevEst[n] || st.Lst(n) > prevLst[n] {
+					return false
+				}
+				if st.Est(n) > st.Lst(n) {
+					return false
+				}
+			}
+			snap()
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryHelpers exercises the candidate-selection queries the core
+// scheduler drives the stages with.
+func TestQueryHelpers(t *testing.T) {
+	sb := ir.PaperFigure1()
+	m := machine.PaperExampleSection5()
+	st := mk(t, sb, m, map[int]int{4: 5, 6: 7}, sched.Pins{})
+
+	open := st.OpenPairs()
+	if len(open) == 0 {
+		t.Fatal("no open pairs on the fresh state")
+	}
+	// Sorted by slack: each successive pair's slack is non-decreasing.
+	for i := 1; i < len(open); i++ {
+		if st.pairSlack(open[i-1]) > st.pairSlack(open[i]) {
+			t.Fatal("OpenPairs not sorted by slack")
+		}
+	}
+	if st.AllPairsResolved() {
+		t.Error("fresh state claims all pairs resolved")
+	}
+	unpinned := st.UnpinnedInstrs()
+	if len(unpinned) == 0 {
+		t.Fatal("no unpinned instructions")
+	}
+	for i := 1; i < len(unpinned); i++ {
+		if st.Slack(unpinned[i-1]) > st.Slack(unpinned[i]) {
+			t.Fatal("UnpinnedInstrs not sorted by slack")
+		}
+	}
+	if got := len(st.UnmappedVCReps()); got == 0 {
+		t.Error("fresh state claims every VC mapped")
+	}
+	if st.Class(0) != ir.Int {
+		t.Errorf("Class(0) = %v", st.Class(0))
+	}
+	// Pinning everything to a cluster drains UnmappedVCReps.
+	for _, r := range st.UnmappedVCReps() {
+		mapped := false
+		for k := 0; k < m.Clusters && !mapped; k++ {
+			if st.Clone().FuseVC(r, st.VC().Anchor(k)) == nil {
+				if err := st.FuseVC(r, st.VC().Anchor(k)); err != nil {
+					t.Fatal(err)
+				}
+				mapped = true
+			}
+		}
+		if !mapped {
+			t.Fatalf("VC %d not mappable to any cluster", r)
+		}
+	}
+	if !st.AllMapped() {
+		t.Error("all VCs fused with anchors but AllMapped is false")
+	}
+}
+
+func TestDiscardCombOrientation(t *testing.T) {
+	sb := ir.PaperFigure1()
+	m := machine.PaperExampleSection5()
+	st := mk(t, sb, m, map[int]int{6: 8, 4: 6}, sched.Pins{})
+	// Discard via the reversed orientation: DiscardComb(3,1,c) removes
+	// Cyc(I3)−Cyc(I1) = c, i.e. comb −c of pair (1,3).
+	if err := st.DiscardComb(3, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := st.Pair(1, 3)
+	if containsInt(p.Combs, -1) {
+		t.Errorf("comb −1 still present: %v", p.Combs)
+	}
+	if err := st.DiscardComb(99, 1, 0); !IsContradiction(err) {
+		t.Errorf("discard on missing pair: %v", err)
+	}
+	if err := st.ChooseComb(99, 1, 0); !IsContradiction(err) {
+		t.Errorf("choose on missing pair: %v", err)
+	}
+}
+
+// TestExtractRequiresCompletion: extracting from an incomplete state
+// errors clearly.
+func TestExtractRequiresCompletion(t *testing.T) {
+	sb := ir.PaperFigure1()
+	m := machine.PaperExampleSection5()
+	st := mk(t, sb, m, map[int]int{4: 5, 6: 7}, sched.Pins{})
+	_, err := st.ExtractSchedule()
+	if err == nil || !strings.Contains(err.Error(), "unpinned") {
+		t.Fatalf("extract on incomplete state: %v", err)
+	}
+}
+
+// TestNoBusMachine: on a multi-cluster machine without buses the only
+// legal flows are intra-cluster; incompatible flows contradict.
+func TestNoBusFusesEverything(t *testing.T) {
+	b := ir.NewBuilder("nobus")
+	p := b.Instr("p", ir.Int, 1)
+	c := b.Instr("c", ir.Int, 1)
+	x := b.Exit("x", 1, 1.0)
+	b.Data(p, c).Data(c, x)
+	sb := b.MustFinish()
+	var fu [ir.NumClasses]int
+	fu[ir.Int], fu[ir.Branch] = 1, 1
+	m := &machine.Config{Name: "2c-nobus", Clusters: 2, FU: fu, Buses: 0, BusLatency: 1}
+	st, err := NewState(sb, m, sg.Build(sb, m), map[int]int{x: 4}, Options{PinExits: true})
+	if err != nil {
+		t.Fatalf("NewState: %v", err)
+	}
+	if !st.VC().SameVC(p, c) {
+		t.Error("bus-less flow not fused")
+	}
+}

@@ -1,0 +1,436 @@
+// Package deduce implements the paper's deduction process (DP): a
+// constraint-propagation engine over the scheduling state of one
+// superblock for one target AWCT. Decisions (choose/discard a
+// combination, fix an instruction to a cycle, fuse or split virtual
+// clusters) are applied to the state and their mandatory consequences
+// derived by a set of rules until a fixpoint or a contradiction is
+// reached.
+//
+// The state tracks, per node (original instructions plus materialized
+// copy instructions):
+//
+//   - [estart, lstart] cycle bounds,
+//   - connected components with fixed relative offsets (chosen
+//     combinations), via an offset union-find,
+//   - the virtual cluster graph, with one anchor VC per physical cluster
+//     (live-in/live-out pins fuse with anchors; the final mapping stage
+//     fuses every VC with an anchor),
+//   - per-pair remaining combinations,
+//   - mandatory communications (one per value, broadcast on a bus) and
+//     partially linked communications (PLCs) reserving bus bandwidth for
+//     alternatives that are not yet resolved.
+//
+// All rule families are documented in DESIGN.md (U1–U4, D1–D9).
+package deduce
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vcsched/internal/graphutil"
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/sched"
+	"vcsched/internal/sg"
+	"vcsched/internal/vcg"
+)
+
+// ErrContradiction is the sentinel wrapped by every contradiction the DP
+// detects.
+var ErrContradiction = errors.New("deduce: contradiction")
+
+// ErrBudget is returned when the deduction step budget is exhausted; the
+// caller should give up on this superblock (and typically fall back to
+// the baseline scheduler).
+var ErrBudget = errors.New("deduce: step budget exhausted")
+
+func contraf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrContradiction, fmt.Sprintf(format, args...))
+}
+
+// Budget counts deduction work shared across all states cloned from one
+// scheduling attempt, bounding worst-case compile time deterministically;
+// an optional wall-clock deadline bounds it in real time too.
+type Budget struct {
+	Steps    int // remaining rule-pass steps; <= 0 disables the limit
+	limit    bool
+	deadline time.Time
+	ticks    int
+}
+
+// NewBudget creates a budget of n steps (n <= 0 means unlimited).
+func NewBudget(n int) *Budget { return &Budget{Steps: n, limit: n > 0} }
+
+// SetDeadline adds a wall-clock bound: spend fails with ErrBudget once
+// the deadline passes (checked every few steps to keep it cheap).
+func (b *Budget) SetDeadline(t time.Time) { b.deadline = t }
+
+func (b *Budget) spend() error {
+	if b == nil {
+		return nil
+	}
+	if b.limit {
+		b.Steps--
+		if b.Steps < 0 {
+			return ErrBudget
+		}
+	}
+	if !b.deadline.IsZero() {
+		if b.ticks++; b.ticks%8 == 0 && time.Now().After(b.deadline) {
+			return ErrBudget
+		}
+	}
+	return nil
+}
+
+// Exhausted reports whether the budget has run out.
+func (b *Budget) Exhausted() bool { return b != nil && b.limit && b.Steps < 0 }
+
+// PairStatus describes the resolution state of a scheduling-graph pair.
+type PairStatus uint8
+
+const (
+	// Open: some combinations remain and none has been chosen.
+	Open PairStatus = iota
+	// Chosen: exactly one combination has been selected; the two
+	// instructions are in one connected component.
+	Chosen
+	// Dropped: every combination was discarded; the pair will not
+	// overlap in the final schedule.
+	Dropped
+)
+
+// PairState tracks one SG pair during scheduling.
+type PairState struct {
+	sg.Pair
+	Combs  []int // remaining (not yet discarded) combinations
+	Status PairStatus
+	Comb   int // the chosen combination, valid when Status == Chosen
+}
+
+// commRec is a materialized communication: a copy of one value onto the
+// bus. Node indexes the state bound arrays.
+type commRec struct {
+	Node  int
+	Value int // producer instruction id, or −(li+1) for live-in li
+}
+
+// plcRec is a partially linked communication: a mandatory future
+// communication whose value is one of two alternatives (the paper's
+// P-PLC). It reserves bus bandwidth until one alternative materializes.
+type plcRec struct {
+	Consumer int
+	Alts     [2]int // producer candidates (instr id or live-in encoding)
+}
+
+// arc is a precedence constraint Cyc(To) >= Cyc(From) + Lat between
+// state nodes, either a static dependence edge or a dynamically added
+// communication leg.
+type arc struct {
+	From, To, Lat int
+}
+
+// State is the full scheduling state the DP operates on.
+type State struct {
+	SB  *ir.Superblock
+	M   *machine.Config
+	SGr *sg.Graph
+
+	// Exit deadlines (cycle each exit is pinned to) defining the target
+	// AWCT, and the derived region end cycle.
+	Deadlines map[int]int
+	End       int
+
+	nOrig int
+	class []ir.Class
+	lat   []int
+	est   []int
+	lst   []int
+
+	pairs   []PairState
+	pairIdx map[sg.Pair]int
+
+	cc *graphutil.OffsetUF
+	vc *vcg.Graph
+
+	arcs   []arc
+	arcSet map[[2]int]int // (from,to) → index of tightest arc
+	outA   [][]int
+	inA    [][]int
+
+	comms       []commRec
+	commByValue map[int]int
+	plcs        []plcRec
+	plcSeen     map[[3]int]bool
+
+	pins sched.Pins
+
+	budget *Budget
+}
+
+// Options configures state construction.
+type Options struct {
+	Pins   sched.Pins
+	Budget *Budget
+	// PinExits fixes each exit exactly to its deadline cycle (the main
+	// AWCT enumeration); when false, exits keep the window [estart,
+	// deadline] (used by the minAWCT enhancement probes).
+	PinExits bool
+}
+
+// NewState builds the initial scheduling state for the given exit
+// deadlines (each exit pinned to its deadline cycle) and propagates the
+// initial consequences. The returned error is a contradiction if the
+// deadlines are infeasible even for the initial rules.
+func NewState(sb *ir.Superblock, m *machine.Config, g *sg.Graph, deadlines map[int]int, opts Options) (*State, error) {
+	n := sb.N()
+	st := &State{
+		SB:          sb,
+		M:           m,
+		SGr:         g,
+		Deadlines:   deadlines,
+		nOrig:       n,
+		class:       make([]ir.Class, n),
+		lat:         make([]int, n),
+		pairIdx:     make(map[sg.Pair]int, g.NumEdges()),
+		cc:          graphutil.NewOffsetUF(n),
+		vc:          vcg.New(n, m.Clusters),
+		arcSet:      make(map[[2]int]int),
+		outA:        make([][]int, n),
+		inA:         make([][]int, n),
+		commByValue: make(map[int]int),
+		plcSeen:     make(map[[3]int]bool),
+		pins:        opts.Pins,
+		budget:      opts.Budget,
+	}
+	for i, in := range sb.Instrs {
+		st.class[i] = in.Class
+		st.lat[i] = in.Latency
+	}
+	last := sb.Exits()[len(sb.Exits())-1]
+	st.End = deadlines[last] + sb.Instrs[last].Latency
+
+	st.est = sb.EStarts()
+	st.lst = sb.LStarts(deadlines)
+	for _, x := range sb.Exits() {
+		d := deadlines[x]
+		if st.est[x] > d {
+			return nil, contraf("exit %d estart %d exceeds deadline %d", x, st.est[x], d)
+		}
+		if opts.PinExits {
+			// The AWCT enumeration fixes the exit cycle vector exactly.
+			st.est[x] = d
+		}
+		if st.lst[x] > d {
+			st.lst[x] = d
+		}
+	}
+	for i := range st.est {
+		if st.est[i] > st.lst[i] {
+			return nil, contraf("instruction %d window empty: [%d,%d]", i, st.est[i], st.lst[i])
+		}
+	}
+	for _, e := range sb.Edges {
+		st.addArc(e.From, e.To, e.Latency)
+	}
+	for _, e := range g.Edges {
+		st.pairIdx[e.Pair] = len(st.pairs)
+		st.pairs = append(st.pairs, PairState{Pair: e.Pair, Combs: append([]int(nil), e.Combs...)})
+	}
+	// Live-in consumers and live-out producers relate to anchors from
+	// the start; the rules pick the relations up during propagation.
+	if err := st.Propagate(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// vcID maps a state node to its VCG node (anchors sit between original
+// instructions and communication nodes in the VCG id space).
+func (st *State) vcID(node int) int {
+	if node < st.nOrig {
+		return node
+	}
+	return node + st.M.Clusters
+}
+
+// NumNodes returns the number of state nodes (instructions + copies).
+func (st *State) NumNodes() int { return len(st.est) }
+
+// NOrig returns the number of original instructions.
+func (st *State) NOrig() int { return st.nOrig }
+
+// Est returns the current earliest start of a node.
+func (st *State) Est(node int) int { return st.est[node] }
+
+// Lst returns the current latest start of a node.
+func (st *State) Lst(node int) int { return st.lst[node] }
+
+// Pinned reports whether the node is fixed to one cycle.
+func (st *State) Pinned(node int) bool { return st.est[node] == st.lst[node] }
+
+// Slack returns lst − est of a node.
+func (st *State) Slack(node int) int { return st.lst[node] - st.est[node] }
+
+// Class returns a node's instruction class (Copy for communications).
+func (st *State) Class(node int) ir.Class { return st.class[node] }
+
+// VC exposes the virtual cluster graph (read-mostly; mutate it only via
+// FuseVC/SplitVC so consequences propagate).
+func (st *State) VC() *vcg.Graph { return st.vc }
+
+// Pair returns the state of pair (a,b), if it is an SG pair.
+func (st *State) Pair(a, b int) (PairState, bool) {
+	i, ok := st.pairIdx[sg.MakePair(a, b)]
+	if !ok {
+		return PairState{}, false
+	}
+	return st.pairs[i], true
+}
+
+// Pairs returns the pair table (shared slice: callers must not mutate).
+func (st *State) Pairs() []PairState { return st.pairs }
+
+// Comms returns the materialized communications as (node, value) pairs.
+func (st *State) Comms() [][2]int {
+	out := make([][2]int, len(st.comms))
+	for i, c := range st.comms {
+		out[i] = [2]int{c.Node, c.Value}
+	}
+	return out
+}
+
+// PendingPLCs returns the PLCs not yet covered by a materialized
+// communication.
+func (st *State) PendingPLCs() int {
+	n := 0
+	for _, p := range st.plcs {
+		if !st.plcCovered(p) {
+			n++
+		}
+	}
+	return n
+}
+
+func (st *State) plcCovered(p plcRec) bool {
+	for _, alt := range p.Alts {
+		if _, ok := st.commByValue[alt]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// addArc inserts a precedence arc, keeping only the tightest latency per
+// (from,to). Returns true if the arc is new or tightened.
+func (st *State) addArc(from, to, lat int) bool {
+	key := [2]int{from, to}
+	if i, ok := st.arcSet[key]; ok {
+		if st.arcs[i].Lat >= lat {
+			return false
+		}
+		st.arcs[i].Lat = lat
+		return true
+	}
+	st.arcSet[key] = len(st.arcs)
+	st.arcs = append(st.arcs, arc{from, to, lat})
+	st.outA[from] = append(st.outA[from], len(st.arcs)-1)
+	st.inA[to] = append(st.inA[to], len(st.arcs)-1)
+	return true
+}
+
+// addNode appends a new state node (for communications).
+func (st *State) addNode(class ir.Class, lat, est, lst int) int {
+	node := len(st.est)
+	st.class = append(st.class, class)
+	st.lat = append(st.lat, lat)
+	st.est = append(st.est, est)
+	st.lst = append(st.lst, lst)
+	st.outA = append(st.outA, nil)
+	st.inA = append(st.inA, nil)
+	st.cc.Add()
+	if v := st.vc.AddNode(); v != st.vcID(node) {
+		panic("deduce: VCG id space out of sync")
+	}
+	return node
+}
+
+// Clone deep-copies the state (sharing the immutable superblock, machine
+// and SG). The clone shares the budget, so studying candidates spends
+// from the same allowance.
+func (st *State) Clone() *State {
+	cp := &State{
+		SB:          st.SB,
+		M:           st.M,
+		SGr:         st.SGr,
+		Deadlines:   st.Deadlines,
+		End:         st.End,
+		nOrig:       st.nOrig,
+		class:       append([]ir.Class(nil), st.class...),
+		lat:         append([]int(nil), st.lat...),
+		est:         append([]int(nil), st.est...),
+		lst:         append([]int(nil), st.lst...),
+		pairs:       make([]PairState, len(st.pairs)),
+		pairIdx:     st.pairIdx, // immutable after NewState
+		cc:          st.cc.Clone(),
+		vc:          st.vc.Clone(),
+		arcs:        append([]arc(nil), st.arcs...),
+		arcSet:      make(map[[2]int]int, len(st.arcSet)),
+		outA:        make([][]int, len(st.outA)),
+		inA:         make([][]int, len(st.inA)),
+		comms:       append([]commRec(nil), st.comms...),
+		commByValue: make(map[int]int, len(st.commByValue)),
+		plcs:        append([]plcRec(nil), st.plcs...),
+		plcSeen:     make(map[[3]int]bool, len(st.plcSeen)),
+		pins:        st.pins,
+		budget:      st.budget,
+	}
+	for i := range st.pairs {
+		p := st.pairs[i]
+		p.Combs = append([]int(nil), p.Combs...)
+		cp.pairs[i] = p
+	}
+	for k, v := range st.arcSet {
+		cp.arcSet[k] = v
+	}
+	for i := range st.outA {
+		cp.outA[i] = append([]int(nil), st.outA[i]...)
+		cp.inA[i] = append([]int(nil), st.inA[i]...)
+	}
+	for k, v := range st.commByValue {
+		cp.commByValue[k] = v
+	}
+	for k, v := range st.plcSeen {
+		cp.plcSeen[k] = v
+	}
+	return cp
+}
+
+// valueReadyEst returns the earliest cycle the given value (instruction
+// id or live-in encoding) is available for copying.
+func (st *State) valueReadyEst(value int) int {
+	if value < 0 {
+		return 0 // live-ins are available on entry
+	}
+	return st.est[value] + st.lat[value]
+}
+
+// valueVCNode returns the VCG node that holds the value: the producing
+// instruction, or the anchor of the live-in's pinned cluster.
+func (st *State) valueVCNode(value int) int {
+	if value < 0 {
+		li := -(value + 1)
+		return st.vc.Anchor(st.pins.LiveIn[li])
+	}
+	return value
+}
+
+// consumersOf returns the instruction ids consuming the given value.
+func (st *State) consumersOf(value int) []int {
+	if value < 0 {
+		li := -(value + 1)
+		return st.SB.LiveIns[li].Consumers
+	}
+	return st.SB.DataConsumers(value)
+}

@@ -1,0 +1,204 @@
+// Package graphutil provides the small graph data structures shared by
+// the scheduling packages: plain union-find (virtual clusters) and
+// union-find with relative offsets (connected components of the
+// scheduling graph, where members have fixed cycle distances).
+package graphutil
+
+import "fmt"
+
+// UnionFind is a disjoint-set forest with path compression and union by
+// size.
+type UnionFind struct {
+	parent []int
+	size   []int
+	sets   int
+}
+
+// NewUnionFind creates n singleton sets 0..n-1.
+func NewUnionFind(n int) *UnionFind {
+	u := &UnionFind{parent: make([]int, n), size: make([]int, n), sets: n}
+	for i := range u.parent {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	return u
+}
+
+// Len returns the number of elements.
+func (u *UnionFind) Len() int { return len(u.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (u *UnionFind) Sets() int { return u.sets }
+
+// Add appends a new singleton element and returns its index.
+func (u *UnionFind) Add() int {
+	i := len(u.parent)
+	u.parent = append(u.parent, i)
+	u.size = append(u.size, 1)
+	u.sets++
+	return i
+}
+
+// Find returns the representative of x's set.
+func (u *UnionFind) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Same reports whether x and y are in the same set.
+func (u *UnionFind) Same(x, y int) bool { return u.Find(x) == u.Find(y) }
+
+// Union merges the sets of x and y and returns the surviving
+// representative.
+func (u *UnionFind) Union(x, y int) int {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return rx
+	}
+	if u.size[rx] < u.size[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	u.size[rx] += u.size[ry]
+	u.sets--
+	return rx
+}
+
+// SetSize returns the size of x's set.
+func (u *UnionFind) SetSize(x int) int { return u.size[u.Find(x)] }
+
+// Clone returns a deep copy.
+func (u *UnionFind) Clone() *UnionFind {
+	return &UnionFind{
+		parent: append([]int(nil), u.parent...),
+		size:   append([]int(nil), u.size...),
+		sets:   u.sets,
+	}
+}
+
+// Groups returns the members of every set, keyed by representative.
+func (u *UnionFind) Groups() map[int][]int {
+	g := make(map[int][]int)
+	for i := range u.parent {
+		r := u.Find(i)
+		g[r] = append(g[r], i)
+	}
+	return g
+}
+
+// OffsetUF is a union-find whose elements carry a relative integer
+// offset to their set representative: Offset(x) is defined such that for
+// two members x, y of one set, value(x) − value(y) = Offset(x) −
+// Offset(y) in any assignment consistent with the recorded relations.
+// It models the paper's connected components: choosing a combination
+// fixes the cycle distance between two instructions.
+type OffsetUF struct {
+	parent []int
+	rank   []int
+	off    []int // offset to parent
+}
+
+// NewOffsetUF creates n singletons with offset 0.
+func NewOffsetUF(n int) *OffsetUF {
+	o := &OffsetUF{parent: make([]int, n), rank: make([]int, n), off: make([]int, n)}
+	for i := range o.parent {
+		o.parent[i] = i
+	}
+	return o
+}
+
+// Len returns the number of elements.
+func (o *OffsetUF) Len() int { return len(o.parent) }
+
+// Add appends a new singleton element and returns its index.
+func (o *OffsetUF) Add() int {
+	i := len(o.parent)
+	o.parent = append(o.parent, i)
+	o.rank = append(o.rank, 0)
+	o.off = append(o.off, 0)
+	return i
+}
+
+// Find returns the representative of x and x's offset to it.
+func (o *OffsetUF) Find(x int) (root, offset int) {
+	if o.parent[x] == x {
+		return x, 0
+	}
+	root, parentOff := o.Find(o.parent[x])
+	o.parent[x] = root
+	o.off[x] += parentOff
+	return root, o.off[x]
+}
+
+// Same reports whether x and y are in one set.
+func (o *OffsetUF) Same(x, y int) bool {
+	rx, _ := o.Find(x)
+	ry, _ := o.Find(y)
+	return rx == ry
+}
+
+// Delta returns value(x) − value(y) if x and y are in the same set.
+func (o *OffsetUF) Delta(x, y int) (delta int, sameSet bool) {
+	rx, ox := o.Find(x)
+	ry, oy := o.Find(y)
+	if rx != ry {
+		return 0, false
+	}
+	return ox - oy, true
+}
+
+// Relate records value(x) − value(y) = delta. If x and y were already
+// related, it reports whether the existing relation agrees; a
+// disagreement leaves the structure unchanged and returns ErrConflict.
+func (o *OffsetUF) Relate(x, y, delta int) error {
+	rx, ox := o.Find(x)
+	ry, oy := o.Find(y)
+	if rx == ry {
+		if ox-oy != delta {
+			return fmt.Errorf("%w: %d−%d = %d, want %d", ErrConflict, x, y, ox-oy, delta)
+		}
+		return nil
+	}
+	// value(rx) = value(x) − ox; value(ry) = value(y) − oy.
+	// value(x) − value(y) = delta ⇒ value(rx) − value(ry) = delta − ox + oy.
+	d := delta - ox + oy
+	if o.rank[rx] < o.rank[ry] {
+		rx, ry, d = ry, rx, -d
+	}
+	o.parent[ry] = rx
+	o.off[ry] = -d // value(ry) − value(rx) = −d
+	if o.rank[rx] == o.rank[ry] {
+		o.rank[rx]++
+	}
+	return nil
+}
+
+// ErrConflict is returned by Relate when a new relation contradicts an
+// existing one.
+var ErrConflict = fmt.Errorf("graphutil: conflicting offset relation")
+
+// Clone returns a deep copy.
+func (o *OffsetUF) Clone() *OffsetUF {
+	return &OffsetUF{
+		parent: append([]int(nil), o.parent...),
+		rank:   append([]int(nil), o.rank...),
+		off:    append([]int(nil), o.off...),
+	}
+}
+
+// Members returns all elements in x's set together with their offsets
+// relative to x (member value − x value).
+func (o *OffsetUF) Members(x int) map[int]int {
+	rx, ox := o.Find(x)
+	m := make(map[int]int)
+	for i := range o.parent {
+		ri, oi := o.Find(i)
+		if ri == rx {
+			m[i] = oi - ox
+		}
+	}
+	return m
+}

@@ -1,0 +1,228 @@
+package graphutil
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnionFindBasic(t *testing.T) {
+	u := NewUnionFind(5)
+	if u.Sets() != 5 || u.Len() != 5 {
+		t.Fatalf("fresh: sets=%d len=%d", u.Sets(), u.Len())
+	}
+	u.Union(0, 1)
+	u.Union(2, 3)
+	if !u.Same(0, 1) || !u.Same(2, 3) || u.Same(0, 2) {
+		t.Error("membership wrong after unions")
+	}
+	if u.Sets() != 3 {
+		t.Errorf("sets = %d, want 3", u.Sets())
+	}
+	u.Union(1, 3)
+	if !u.Same(0, 2) {
+		t.Error("transitive union failed")
+	}
+	if u.SetSize(0) != 4 {
+		t.Errorf("SetSize = %d, want 4", u.SetSize(0))
+	}
+	// Union of already-joined elements is a no-op.
+	before := u.Sets()
+	u.Union(0, 3)
+	if u.Sets() != before {
+		t.Error("redundant union changed set count")
+	}
+}
+
+func TestUnionFindAddAndClone(t *testing.T) {
+	u := NewUnionFind(2)
+	i := u.Add()
+	if i != 2 || u.Sets() != 3 {
+		t.Fatalf("Add: i=%d sets=%d", i, u.Sets())
+	}
+	u.Union(0, 2)
+	cp := u.Clone()
+	cp.Union(1, 2)
+	if u.Same(1, 2) {
+		t.Error("Clone shares state")
+	}
+	if !cp.Same(0, 1) {
+		t.Error("clone lost union")
+	}
+}
+
+func TestUnionFindGroups(t *testing.T) {
+	u := NewUnionFind(6)
+	u.Union(0, 1)
+	u.Union(1, 2)
+	u.Union(4, 5)
+	g := u.Groups()
+	if len(g) != 3 {
+		t.Fatalf("groups = %v", g)
+	}
+	if len(g[u.Find(0)]) != 3 || len(g[u.Find(4)]) != 2 || len(g[u.Find(3)]) != 1 {
+		t.Errorf("group sizes wrong: %v", g)
+	}
+}
+
+func TestOffsetUFRelate(t *testing.T) {
+	o := NewOffsetUF(4)
+	// value(1) − value(0) = 3
+	if err := o.Relate(1, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := o.Delta(1, 0); !ok || d != 3 {
+		t.Fatalf("Delta(1,0) = %d,%v", d, ok)
+	}
+	if d, ok := o.Delta(0, 1); !ok || d != -3 {
+		t.Fatalf("Delta(0,1) = %d,%v", d, ok)
+	}
+	if _, ok := o.Delta(0, 2); ok {
+		t.Fatal("Delta across sets reported sameSet")
+	}
+	// value(2) − value(1) = −1 ⇒ value(2) − value(0) = 2
+	if err := o.Relate(2, 1, -1); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := o.Delta(2, 0); !ok || d != 2 {
+		t.Fatalf("Delta(2,0) = %d,%v", d, ok)
+	}
+	// Consistent re-relation is fine; inconsistent errors.
+	if err := o.Relate(2, 0, 2); err != nil {
+		t.Fatalf("consistent re-relation: %v", err)
+	}
+	if err := o.Relate(2, 0, 5); !errors.Is(err, ErrConflict) {
+		t.Fatalf("inconsistent relation err = %v", err)
+	}
+	// After the failed relate, old relation still intact.
+	if d, _ := o.Delta(2, 0); d != 2 {
+		t.Fatal("failed relate corrupted state")
+	}
+}
+
+func TestOffsetUFMembers(t *testing.T) {
+	o := NewOffsetUF(5)
+	o.Relate(1, 0, 2)
+	o.Relate(2, 0, -1)
+	m := o.Members(0)
+	want := map[int]int{0: 0, 1: 2, 2: -1}
+	if len(m) != len(want) {
+		t.Fatalf("Members = %v", m)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("Members[%d] = %d, want %d", k, m[k], v)
+		}
+	}
+}
+
+func TestOffsetUFAddClone(t *testing.T) {
+	o := NewOffsetUF(1)
+	i := o.Add()
+	if i != 1 {
+		t.Fatalf("Add = %d", i)
+	}
+	o.Relate(1, 0, 7)
+	cp := o.Clone()
+	j := cp.Add()
+	cp.Relate(j, 0, 1)
+	if o.Len() != 2 {
+		t.Error("Clone shares backing arrays")
+	}
+	if d, ok := cp.Delta(1, 0); !ok || d != 7 {
+		t.Error("clone lost relation")
+	}
+}
+
+// TestOffsetUFAgainstReference replays random relation sequences against
+// a naive reference that stores concrete values, checking that Relate
+// accepts exactly the consistent relations and that Delta matches.
+func TestOffsetUFAgainstReference(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		o := NewOffsetUF(n)
+		// Reference: assign each element a concrete value; an element's
+		// component is tracked with a plain union-find, and a relation
+		// is consistent iff it matches the concrete value difference
+		// (when in the same component) — we *construct* relations from
+		// the concrete values, so all same-component relations are
+		// consistent and cross-component relations adopt the values.
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = rng.Intn(21) - 10
+		}
+		comp := NewUnionFind(n)
+		for step := 0; step < 40; step++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			if x == y {
+				continue
+			}
+			if rng.Intn(4) == 0 && comp.Same(x, y) {
+				// Deliberately inconsistent relation.
+				wrong := vals[x] - vals[y] + 1 + rng.Intn(3)
+				if err := o.Relate(x, y, wrong); err == nil {
+					return false
+				}
+				continue
+			}
+			if err := o.Relate(x, y, vals[x]-vals[y]); err != nil {
+				return false
+			}
+			comp.Union(x, y)
+			// Spot check a random pair.
+			a, b := rng.Intn(n), rng.Intn(n)
+			d, ok := o.Delta(a, b)
+			if ok != comp.Same(a, b) {
+				return false
+			}
+			if ok && d != vals[a]-vals[b] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionFindRandomAgainstReference(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		u := NewUnionFind(n)
+		// Reference: component labels recomputed by flood fill over the
+		// recorded union operations.
+		label := make([]int, n)
+		for i := range label {
+			label[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range label {
+				if label[i] == from {
+					label[i] = to
+				}
+			}
+		}
+		for step := 0; step < 50; step++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			u.Union(x, y)
+			relabel(label[x], label[y])
+			a, b := rng.Intn(n), rng.Intn(n)
+			if u.Same(a, b) != (label[a] == label[b]) {
+				return false
+			}
+		}
+		// Set count matches distinct labels.
+		distinct := map[int]bool{}
+		for _, l := range label {
+			distinct[l] = true
+		}
+		return u.Sets() == len(distinct)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

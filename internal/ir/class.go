@@ -1,0 +1,68 @@
+// Package ir defines the superblock intermediate representation used by
+// all schedulers in this module: instructions, dependence edges, exits
+// with probabilities, and the bound computations (estart/lstart) that the
+// scheduling algorithms build on.
+//
+// A superblock (Hwu et al.) is a single-entry, multiple-exit region: a
+// straight-line sequence of instructions whose exits are branch
+// instructions annotated with the probability of leaving the region at
+// that point. The quality metric for a superblock schedule is the
+// average weighted completion time (AWCT):
+//
+//	AWCT = Σ (Cyc_u + λ_u) · P_u   over all exits u
+//
+// where Cyc_u is the cycle the exit is scheduled in, λ_u its latency and
+// P_u its exit probability.
+package ir
+
+import "fmt"
+
+// Class is the functional-unit class an instruction executes on.
+type Class uint8
+
+// Functional-unit classes. Copy is reserved for inter-cluster
+// communication instructions materialized by schedulers; input
+// superblocks must not contain it.
+const (
+	Int Class = iota
+	FP
+	Mem
+	Branch
+	Copy
+	numClasses
+)
+
+// NumClasses is the number of distinct instruction classes, including
+// Copy.
+const NumClasses = int(numClasses)
+
+var classNames = [...]string{
+	Int:    "int",
+	FP:     "fp",
+	Mem:    "mem",
+	Branch: "branch",
+	Copy:   "copy",
+}
+
+// String returns the lower-case mnemonic of the class ("int", "fp",
+// "mem", "branch", "copy").
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// ParseClass converts a mnemonic produced by Class.String back into a
+// Class.
+func ParseClass(s string) (Class, error) {
+	for i, n := range classNames {
+		if s == n {
+			return Class(i), nil
+		}
+	}
+	return 0, fmt.Errorf("ir: unknown instruction class %q", s)
+}
+
+// Valid reports whether c is one of the defined classes.
+func (c Class) Valid() bool { return int(c) < len(classNames) }

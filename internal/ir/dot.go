@@ -1,0 +1,44 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the superblock's dependence graph in Graphviz DOT form:
+// data edges solid, control edges dashed, exits as double circles
+// annotated with their probabilities. Paste into `dot -Tsvg` to get the
+// paper's Figure 1 style pictures.
+func (sb *Superblock) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", sb.Name)
+	b.WriteString("  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n")
+	for _, in := range sb.Instrs {
+		label := fmt.Sprintf("%s\\n%s λ%d", in.Name, in.Class, in.Latency)
+		shape := "box"
+		if in.IsExit() {
+			shape = "doubleoctagon"
+			label += fmt.Sprintf("\\np=%g", in.Prob)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\", shape=%s];\n", in.ID, label, shape)
+	}
+	for _, e := range sb.Edges {
+		style := "solid"
+		if e.Kind == Ctrl {
+			style = "dashed"
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d [style=%s, label=\"%d\"];\n", e.From, e.To, style, e.Latency)
+	}
+	for li, l := range sb.LiveIns {
+		fmt.Fprintf(&b, "  li%d [label=\"live-in %s\", shape=plaintext];\n", li, l.Name)
+		for _, c := range l.Consumers {
+			fmt.Fprintf(&b, "  li%d -> n%d [style=dotted];\n", li, c)
+		}
+	}
+	for oi, u := range sb.LiveOuts {
+		fmt.Fprintf(&b, "  lo%d [label=\"live-out\", shape=plaintext];\n", oi)
+		fmt.Fprintf(&b, "  n%d -> lo%d [style=dotted];\n", u, oi)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

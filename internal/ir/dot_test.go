@@ -1,0 +1,25 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDot(t *testing.T) {
+	sb := PaperFigure1()
+	sb.LiveIns = []LiveIn{{Name: "r7", Consumers: []int{0}}}
+	sb.LiveOuts = []int{5}
+	dot := sb.Dot()
+	for _, want := range []string{
+		"digraph", "doubleoctagon", "p=0.3", "p=0.7",
+		"style=dashed", "live-in r7", "live-out",
+		"n0 -> n1", "n4 -> n6",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot output missing %q", want)
+		}
+	}
+	if strings.Count(dot, "->") < len(sb.Edges) {
+		t.Error("some edges missing from Dot output")
+	}
+}

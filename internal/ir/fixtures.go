@@ -1,0 +1,76 @@
+package ir
+
+// PaperFigure1 builds the superblock dependence graph of Figure 1 of the
+// paper: three-cycle branches B0 (exit probability 0.3) and B1 (0.7),
+// two-cycle non-branch instructions I0..I4, with
+//
+//	I0 → I1, I2, I3 (data),  I1 → I4, I2 → I4 (data),
+//	I3 → B0 (data),  I4 → B1 (data),  B0 → B1 (ctrl).
+//
+// Instruction IDs: I0=0, I1=1, I2=2, I3=3, B0=4, I4=5, B1=6.
+// The dependence-only earliest starts are I0=0, I1=I2=I3=2, B0=4, I4=4,
+// B1=6, matching the bounds shown in Figure 4. The edge I2→I4 is what
+// makes Section 5's worked example come out: I4 consumes both I1 and I2
+// ("a P-PLC communication relating I1 and I2 as possible producers"),
+// and the scheduling graph has exactly the 8 edges of Figure 4
+// (4 I–I edges, 3 I–B edges, plus B0–B1).
+func PaperFigure1() *Superblock {
+	b := NewBuilder("paper-fig1")
+	i0 := b.Instr("I0", Int, 2)
+	i1 := b.Instr("I1", Int, 2)
+	i2 := b.Instr("I2", Int, 2)
+	i3 := b.Instr("I3", Int, 2)
+	b0 := b.Exit("B0", 3, 0.3)
+	i4 := b.Instr("I4", Int, 2)
+	b1 := b.Exit("B1", 3, 0.7)
+	b.Data(i0, i1).Data(i0, i2).Data(i0, i3)
+	b.Data(i1, i4).Data(i2, i4)
+	b.Data(i3, b0).Data(i4, b1)
+	b.Ctrl(b0, b1)
+	return b.MustFinish()
+}
+
+// Diamond builds a small well-known test block: a diamond of int
+// instructions feeding a single exit. Useful as a minimal non-trivial
+// fixture.
+func Diamond() *Superblock {
+	b := NewBuilder("diamond")
+	a := b.Instr("a", Int, 1)
+	l := b.Instr("l", Mem, 2)
+	r := b.Instr("r", Int, 1)
+	j := b.Instr("j", Int, 1)
+	x := b.Exit("exit", 1, 1.0)
+	b.Data(a, l).Data(a, r).Data(l, j).Data(r, j).Data(j, x)
+	return b.MustFinish()
+}
+
+// Straight builds a pure dependence chain of n int instructions ending
+// in one exit; no scheduling freedom at all.
+func Straight(n int) *Superblock {
+	b := NewBuilder("straight")
+	prev := b.Instr("i0", Int, 1)
+	for i := 1; i < n; i++ {
+		cur := b.Instr("", Int, 1)
+		b.Data(prev, cur)
+		prev = cur
+	}
+	x := b.Exit("exit", 1, 1.0)
+	b.Data(prev, x)
+	return b.MustFinish()
+}
+
+// Wide builds n independent int instructions all feeding one exit: the
+// maximally parallel block, which stresses resource constraints and
+// cluster assignment.
+func Wide(n int) *Superblock {
+	b := NewBuilder("wide")
+	x := make([]int, n)
+	for i := range x {
+		x[i] = b.Instr("", Int, 1)
+	}
+	e := b.Exit("exit", 1, 1.0)
+	for _, u := range x {
+		b.Data(u, e)
+	}
+	return b.MustFinish()
+}

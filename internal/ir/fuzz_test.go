@@ -1,0 +1,49 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that arbitrary input never panics the parser and that
+// anything it accepts survives a print/parse round trip unchanged.
+func FuzzParse(f *testing.F) {
+	f.Add(PaperFigure1().String())
+	f.Add(Diamond().String())
+	f.Add("superblock x\ninst 0 a int 1\ninst 1 b branch 1 exit 1\ndep data 0 1 lat 1\n")
+	f.Add("superblock broken\ninst 0 a bogus 9")
+	f.Add("")
+	f.Add("#comment only\n\n")
+	f.Add("superblock x\nexeccount 99\ninst 0 b branch 2 exit 1\nlivein v 0\nliveout 0\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		sb, err := Parse(input)
+		if err != nil {
+			return // rejected inputs are fine; panics are not
+		}
+		text := sb.String()
+		again, err := Parse(text)
+		if err != nil {
+			t.Fatalf("re-parse of printed form failed: %v\nprinted:\n%s", err, text)
+		}
+		if again.String() != text {
+			t.Fatalf("print/parse not a fixpoint:\n%s\nvs\n%s", text, again.String())
+		}
+	})
+}
+
+// FuzzReadAll checks multi-block streams.
+func FuzzReadAll(f *testing.F) {
+	f.Add(PaperFigure1().String() + Diamond().String())
+	f.Add("superblock a\ninst 0 x branch 1 exit 1\n\nsuperblock b\ninst 0 y branch 1 exit 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		blocks, err := ReadAll(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, sb := range blocks {
+			if err := sb.Validate(); err != nil {
+				t.Fatalf("ReadAll returned an invalid block: %v", err)
+			}
+		}
+	})
+}

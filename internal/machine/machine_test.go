@@ -1,0 +1,128 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+
+	"vcsched/internal/ir"
+)
+
+func TestEvaluationConfigs(t *testing.T) {
+	cfgs := EvaluationConfigs()
+	if len(cfgs) != 3 {
+		t.Fatalf("got %d configs", len(cfgs))
+	}
+	// Paper §6.1: first machine 8-issue/2 clusters, others 16-issue/4.
+	wantIssue := []int{8, 16, 16}
+	wantClusters := []int{2, 4, 4}
+	wantBusLat := []int{1, 1, 2}
+	for i, c := range cfgs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", c.Name, err)
+		}
+		if got := c.IssueWidth(); got != wantIssue[i] {
+			t.Errorf("%s: issue width %d, want %d", c.Name, got, wantIssue[i])
+		}
+		if c.Clusters != wantClusters[i] {
+			t.Errorf("%s: clusters %d, want %d", c.Name, c.Clusters, wantClusters[i])
+		}
+		if c.BusLatency != wantBusLat[i] {
+			t.Errorf("%s: bus latency %d, want %d", c.Name, c.BusLatency, wantBusLat[i])
+		}
+		if c.Buses != 1 {
+			t.Errorf("%s: buses %d, want 1", c.Name, c.Buses)
+		}
+	}
+	// The 2-cycle bus is not pipelined: a copy holds the bus 2 cycles.
+	if occ := cfgs[2].BusOccupancy(); occ != 2 {
+		t.Errorf("4clust 2lat bus occupancy %d, want 2", occ)
+	}
+	if occ := cfgs[0].BusOccupancy(); occ != 1 {
+		t.Errorf("2clust 1lat bus occupancy %d, want 1", occ)
+	}
+}
+
+func TestTotalAndClusterFU(t *testing.T) {
+	c := FourCluster1Lat()
+	if got := c.TotalFU(ir.Int); got != 4 {
+		t.Errorf("TotalFU(int) = %d, want 4", got)
+	}
+	if got := c.ClusterFU(2, ir.Branch); got != 1 {
+		t.Errorf("ClusterFU(2, branch) = %d, want 1", got)
+	}
+	if c.Heterogeneous() {
+		t.Error("homogeneous machine reports heterogeneous")
+	}
+}
+
+func TestHeterogeneousOverride(t *testing.T) {
+	c := TwoCluster1Lat()
+	var fu [ir.NumClasses]int
+	fu[ir.Int] = 3
+	c.SetClusterFU(1, fu)
+	if !c.Heterogeneous() {
+		t.Error("override not detected")
+	}
+	if got := c.ClusterFU(1, ir.Int); got != 3 {
+		t.Errorf("ClusterFU(1,int) = %d, want 3", got)
+	}
+	if got := c.ClusterFU(0, ir.Int); got != 1 {
+		t.Errorf("ClusterFU(0,int) = %d, want 1", got)
+	}
+	if got := c.TotalFU(ir.Int); got != 4 {
+		t.Errorf("TotalFU(int) = %d, want 4", got)
+	}
+	if got := c.MaxClusterFU(ir.Int); got != 3 {
+		t.Errorf("MaxClusterFU(int) = %d, want 3", got)
+	}
+	if got := c.ClusterFU(1, ir.Branch); got != 0 {
+		t.Errorf("override cluster branch FU = %d, want 0", got)
+	}
+	if err := c.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	bad := []*Config{
+		{Name: "no clusters", Clusters: 0},
+		{Name: "no bus", Clusters: 2, Buses: 0, BusLatency: 1},
+		{Name: "no bus latency", Clusters: 2, Buses: 1, BusLatency: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate succeeded", c.Name)
+		}
+	}
+	overrideOOB := TwoCluster1Lat()
+	overrideOOB.SetClusterFU(9, paperFU())
+	if err := overrideOOB.Validate(); err == nil {
+		t.Error("out-of-range override accepted")
+	}
+}
+
+func TestPaperExampleConfigs(t *testing.T) {
+	sg := PaperExampleSG()
+	if sg.Clusters != 1 || sg.FU[ir.Int] != 2 || sg.FU[ir.Branch] != 1 {
+		t.Errorf("figure-4 machine wrong: %+v", sg)
+	}
+	if err := sg.Validate(); err != nil {
+		t.Errorf("figure-4 machine: %v", err)
+	}
+	s5 := PaperExampleSection5()
+	if s5.Clusters != 2 || s5.FU[ir.Int] != 1 || s5.FU[ir.Branch] != 1 || s5.BusLatency != 1 {
+		t.Errorf("section-5 machine wrong: %+v", s5)
+	}
+	if err := s5.Validate(); err != nil {
+		t.Errorf("section-5 machine: %v", err)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FourCluster2Lat().String()
+	for _, want := range []string{"4 clusters", "lat 2", "non-pipelined"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package oracle finds provably optimal schedules for tiny superblocks
+// by exhaustive search. It exists purely as a test oracle: the
+// virtual-cluster scheduler and the CARS baseline can never beat it, and
+// on blocks small enough for it to run, the virtual-cluster scheduler
+// should usually match it.
+//
+// The search enumerates (cycle, cluster) placements for every
+// instruction within a bounded horizon; for each complete placement the
+// mandatory communications are scheduled by earliest-deadline-first
+// (optimal for the equal-length bus reservations of this machine model)
+// and the result is checked with the sched validator. The best AWCT
+// wins.
+package oracle
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/sched"
+)
+
+// ErrTooLarge is returned when the block exceeds the search limits.
+var ErrTooLarge = errors.New("oracle: superblock too large for exhaustive search")
+
+// Limits bounds the exhaustive search.
+type Limits struct {
+	MaxInstrs  int // default 8
+	ExtraSlack int // cycles beyond each instruction's earliest start (default 3)
+}
+
+func (l Limits) withDefaults() Limits {
+	if l.MaxInstrs == 0 {
+		l.MaxInstrs = 8
+	}
+	if l.ExtraSlack == 0 {
+		l.ExtraSlack = 3
+	}
+	return l
+}
+
+// Best returns an optimal schedule (minimum AWCT; ties broken by fewer
+// communications) within the search limits.
+func Best(sb *ir.Superblock, m *machine.Config, pins sched.Pins, lim Limits) (*sched.Schedule, error) {
+	lim = lim.withDefaults()
+	if sb.N() > lim.MaxInstrs {
+		return nil, ErrTooLarge
+	}
+	e := &enum{sb: sb, m: m, pins: pins, lim: lim, est: sb.EStarts()}
+	e.order = sb.TopoOrder()
+	e.place = make([]sched.Placement, sb.N())
+	for i := range e.place {
+		e.place[i] = sched.Placement{Cycle: sched.Unplaced}
+	}
+	// Optimistic AWCT bound with every exit at its static earliest
+	// start; placing an exit later adds (cycle − est)·prob.
+	for _, x := range sb.Exits() {
+		e.bound += float64(e.est[x]+sb.Instrs[x].Latency) * sb.Instrs[x].Prob
+	}
+	e.search(0)
+	if e.best == nil {
+		return nil, fmt.Errorf("oracle: no valid schedule found for %q on %q", sb.Name, m.Name)
+	}
+	return e.best, nil
+}
+
+type enum struct {
+	sb    *ir.Superblock
+	m     *machine.Config
+	pins  sched.Pins
+	lim   Limits
+	est   []int
+	order []int
+
+	place    []sched.Placement
+	bound    float64 // optimistic AWCT of the current partial placement
+	best     *sched.Schedule
+	bestAWCT float64
+	bestComm int
+}
+
+func (e *enum) search(idx int) {
+	if idx == len(e.order) {
+		e.finish()
+		return
+	}
+	u := e.order[idx]
+	// Earliest start given already-placed predecessors (conservative: no
+	// communication latency here; the validator rejects bad placements
+	// later, and cross-cluster slack is covered by ExtraSlack).
+	lo := e.est[u]
+	for _, ei := range e.sb.InEdges(u) {
+		edge := e.sb.Edges[ei]
+		if c := e.place[edge.From].Cycle + edge.Latency; c > lo {
+			lo = c
+		}
+	}
+	hi := lo + e.lim.ExtraSlack + e.m.BusLatency
+	in := e.sb.Instrs[u]
+	for t := lo; t <= hi; t++ {
+		// Branch-and-bound: placing an exit at t commits
+		// (t − est)·prob extra AWCT; prune strictly worse subtrees.
+		delta := 0.0
+		if in.IsExit() {
+			delta = float64(t-e.est[u]) * in.Prob
+			if e.best != nil && e.bound+delta > e.bestAWCT+1e-12 {
+				break // later cycles are worse still
+			}
+		}
+		for k := 0; k < e.m.Clusters; k++ {
+			if e.m.ClusterFU(k, in.Class) == 0 {
+				continue
+			}
+			e.place[u] = sched.Placement{Cycle: t, Cluster: k}
+			if e.feasibleSoFar(u) {
+				e.bound += delta
+				e.search(idx + 1)
+				e.bound -= delta
+			}
+		}
+	}
+	e.place[u] = sched.Placement{Cycle: sched.Unplaced}
+}
+
+// feasibleSoFar prunes on functional-unit overflow among placed
+// instructions.
+func (e *enum) feasibleSoFar(u int) bool {
+	p := e.place[u]
+	count := 0
+	for v, q := range e.place {
+		if q.Cycle == p.Cycle && q.Cluster == p.Cluster && e.sb.Instrs[v].Class == e.sb.Instrs[u].Class {
+			count++
+		}
+	}
+	return count <= e.m.ClusterFU(p.Cluster, e.sb.Instrs[u].Class)
+}
+
+// finish schedules communications for the complete placement with EDF
+// and keeps the best validator-clean schedule.
+func (e *enum) finish() {
+	s := sched.New(e.sb, e.m, e.pins)
+	copy(s.Place, e.place)
+	if !e.scheduleComms(s) {
+		return
+	}
+	if err := s.Validate(); err != nil {
+		return
+	}
+	awct := s.AWCT()
+	if e.best == nil || awct < e.bestAWCT-1e-12 ||
+		(awct < e.bestAWCT+1e-12 && s.NumComms() < e.bestComm) {
+		cp := *s
+		cp.Comms = append([]sched.Comm(nil), s.Comms...)
+		cp.Place = append([]sched.Placement(nil), s.Place...)
+		e.best = &cp
+		e.bestAWCT = awct
+		e.bestComm = s.NumComms()
+	}
+}
+
+// commTask is one mandatory broadcast: release (value ready), deadline
+// (latest issue so every cross consumer and live-out is served).
+type commTask struct {
+	value             int
+	release, deadline int
+}
+
+// scheduleComms derives the mandatory communications of a placement and
+// assigns bus slots by earliest deadline first.
+func (e *enum) scheduleComms(s *sched.Schedule) bool {
+	end := s.EndCycle()
+	tasks := map[int]*commTask{}
+	need := func(value, release, deadline int) {
+		t, ok := tasks[value]
+		if !ok {
+			tasks[value] = &commTask{value: value, release: release, deadline: deadline}
+			return
+		}
+		if deadline < t.deadline {
+			t.deadline = deadline
+		}
+	}
+	for _, edge := range e.sb.Edges {
+		if edge.Kind != ir.Data {
+			continue
+		}
+		pf, pt := s.Place[edge.From], s.Place[edge.To]
+		if pf.Cluster == pt.Cluster {
+			continue
+		}
+		ready := pf.Cycle + e.sb.Instrs[edge.From].Latency
+		need(edge.From, ready, pt.Cycle-e.m.BusLatency)
+	}
+	for li, l := range e.sb.LiveIns {
+		home := e.pins.LiveIn[li]
+		for _, c := range l.Consumers {
+			if s.Place[c].Cluster == home {
+				continue
+			}
+			need(-(li + 1), 0, s.Place[c].Cycle-e.m.BusLatency)
+		}
+	}
+	for oi, u := range e.sb.LiveOuts {
+		if s.Place[u].Cluster == e.pins.LiveOut[oi] {
+			continue
+		}
+		ready := s.Place[u].Cycle + e.sb.Instrs[u].Latency
+		need(u, ready, end-e.m.BusLatency)
+	}
+	var list []*commTask
+	for _, t := range tasks {
+		if t.release > t.deadline {
+			return false
+		}
+		list = append(list, t)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].deadline != list[j].deadline {
+			return list[i].deadline < list[j].deadline
+		}
+		return list[i].value < list[j].value
+	})
+	occ := e.m.BusOccupancy()
+	busy := map[int]int{}
+	for _, t := range list {
+	slotSearch:
+		for c := t.release; ; c++ {
+			if c > t.deadline {
+				return false
+			}
+			for tt := c; tt < c+occ; tt++ {
+				if busy[tt] >= e.m.Buses {
+					continue slotSearch
+				}
+			}
+			for tt := c; tt < c+occ; tt++ {
+				busy[tt]++
+			}
+			s.Comms = append(s.Comms, sched.Comm{Producer: t.value, Cycle: c})
+			break
+		}
+	}
+	return true
+}

@@ -1,0 +1,129 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vcsched/internal/cars"
+	"vcsched/internal/core"
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/sched"
+)
+
+func TestDiamondOptimal(t *testing.T) {
+	sb := ir.Diamond()
+	s, err := Best(sb, machine.TwoCluster1Lat(), sched.Pins{}, Limits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Diamond critical path: a(1) → l(2) → j(1) → exit: exit at 4,
+	// AWCT = 5; achievable in one cluster.
+	if s.AWCT() != sb.CriticalAWCT() {
+		t.Errorf("AWCT = %g, want %g", s.AWCT(), sb.CriticalAWCT())
+	}
+}
+
+func TestPaperFigure1Optimal(t *testing.T) {
+	// The paper proves AWCT 9.4 is optimal on the section-5 machine.
+	sb := ir.PaperFigure1()
+	s, err := Best(sb, machine.PaperExampleSection5(), sched.Pins{}, Limits{MaxInstrs: 8, ExtraSlack: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.AWCT()-9.4) > 1e-9 {
+		t.Errorf("oracle AWCT = %g, want 9.4\n%s", s.AWCT(), s.Format())
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	if _, err := Best(ir.Straight(20), machine.TwoCluster1Lat(), sched.Pins{}, Limits{}); err != ErrTooLarge {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestSchedulersNeverBeatOracle is the central optimality property: on
+// random tiny blocks, both the virtual-cluster scheduler and CARS
+// produce AWCTs at or above the oracle's, and the VC scheduler matches
+// the oracle in the large majority of cases.
+func TestSchedulersNeverBeatOracle(t *testing.T) {
+	machines := []*machine.Config{machine.TwoCluster1Lat(), machine.FourCluster1Lat()}
+	total, vcOptimal := 0, 0
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := machines[int(uint64(seed)%uint64(len(machines)))]
+		sb := tinyBlock(rng)
+		pins := sched.Pins{}
+		opt, err := Best(sb, m, pins, Limits{ExtraSlack: 3})
+		if err != nil {
+			t.Logf("seed %d: oracle: %v", seed, err)
+			return false
+		}
+		total++
+		vc, _, err := core.Schedule(sb, m, core.Options{})
+		if err != nil {
+			t.Logf("seed %d: core: %v\n%s", seed, err, sb)
+			return false
+		}
+		if vc.AWCT() < opt.AWCT()-1e-9 {
+			t.Logf("seed %d: VC %g beat oracle %g\n%s", seed, vc.AWCT(), opt.AWCT(), sb)
+			return false
+		}
+		if vc.AWCT() < opt.AWCT()+1e-9 {
+			vcOptimal++
+		}
+		cs, err := cars.Schedule(sb, m, pins)
+		if err != nil {
+			t.Logf("seed %d: cars: %v", seed, err)
+			return false
+		}
+		if cs.AWCT() < opt.AWCT()-1e-9 {
+			t.Logf("seed %d: CARS %g beat oracle %g\n%s", seed, cs.AWCT(), opt.AWCT(), sb)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if total > 0 && float64(vcOptimal) < 0.8*float64(total) {
+		t.Errorf("VC scheduler optimal on only %d/%d tiny blocks", vcOptimal, total)
+	}
+}
+
+func tinyBlock(rng *rand.Rand) *ir.Superblock {
+	b := ir.NewBuilder("tiny")
+	n := 2 + rng.Intn(4) // 2–5 non-exit instructions
+	classes := []ir.Class{ir.Int, ir.Int, ir.Mem}
+	lat := map[ir.Class]int{ir.Int: 1, ir.Mem: 2}
+	var ids []int
+	for i := 0; i < n; i++ {
+		cl := classes[rng.Intn(len(classes))]
+		ids = append(ids, b.Instr("", cl, lat[cl]))
+	}
+	x := b.Exit("x", 1, 1.0)
+	for i := 1; i < len(ids); i++ {
+		if rng.Intn(2) == 0 {
+			b.Data(ids[rng.Intn(i)], ids[i])
+		}
+	}
+	used := false
+	for _, u := range ids {
+		if rng.Intn(2) == 0 {
+			b.Data(u, x)
+			used = true
+		}
+	}
+	if !used {
+		b.Data(ids[len(ids)-1], x)
+	}
+	return b.MustFinish()
+}

@@ -1,0 +1,164 @@
+// Package regpressure analyses the register pressure a schedule induces
+// in each cluster's register file. The paper restricts every value to a
+// single communication partly because "more communications may help
+// register pressure" is a separate problem ([7]); this package provides
+// the readout: per-cluster live ranges, MaxLive, and the excess pressure
+// a finite register file would have to spill.
+//
+// A value is live in a cluster from the cycle it is written into that
+// register file (producer completion, bus arrival, or cycle 0 for a
+// pinned live-in) until its last local read (consumer issue, copy issue,
+// or region end for live-outs).
+package regpressure
+
+import (
+	"fmt"
+	"sort"
+
+	"vcsched/internal/ir"
+	"vcsched/internal/sched"
+)
+
+// Range is one value's live range in one cluster, in cycles (inclusive).
+type Range struct {
+	Value   int // producer instruction id, or −(li+1) for live-in li
+	Cluster int
+	From    int // write cycle
+	To      int // last read cycle (>= From; dead values get To = From)
+}
+
+// Report summarizes one schedule's register pressure.
+type Report struct {
+	Ranges []Range
+	// MaxLive[k] is the maximum number of simultaneously live values in
+	// cluster k.
+	MaxLive []int
+	// Excess[k] is Σ over cycles of max(0, live − regs) for the register
+	// file size passed to Analyze — an estimate of forced spill traffic.
+	Excess []int
+}
+
+// Analyze computes the live ranges and pressure of a schedule, assuming
+// register files of size regs per cluster (use a large value to get
+// pure MaxLive).
+func Analyze(s *sched.Schedule, regs int) (*Report, error) {
+	if regs < 1 {
+		return nil, fmt.Errorf("regpressure: register file size %d", regs)
+	}
+	sb, m := s.SB, s.Mach
+	end := s.EndCycle()
+
+	// lastRead[(value,cluster)] and writeCycle[(value,cluster)].
+	type key struct{ value, cluster int }
+	write := make(map[key]int)
+	lastRead := make(map[key]int)
+	note := func(value, cluster, cycle int) {
+		k := key{value, cluster}
+		if cur, ok := lastRead[k]; !ok || cycle > cur {
+			lastRead[k] = cycle
+		}
+	}
+
+	// Writes: producers locally; broadcasts everywhere else.
+	for u := range s.Place {
+		write[key{u, s.Place[u].Cluster}] = s.Place[u].Cycle + sb.Instrs[u].Latency
+	}
+	for li := range sb.LiveIns {
+		write[key{-(li + 1), s.Pins.LiveIn[li]}] = 0
+	}
+	commCycle := make(map[int]int, len(s.Comms))
+	for _, c := range s.Comms {
+		commCycle[c.Producer] = c.Cycle
+		home := 0
+		if li, ok := c.IsLiveIn(); ok {
+			home = s.Pins.LiveIn[li]
+		} else {
+			home = s.Place[c.Producer].Cluster
+		}
+		for k := 0; k < m.Clusters; k++ {
+			if k != home {
+				write[key{c.Producer, k}] = c.Cycle + m.BusLatency
+			}
+		}
+		// The copy reads the value in its home cluster at issue.
+		note(c.Producer, home, c.Cycle)
+	}
+
+	// Reads: data edges and live-in uses, in the consumer's cluster.
+	for _, e := range sb.Edges {
+		if e.Kind != ir.Data {
+			continue
+		}
+		note(e.From, s.Place[e.To].Cluster, s.Place[e.To].Cycle)
+	}
+	for li, l := range sb.LiveIns {
+		for _, c := range l.Consumers {
+			note(-(li + 1), s.Place[c].Cluster, s.Place[c].Cycle)
+		}
+	}
+	// Live-outs stay live until the region ends in their home cluster.
+	for oi, u := range sb.LiveOuts {
+		note(u, s.Pins.LiveOut[oi], end)
+	}
+
+	rep := &Report{MaxLive: make([]int, m.Clusters), Excess: make([]int, m.Clusters)}
+	for k, w := range write {
+		to, read := lastRead[k]
+		if !read || to < w {
+			to = w // dead value: occupies its register momentarily
+		}
+		rep.Ranges = append(rep.Ranges, Range{Value: k.value, Cluster: k.cluster, From: w, To: to})
+	}
+	sort.Slice(rep.Ranges, func(i, j int) bool {
+		a, b := rep.Ranges[i], rep.Ranges[j]
+		if a.Cluster != b.Cluster {
+			return a.Cluster < b.Cluster
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.Value < b.Value
+	})
+
+	// Sweep per cluster.
+	for k := 0; k < m.Clusters; k++ {
+		liveAt := make([]int, end+2)
+		for _, r := range rep.Ranges {
+			if r.Cluster != k {
+				continue
+			}
+			for t := r.From; t <= r.To && t <= end; t++ {
+				liveAt[t]++
+			}
+		}
+		for _, n := range liveAt {
+			if n > rep.MaxLive[k] {
+				rep.MaxLive[k] = n
+			}
+			if n > regs {
+				rep.Excess[k] += n - regs
+			}
+		}
+	}
+	return rep, nil
+}
+
+// TotalExcess sums the per-cluster excess.
+func (r *Report) TotalExcess() int {
+	total := 0
+	for _, e := range r.Excess {
+		total += e
+	}
+	return total
+}
+
+// PeakLive returns the largest per-cluster MaxLive.
+func (r *Report) PeakLive() int {
+	peak := 0
+	for _, m := range r.MaxLive {
+		if m > peak {
+			peak = m
+		}
+	}
+	return peak
+}

@@ -1,0 +1,131 @@
+package regpressure
+
+import (
+	"testing"
+
+	"vcsched/internal/cars"
+	"vcsched/internal/core"
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/sched"
+	"vcsched/internal/workload"
+)
+
+func TestChainPressure(t *testing.T) {
+	// A pure chain keeps at most one value live at a time (plus the
+	// momentary overlap of producer/consumer).
+	sb := ir.Straight(6)
+	s, _, err := core.Schedule(sb, machine.TwoCluster1Lat(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(s, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeakLive() > 2 {
+		t.Errorf("chain peak live = %d, want ≤ 2", rep.PeakLive())
+	}
+	if rep.TotalExcess() != 0 {
+		t.Errorf("excess with 32 registers = %d", rep.TotalExcess())
+	}
+}
+
+func TestWidePressure(t *testing.T) {
+	// Wide(6): six values all live until the exit reads them — pressure
+	// concentrates in the exit's cluster(s).
+	sb := ir.Wide(6)
+	s, _, err := core.Schedule(sb, machine.FourCluster1Lat(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(s, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PeakLive() < 2 {
+		t.Errorf("wide peak live = %d, want ≥ 2", rep.PeakLive())
+	}
+	// A 1-register file must be overwhelmed somewhere.
+	rep1, err := Analyze(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep1.TotalExcess() == 0 {
+		t.Error("wide block fits in 1 register per cluster?")
+	}
+}
+
+func TestLiveInAndOutRanges(t *testing.T) {
+	b := ir.NewBuilder("live")
+	c := b.Instr("c", ir.Int, 1)
+	x := b.Exit("x", 1, 1.0)
+	b.Data(c, x)
+	b.LiveIn("v", c)
+	b.LiveOut(c)
+	sb := b.MustFinish()
+	m := machine.TwoCluster1Lat()
+	pins := sched.Pins{LiveIn: []int{0}, LiveOut: []int{0}}
+	s, err := cars.Schedule(sb, m, pins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var liveInRange, liveOutRange *Range
+	for i := range rep.Ranges {
+		r := &rep.Ranges[i]
+		if r.Value == -1 {
+			liveInRange = r
+		}
+		if r.Value == c && r.Cluster == 0 {
+			liveOutRange = r
+		}
+	}
+	if liveInRange == nil || liveInRange.From != 0 {
+		t.Errorf("live-in range wrong: %+v", liveInRange)
+	}
+	if liveOutRange == nil || liveOutRange.To != s.EndCycle() {
+		t.Errorf("live-out range must extend to region end %d: %+v", s.EndCycle(), liveOutRange)
+	}
+}
+
+// TestMaxLiveNeverBelowSimultaneousValues: property over corpus blocks —
+// the analysis runs clean on both schedulers' outputs, with sane bounds.
+func TestCorpusPressureSane(t *testing.T) {
+	p, _ := workload.BenchmarkByName("g721enc")
+	app := p.Generate(0.1, 0)
+	m := machine.FourCluster2Lat()
+	for _, sb := range app.Blocks {
+		pins := workload.PinsFor(sb, m.Clusters, 1)
+		s, err := cars.Schedule(sb, m, pins)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Analyze(s, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.PeakLive() < 1 || rep.PeakLive() > sb.N()+len(sb.LiveIns) {
+			t.Errorf("%s: peak live %d out of bounds", sb.Name, rep.PeakLive())
+		}
+		for _, r := range rep.Ranges {
+			if r.To < r.From {
+				t.Fatalf("%s: inverted range %+v", sb.Name, r)
+			}
+		}
+	}
+}
+
+func TestBadRegs(t *testing.T) {
+	sb := ir.Diamond()
+	s, err := cars.Schedule(sb, machine.TwoCluster1Lat(), sched.Pins{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Analyze(s, 0); err == nil {
+		t.Error("zero-register file accepted")
+	}
+}

@@ -1,0 +1,35 @@
+package sg
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the scheduling graph in Graphviz DOT form: undirected
+// edges between instructions that may overlap, labeled with their
+// feasible combinations — the paper's Figure 4 as a picture.
+func (g *Graph) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", "SG "+g.SB.Name)
+	b.WriteString("  layout=circo;\n  node [shape=circle, fontname=\"Helvetica\"];\n")
+	present := make(map[int]bool)
+	for _, e := range g.Edges {
+		present[e.U] = true
+		present[e.V] = true
+	}
+	for _, in := range g.SB.Instrs {
+		if !present[in.ID] {
+			continue
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", in.ID, in.Name)
+	}
+	for _, e := range g.Edges {
+		combs := make([]string, len(e.Combs))
+		for i, c := range e.Combs {
+			combs[i] = fmt.Sprint(c)
+		}
+		fmt.Fprintf(&b, "  n%d -- n%d [label=\"%s\"];\n", e.U, e.V, strings.Join(combs, ","))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

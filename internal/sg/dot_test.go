@@ -1,0 +1,26 @@
+package sg
+
+import (
+	"strings"
+	"testing"
+
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+)
+
+func TestDot(t *testing.T) {
+	g := Build(ir.PaperFigure1(), machine.PaperExampleSG())
+	dot := g.Dot()
+	if strings.Count(dot, "--") != 8 {
+		t.Errorf("want 8 SG edges in dot, got %d", strings.Count(dot, "--"))
+	}
+	for _, want := range []string{`"B0"`, `"I1"`, "-2,-1"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot output missing %q", want)
+		}
+	}
+	// I0 has no SG edge and must not appear.
+	if strings.Contains(dot, `"I0"`) {
+		t.Error("isolated instruction rendered")
+	}
+}

@@ -1,0 +1,226 @@
+// Package sim executes clustered VLIW schedules cycle by cycle: each
+// cluster has its own register file, copy instructions broadcast values
+// over the buses with their latency, and an exit branch taken at runtime
+// terminates the region. The simulator complements the static validator
+// in internal/sched: instead of checking constraints, it *runs* the
+// schedule with dataflow tokens and reports exactly which value every
+// instruction consumed, catching any discrepancy between the scheduling
+// model and an actual lockstep execution.
+//
+// Values are symbolic tokens: the value produced by instruction u is
+// Token{Producer: u}, a live-in li is Token{Producer: -(li+1)}. An
+// instruction reads the tokens of all its data predecessors from its
+// cluster's register file at issue time; a missing or stale token is a
+// simulation error.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"vcsched/internal/ir"
+	"vcsched/internal/sched"
+)
+
+// Token identifies a value in flight: the instruction (or live-in) that
+// produced it.
+type Token struct {
+	Producer int
+}
+
+// Result reports one region execution.
+type Result struct {
+	ExitTaken  int // instruction id of the exit that left the region
+	Cycles     int // completion cycle of the taken exit (Cyc + λ)
+	Executed   int // instructions issued before (and including) the exit cycle window
+	CommsSeen  int // bus broadcasts that completed before leaving
+	TraceLines []string
+}
+
+// Run executes the schedule once. exitChoice decides, per exit branch in
+// program order, whether the exit is taken (the profile draw); if no
+// exit triggers, the final exit is taken unconditionally.
+//
+// The execution model matches the validator's: an instruction issued at
+// cycle t in cluster k reads its operands from register file k at cycle
+// t and writes its token at t+λ; a copy issued at t reads its value at t
+// and writes it into every other register file at t+busLatency. When an
+// exit is taken at completion cycle t+λ, instructions issuing after that
+// completion never execute — which is legal precisely because the
+// validator enforces that everything the exit's path needs has issued
+// earlier.
+func Run(s *sched.Schedule, exitChoice func(exit int, prob float64) bool, trace bool) (Result, error) {
+	sb, m := s.SB, s.Mach
+	var res Result
+
+	// Register files: cluster → producer → write cycle.
+	rf := make([]map[int]int, m.Clusters)
+	for k := range rf {
+		rf[k] = make(map[int]int)
+	}
+	// Live-ins are present in their pinned cluster from cycle 0.
+	for li := range sb.LiveIns {
+		rf[s.Pins.LiveIn[li]][-(li + 1)] = 0
+	}
+
+	// Event lists per cycle.
+	type issue struct {
+		node  int // instruction id, or −1 for a comm
+		comm  int // index into s.Comms when node == −1
+		cycle int
+	}
+	var events []issue
+	for u := range s.Place {
+		events = append(events, issue{node: u, cycle: s.Place[u].Cycle})
+	}
+	for ci := range s.Comms {
+		events = append(events, issue{node: -1, comm: ci, cycle: s.Comms[ci].Cycle})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].cycle < events[j].cycle })
+
+	read := func(k, producer, cycle int) error {
+		w, ok := rf[k][producer]
+		if !ok {
+			return fmt.Errorf("sim: cycle %d cluster %d: value of %d not present", cycle, k, producer)
+		}
+		if w > cycle {
+			return fmt.Errorf("sim: cycle %d cluster %d: value of %d arrives only at %d", cycle, k, producer, w)
+		}
+		return nil
+	}
+
+	taken := -1
+	takenCompletion := 0
+	for _, ev := range events {
+		if taken >= 0 && ev.cycle >= takenCompletion {
+			break // control has left the region
+		}
+		if ev.node < 0 {
+			c := s.Comms[ev.comm]
+			home := commHome(s, c)
+			if err := read(home, c.Producer, ev.cycle); err != nil {
+				return res, fmt.Errorf("copy of %d: %w", c.Producer, err)
+			}
+			for k := 0; k < m.Clusters; k++ {
+				if k != home {
+					rf[k][c.Producer] = ev.cycle + m.BusLatency
+				}
+			}
+			res.CommsSeen++
+			if trace {
+				res.TraceLines = append(res.TraceLines, fmt.Sprintf("cycle %d: bus broadcast of %d from cluster %d", ev.cycle, c.Producer, home))
+			}
+			continue
+		}
+		u := ev.node
+		p := s.Place[u]
+		in := sb.Instrs[u]
+		// Operand reads.
+		for _, ei := range sb.InEdges(u) {
+			e := sb.Edges[ei]
+			if e.Kind != ir.Data {
+				continue
+			}
+			if err := read(p.Cluster, e.From, ev.cycle); err != nil {
+				return res, fmt.Errorf("instruction %d (%s): %w", u, in.Name, err)
+			}
+		}
+		for li := range sb.LiveIns {
+			for _, c := range sb.LiveIns[li].Consumers {
+				if c == u {
+					if err := read(p.Cluster, -(li + 1), ev.cycle); err != nil {
+						return res, fmt.Errorf("instruction %d (%s): %w", u, in.Name, err)
+					}
+				}
+			}
+		}
+		rf[p.Cluster][u] = ev.cycle + in.Latency
+		res.Executed++
+		if trace {
+			res.TraceLines = append(res.TraceLines, fmt.Sprintf("cycle %d: cluster %d issues %s", ev.cycle, p.Cluster, in.Name))
+		}
+		if in.IsExit() && taken < 0 {
+			if exitChoice(u, in.Prob) || u == lastExit(sb) {
+				taken = u
+				takenCompletion = ev.cycle + in.Latency
+				if trace {
+					res.TraceLines = append(res.TraceLines, fmt.Sprintf("cycle %d: exit %s taken, leaves at %d", ev.cycle, in.Name, takenCompletion))
+				}
+			}
+		}
+	}
+	if taken < 0 {
+		return res, fmt.Errorf("sim: no exit taken (malformed schedule)")
+	}
+	// Live-out availability when leaving via the final exit.
+	if taken == lastExit(sb) {
+		for oi, u := range sb.LiveOuts {
+			home := s.Pins.LiveOut[oi]
+			w, ok := rf[home][u]
+			if !ok || w > takenCompletion {
+				return res, fmt.Errorf("sim: live-out value of %d not in cluster %d by region end %d", u, home, takenCompletion)
+			}
+		}
+	}
+	res.ExitTaken = taken
+	res.Cycles = takenCompletion
+	return res, nil
+}
+
+func lastExit(sb *ir.Superblock) int {
+	exits := sb.Exits()
+	return exits[len(exits)-1]
+}
+
+func commHome(s *sched.Schedule, c sched.Comm) int {
+	if li, ok := c.IsLiveIn(); ok {
+		return s.Pins.LiveIn[li]
+	}
+	return s.Place[c.Producer].Cluster
+}
+
+// AverageCycles Monte-Carlo-samples the region: it draws exits according
+// to their probabilities n times and averages the completion cycles. For
+// a valid schedule this converges to the schedule's AWCT.
+func AverageCycles(s *sched.Schedule, n int, seed int64) (float64, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var sum float64
+	for i := 0; i < n; i++ {
+		// One region execution: draw a single path. Conditional exit
+		// probabilities: the block's exit probs are absolute, so exit j
+		// triggers with prob P_j / (1 − Σ earlier).
+		remaining := 1.0
+		res, err := Run(s, func(exit int, prob float64) bool {
+			cond := prob / remaining
+			take := rng.Float64() < cond
+			remaining -= prob
+			return take
+		}, false)
+		if err != nil {
+			return 0, err
+		}
+		sum += float64(res.Cycles)
+	}
+	return sum / float64(n), nil
+}
+
+// ExpectedCycles computes the exact expectation over exits (no
+// sampling): Σ P_u · completion(u) — by construction equal to the AWCT
+// of a valid schedule, but derived from the *simulated* completion
+// cycles rather than the placement table.
+func ExpectedCycles(s *sched.Schedule) (float64, error) {
+	var sum float64
+	for _, x := range s.SB.Exits() {
+		target := x
+		res, err := Run(s, func(exit int, prob float64) bool { return exit == target }, false)
+		if err != nil {
+			return 0, err
+		}
+		if res.ExitTaken != target {
+			return 0, fmt.Errorf("sim: wanted exit %d, region left at %d", target, res.ExitTaken)
+		}
+		sum += float64(res.Cycles) * s.SB.Instrs[x].Prob
+	}
+	return sum, nil
+}

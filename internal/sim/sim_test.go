@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vcsched/internal/cars"
+	"vcsched/internal/core"
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/sched"
+	"vcsched/internal/workload"
+)
+
+// section5 builds the known-good schedule used by the sched tests.
+func section5(t *testing.T) *sched.Schedule {
+	t.Helper()
+	sb := ir.PaperFigure1()
+	m := machine.PaperExampleSection5()
+	s, _, err := core.Schedule(sb, m, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestExpectedCyclesMatchesAWCT(t *testing.T) {
+	s := section5(t)
+	got, err := ExpectedCycles(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-s.AWCT()) > 1e-9 {
+		t.Errorf("simulated expectation %g, AWCT %g", got, s.AWCT())
+	}
+}
+
+func TestAverageCyclesConverges(t *testing.T) {
+	s := section5(t)
+	avg, err := AverageCycles(s, 20000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(avg-s.AWCT()) > 0.15 {
+		t.Errorf("Monte-Carlo average %g too far from AWCT %g", avg, s.AWCT())
+	}
+}
+
+func TestEarlyExitSkipsLaterInstructions(t *testing.T) {
+	s := section5(t)
+	// Force the first exit (B0, id 4).
+	res, err := Run(s, func(exit int, prob float64) bool { return exit == 4 }, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitTaken != 4 {
+		t.Fatalf("exit taken = %d, want 4", res.ExitTaken)
+	}
+	// B0 completes at its cycle + 3; B1 (cycle 7) never issues when B0's
+	// completion is ≤ 7... on the 9.4 schedule B0@5 completes at 8,
+	// B1@7 < 8 still issues (delay slots), which is the exposed-latency
+	// semantics — but nothing at cycle ≥ 8 runs.
+	if res.Cycles != s.Place[4].Cycle+3 {
+		t.Errorf("cycles = %d, want %d", res.Cycles, s.Place[4].Cycle+3)
+	}
+	if len(res.TraceLines) == 0 {
+		t.Error("trace requested but empty")
+	}
+}
+
+func TestSimCatchesCorruptedSchedule(t *testing.T) {
+	s := section5(t)
+	// Strip the communications: cross-cluster consumers must now fail to
+	// find their operands.
+	s.Comms = nil
+	if _, err := ExpectedCycles(s); err == nil {
+		t.Fatal("simulation accepted a schedule without its communications")
+	}
+}
+
+func TestSimCatchesEarlyConsumer(t *testing.T) {
+	s := section5(t)
+	// Find a cross-cluster consumer and move it before its value
+	// arrives.
+	moved := false
+	for _, e := range s.SB.Edges {
+		if e.Kind != ir.Data {
+			continue
+		}
+		if s.Place[e.From].Cluster != s.Place[e.To].Cluster && !s.SB.Instrs[e.To].IsExit() {
+			s.Place[e.To] = sched.Placement{Cycle: 0, Cluster: s.Place[e.To].Cluster}
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Skip("no cross-cluster consumer in this schedule")
+	}
+	if _, err := ExpectedCycles(s); err == nil {
+		t.Fatal("simulation accepted a consumer issued before its operand arrived")
+	}
+}
+
+// TestValidatorAndSimulatorAgree is the model-consistency property: on
+// random corpus blocks, every schedule the static validator accepts also
+// executes cleanly in the simulator with the simulated expectation equal
+// to the AWCT — for both schedulers.
+func TestValidatorAndSimulatorAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	machines := machine.EvaluationConfigs()
+	profiles := workload.Benchmarks()
+	for trial := 0; trial < 6; trial++ {
+		p := profiles[rng.Intn(len(profiles))]
+		app := p.Generate(0.04, 0)
+		m := machines[trial%len(machines)]
+		for _, sb := range app.Blocks {
+			pins := workload.PinsFor(sb, m.Clusters, 3)
+			cs, err := cars.Schedule(sb, m, pins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cs.Validate(); err != nil {
+				t.Fatalf("%s: validator: %v", sb.Name, err)
+			}
+			got, err := ExpectedCycles(cs)
+			if err != nil {
+				t.Fatalf("%s on %s: simulator rejected a validated schedule: %v", sb.Name, m.Name, err)
+			}
+			if math.Abs(got-cs.AWCT()) > 1e-9 {
+				t.Fatalf("%s on %s: simulated %g vs AWCT %g", sb.Name, m.Name, got, cs.AWCT())
+			}
+		}
+	}
+}

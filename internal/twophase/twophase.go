@@ -1,0 +1,101 @@
+// Package twophase implements the older baseline family the paper's
+// related-work section contrasts with (Ellis' Bulldog, Capitanio et al.,
+// Desoli): cluster assignment first, list scheduling second, with the
+// schedule strictly following the precomputed partition.
+//
+// Phase 1 partitions the dependence graph greedily: instructions are
+// visited in topological order and each is assigned to the cluster that
+// minimizes an estimated cost (communication edges cut so far, balanced
+// by load), with live-in/live-out pins seeding the partition. Phase 2 is
+// the same cycle-driven list scheduler CARS uses, except the cluster
+// choice is fixed, so all scheduling freedom left is *when*, not
+// *where* — precisely the limitation ("they do not consider at all the
+// effects of the scheduling constraints imposed by the cluster decisions")
+// the paper's integrated approaches address.
+package twophase
+
+import (
+	"fmt"
+
+	"vcsched/internal/cars"
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/sched"
+)
+
+// Schedule partitions the superblock and then list-schedules it with the
+// partition fixed.
+func Schedule(sb *ir.Superblock, m *machine.Config, pins sched.Pins) (*sched.Schedule, error) {
+	assign := Partition(sb, m, pins)
+	return cars.ScheduleFixed(sb, m, pins, assign)
+}
+
+// Partition assigns every instruction to a cluster before any
+// scheduling, minimizing cut data edges with a load-balance term — the
+// phase-1 heuristic of the two-phase family.
+func Partition(sb *ir.Superblock, m *machine.Config, pins sched.Pins) []int {
+	n := sb.N()
+	assign := make([]int, n)
+	load := make([]int, m.Clusters)
+	// Per-cluster, per-class capacity pressure: assigning an instruction
+	// to a cluster without units of its class is forbidden.
+	for _, u := range sb.TopoOrder() {
+		in := sb.Instrs[u]
+		bestK, bestCost := -1, 0
+		for k := 0; k < m.Clusters; k++ {
+			if m.ClusterFU(k, in.Class) == 0 {
+				continue
+			}
+			cost := 0
+			// Cut edges to already-assigned producers.
+			for _, ei := range sb.InEdges(u) {
+				e := sb.Edges[ei]
+				if e.Kind == ir.Data && assign[e.From] != k {
+					cost += 2
+				}
+			}
+			// Live-in operands prefer their home cluster.
+			for li := range sb.LiveIns {
+				for _, c := range sb.LiveIns[li].Consumers {
+					if c == u && pins.LiveIn[li] != k {
+						cost += 2
+					}
+				}
+			}
+			// Live-out producers prefer their home cluster.
+			for oi, p := range sb.LiveOuts {
+				if p == u && pins.LiveOut[oi] != k {
+					cost += 2
+				}
+			}
+			// Load balance: scaled cluster occupancy.
+			cost += load[k]
+			if bestK < 0 || cost < bestCost || (cost == bestCost && k < bestK) {
+				bestK, bestCost = k, cost
+			}
+		}
+		if bestK < 0 {
+			bestK = 0 // no capable cluster: phase 2 will fail loudly
+		}
+		assign[u] = bestK
+		load[bestK]++
+	}
+	return assign
+}
+
+// Validate checks that a partition respects cluster capabilities.
+func Validate(sb *ir.Superblock, m *machine.Config, assign []int) error {
+	if len(assign) != sb.N() {
+		return fmt.Errorf("twophase: partition covers %d of %d instructions", len(assign), sb.N())
+	}
+	for u, k := range assign {
+		if k < 0 || k >= m.Clusters {
+			return fmt.Errorf("twophase: instruction %d assigned to cluster %d", u, k)
+		}
+		if m.ClusterFU(k, sb.Instrs[u].Class) == 0 {
+			return fmt.Errorf("twophase: instruction %d (%s) assigned to cluster %d without %s units",
+				u, sb.Instrs[u].Class, k, sb.Instrs[u].Class)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package twophase
+
+import (
+	"math/rand"
+	"testing"
+
+	"vcsched/internal/cars"
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/sched"
+	"vcsched/internal/workload"
+)
+
+func TestPartitionRespectsCapabilities(t *testing.T) {
+	m := machine.TwoCluster1Lat()
+	var thin [ir.NumClasses]int
+	thin[ir.Int], thin[ir.Branch] = 1, 1
+	m.SetClusterFU(1, thin) // cluster 1: no mem/fp
+	sb := ir.Diamond()      // contains a mem op
+	assign := Partition(sb, m, sched.Pins{})
+	if err := Validate(sb, m, assign); err != nil {
+		t.Fatal(err)
+	}
+	for u, k := range assign {
+		if sb.Instrs[u].Class == ir.Mem && k != 0 {
+			t.Errorf("mem op %d assigned to memless cluster %d", u, k)
+		}
+	}
+}
+
+func TestPartitionPinsPull(t *testing.T) {
+	b := ir.NewBuilder("pull")
+	c0 := b.Instr("c0", ir.Int, 1)
+	c1 := b.Instr("c1", ir.Int, 1)
+	x := b.Exit("x", 1, 1.0)
+	b.Data(c0, x).Data(c1, x)
+	b.LiveIn("u", c0)
+	b.LiveIn("v", c1)
+	sb := b.MustFinish()
+	m := machine.TwoCluster1Lat()
+	assign := Partition(sb, m, sched.Pins{LiveIn: []int{0, 1}})
+	if assign[c0] != 0 || assign[c1] != 1 {
+		t.Errorf("live-in homes ignored: %v", assign)
+	}
+}
+
+func TestScheduleValidOnFixtures(t *testing.T) {
+	for _, sb := range []*ir.Superblock{ir.PaperFigure1(), ir.Diamond(), ir.Straight(6), ir.Wide(6)} {
+		for _, m := range machine.EvaluationConfigs() {
+			s, err := Schedule(sb, m, sched.Pins{})
+			if err != nil {
+				t.Fatalf("%s on %s: %v", sb.Name, m.Name, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s on %s: %v\n%s", sb.Name, m.Name, err, s.Format())
+			}
+		}
+	}
+}
+
+// TestTwoPhaseNeverBeatsCARSOnAverage: across a corpus sample the
+// integrated baseline should be at least as good in total cycles — the
+// relation the paper's related-work section describes (single-phase
+// schemes supersede two-phase ones).
+func TestTwoPhaseNeverBeatsCARSOnAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := machine.FourCluster1Lat()
+	var tcTwo, tcCARS float64
+	profiles := workload.Benchmarks()
+	for trial := 0; trial < 4; trial++ {
+		p := profiles[rng.Intn(len(profiles))]
+		for _, sb := range p.Generate(0.05, 0).Blocks {
+			pins := workload.PinsFor(sb, m.Clusters, 1)
+			st, err := Schedule(sb, m, pins)
+			if err != nil {
+				t.Fatalf("%s: %v", sb.Name, err)
+			}
+			if err := st.Validate(); err != nil {
+				t.Fatalf("%s: %v", sb.Name, err)
+			}
+			cs, err := cars.Schedule(sb, m, pins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tcTwo += st.AWCT() * float64(sb.ExecCount)
+			tcCARS += cs.AWCT() * float64(sb.ExecCount)
+		}
+	}
+	if tcCARS > tcTwo*1.001 {
+		t.Errorf("two-phase (%.0f) beat CARS (%.0f) overall; expected the integrated scheme to win", tcTwo, tcCARS)
+	}
+	t.Logf("CARS/two-phase total-cycle ratio: %.4f", tcTwo/tcCARS)
+}
+
+func TestScheduleFixedLengthMismatch(t *testing.T) {
+	if _, err := cars.ScheduleFixed(ir.Diamond(), machine.TwoCluster1Lat(), sched.Pins{}, []int{0}); err == nil {
+		t.Fatal("short assignment accepted")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	sb := ir.Diamond()
+	m := machine.TwoCluster1Lat()
+	if err := Validate(sb, m, []int{0}); err == nil {
+		t.Error("short partition accepted")
+	}
+	bad := make([]int, sb.N())
+	bad[0] = 9
+	if err := Validate(sb, m, bad); err == nil {
+		t.Error("out-of-range cluster accepted")
+	}
+}

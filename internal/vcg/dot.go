@@ -1,0 +1,48 @@
+package vcg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the virtual cluster graph in Graphviz DOT form: one node
+// per VC listing its members, undirected edges between incompatible VCs
+// — the paper's Figure 5 as a picture. label names node ids (pass nil
+// for numeric ids); anchors render as "PCk".
+func (g *Graph) Dot(label func(node int) string) string {
+	var b strings.Builder
+	b.WriteString("graph VCG {\n  node [shape=ellipse, fontname=\"Helvetica\"];\n")
+	name := func(n int) string {
+		if g.anchorBase >= 0 && n >= g.anchorBase && n < g.anchorBase+g.numAnchors {
+			return fmt.Sprintf("PC%d", n-g.anchorBase)
+		}
+		if label != nil {
+			return label(n)
+		}
+		return fmt.Sprint(n)
+	}
+	reps := g.VCs()
+	for _, r := range reps {
+		members := g.Members(r)
+		parts := make([]string, len(members))
+		for i, m := range members {
+			parts[i] = name(m)
+		}
+		fmt.Fprintf(&b, "  vc%d [label=\"{%s}\"];\n", r, strings.Join(parts, " "))
+	}
+	var lines []string
+	for _, r := range reps {
+		for _, x := range g.IncompatibleVCs(r) {
+			if r < x {
+				lines = append(lines, fmt.Sprintf("  vc%d -- vc%d;\n", r, x))
+			}
+		}
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

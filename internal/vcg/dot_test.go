@@ -1,0 +1,22 @@
+package vcg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDot(t *testing.T) {
+	g := New(3, 2)
+	g.Fuse(0, 1)
+	g.SetIncompatible(0, 2)
+	dot := g.Dot(func(n int) string { return string(rune('a' + n)) })
+	for _, want := range []string{"{a b}", "{c}", "PC0", "PC1", " -- "} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot output missing %q in:\n%s", want, dot)
+		}
+	}
+	// Three incompatibility edges: anchors pairwise + (0,2).
+	if got := strings.Count(dot, " -- "); got != 2 {
+		t.Errorf("edges = %d, want 2 (anchor pair + the set one)", got)
+	}
+}

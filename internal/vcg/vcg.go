@@ -1,0 +1,277 @@
+// Package vcg maintains the virtual cluster graph (VCG) of the paper: a
+// dynamic partition of instructions into virtual clusters (VCs — sets of
+// instructions that must end up in the same physical cluster) together
+// with incompatibility edges between VCs (pairs that must end up in
+// different physical clusters).
+//
+// Two update operations drive it, both triggered by the deduction
+// process: Fuse (the VCs must share a physical cluster) and
+// SetIncompatible (they must not). A fusion of incompatible VCs, or an
+// incompatibility inside one VC, is a contradiction.
+//
+// Besides the instruction nodes, the graph can host anchor nodes — one
+// per physical cluster, pairwise incompatible — representing the
+// pre-assigned locations of live-in/live-out values. Fusing an
+// instruction's VC with anchor k pins it to physical cluster k while
+// keeping the paper's delayed-mapping discipline intact.
+package vcg
+
+import (
+	"errors"
+	"sort"
+
+	"vcsched/internal/coloring"
+	"vcsched/internal/graphutil"
+)
+
+// ErrContradiction is returned when a fusion or incompatibility request
+// conflicts with the current graph.
+var ErrContradiction = errors.New("vcg: contradiction")
+
+// Graph is a virtual cluster graph. Create one with New; the zero value
+// is not usable.
+type Graph struct {
+	uf  *graphutil.UnionFind
+	inc []map[int]bool // incompatibility adjacency, valid for representatives
+	// anchorBase is the node index of the anchor for physical cluster 0;
+	// −1 when the graph has no anchors.
+	anchorBase int
+	numAnchors int
+}
+
+// New creates a VCG over n instruction nodes (ids 0..n−1), each in its
+// own VC. If anchors > 0, that many anchor nodes are appended (ids
+// n..n+anchors−1) and made pairwise incompatible.
+func New(n, anchors int) *Graph {
+	g := &Graph{uf: graphutil.NewUnionFind(n), inc: make([]map[int]bool, n), anchorBase: -1}
+	if anchors > 0 {
+		g.anchorBase = n
+		g.numAnchors = anchors
+		for k := 0; k < anchors; k++ {
+			g.addNode()
+		}
+		for a := 0; a < anchors; a++ {
+			for b := a + 1; b < anchors; b++ {
+				// Anchors represent distinct physical clusters.
+				if err := g.SetIncompatible(g.Anchor(a), g.Anchor(b)); err != nil {
+					panic(err) // fresh anchors cannot conflict
+				}
+			}
+		}
+	}
+	return g
+}
+
+func (g *Graph) addNode() int {
+	id := g.uf.Add()
+	g.inc = append(g.inc, nil)
+	return id
+}
+
+// AddNode appends a fresh node (used for communication instructions
+// materialized during scheduling) and returns its id.
+func (g *Graph) AddNode() int { return g.addNode() }
+
+// Len returns the total number of nodes (instructions + anchors +
+// additions).
+func (g *Graph) Len() int { return g.uf.Len() }
+
+// Anchor returns the node id of the anchor for physical cluster k.
+// Valid only if the graph was created with anchors.
+func (g *Graph) Anchor(k int) int {
+	if g.anchorBase < 0 || k < 0 || k >= g.numAnchors {
+		panic("vcg: no such anchor")
+	}
+	return g.anchorBase + k
+}
+
+// HasAnchors reports whether anchor nodes exist.
+func (g *Graph) HasAnchors() bool { return g.anchorBase >= 0 }
+
+// NumAnchors returns the number of anchor nodes.
+func (g *Graph) NumAnchors() int { return g.numAnchors }
+
+// Rep returns the canonical representative of a's VC.
+func (g *Graph) Rep(a int) int { return g.uf.Find(a) }
+
+// SameVC reports whether a and b are in one VC.
+func (g *Graph) SameVC(a, b int) bool { return g.uf.Same(a, b) }
+
+// Incompatible reports whether the VCs of a and b are marked
+// incompatible.
+func (g *Graph) Incompatible(a, b int) bool {
+	ra, rb := g.uf.Find(a), g.uf.Find(b)
+	if ra == rb {
+		return false
+	}
+	return g.inc[ra][rb]
+}
+
+// Fuse merges the VCs of a and b. It returns ErrContradiction (wrapped)
+// if they are incompatible.
+func (g *Graph) Fuse(a, b int) error {
+	ra, rb := g.uf.Find(a), g.uf.Find(b)
+	if ra == rb {
+		return nil
+	}
+	if g.inc[ra][rb] {
+		return errContra("fuse of incompatible VCs")
+	}
+	r := g.uf.Union(ra, rb)
+	other := ra + rb - r
+	for x := range g.inc[other] {
+		delete(g.inc[x], other)
+		g.setEdge(x, r)
+	}
+	g.inc[other] = nil
+	return nil
+}
+
+// SetIncompatible marks the VCs of a and b as requiring different
+// physical clusters. It returns ErrContradiction (wrapped) if they are
+// already the same VC.
+func (g *Graph) SetIncompatible(a, b int) error {
+	ra, rb := g.uf.Find(a), g.uf.Find(b)
+	if ra == rb {
+		return errContra("incompatibility inside one VC")
+	}
+	g.setEdge(ra, rb)
+	return nil
+}
+
+func (g *Graph) setEdge(x, y int) {
+	if x == y {
+		return
+	}
+	if g.inc[x] == nil {
+		g.inc[x] = make(map[int]bool)
+	}
+	if g.inc[y] == nil {
+		g.inc[y] = make(map[int]bool)
+	}
+	g.inc[x][y] = true
+	g.inc[y][x] = true
+}
+
+func errContra(msg string) error {
+	return &contraError{msg}
+}
+
+type contraError struct{ msg string }
+
+func (e *contraError) Error() string { return "vcg: " + e.msg }
+func (e *contraError) Unwrap() error { return ErrContradiction }
+
+// PinnedPC returns the physical cluster a's VC is pinned to via an
+// anchor, if any.
+func (g *Graph) PinnedPC(a int) (int, bool) {
+	if g.anchorBase < 0 {
+		return 0, false
+	}
+	ra := g.uf.Find(a)
+	for k := 0; k < g.numAnchors; k++ {
+		if g.uf.Find(g.Anchor(k)) == ra {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// VCs returns the current VC representatives, sorted.
+func (g *Graph) VCs() []int {
+	seen := make(map[int]bool)
+	var reps []int
+	for i := 0; i < g.uf.Len(); i++ {
+		r := g.uf.Find(i)
+		if !seen[r] {
+			seen[r] = true
+			reps = append(reps, r)
+		}
+	}
+	sort.Ints(reps)
+	return reps
+}
+
+// NumVCs returns the number of virtual clusters (including anchors).
+func (g *Graph) NumVCs() int { return g.uf.Sets() }
+
+// Members returns the node ids of a's VC, sorted.
+func (g *Graph) Members(a int) []int {
+	ra := g.uf.Find(a)
+	var out []int
+	for i := 0; i < g.uf.Len(); i++ {
+		if g.uf.Find(i) == ra {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Degree returns the number of VCs incompatible with a's VC.
+func (g *Graph) Degree(a int) int { return len(g.inc[g.uf.Find(a)]) }
+
+// IncompatibleVCs returns the representatives of VCs incompatible with
+// a's VC, sorted.
+func (g *Graph) IncompatibleVCs(a int) []int {
+	var out []int
+	for x := range g.inc[g.uf.Find(a)] {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ColoringGraph projects the VCG onto a coloring.Graph whose vertices
+// are the current VCs (in VCs() order). The returned slice maps vertex
+// index → representative.
+func (g *Graph) ColoringGraph() (*coloring.Graph, []int) {
+	reps := g.VCs()
+	idx := make(map[int]int, len(reps))
+	for i, r := range reps {
+		idx[r] = i
+	}
+	cg := coloring.New(len(reps))
+	for _, r := range reps {
+		for x := range g.inc[r] {
+			cg.AddEdge(idx[r], idx[x])
+		}
+	}
+	return cg, reps
+}
+
+// Mappable reports whether the current VCG can (according to the greedy
+// coloring bound the paper uses) be mapped onto k physical clusters.
+// A false result is definitive only as a heuristic veto: greedy coloring
+// may overestimate; MaxCliqueLB > k proves unmappability.
+func (g *Graph) Mappable(k int) bool {
+	cg, _ := g.ColoringGraph()
+	return cg.Colorable(k)
+}
+
+// CliqueExceeds reports whether a clique of more than k VCs exists (by
+// the greedy lower bound), which proves no k-cluster mapping exists.
+func (g *Graph) CliqueExceeds(k int) bool {
+	cg, _ := g.ColoringGraph()
+	return cg.MaxCliqueLB() > k
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	cp := &Graph{
+		uf:         g.uf.Clone(),
+		inc:        make([]map[int]bool, len(g.inc)),
+		anchorBase: g.anchorBase,
+		numAnchors: g.numAnchors,
+	}
+	for i, m := range g.inc {
+		if m == nil {
+			continue
+		}
+		nm := make(map[int]bool, len(m))
+		for k, v := range m {
+			nm[k] = v
+		}
+		cp.inc[i] = nm
+	}
+	return cp
+}

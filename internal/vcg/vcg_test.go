@@ -1,0 +1,260 @@
+package vcg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFuseAndIncompatible(t *testing.T) {
+	g := New(4, 0)
+	if g.NumVCs() != 4 {
+		t.Fatalf("fresh VCs = %d", g.NumVCs())
+	}
+	if err := g.Fuse(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !g.SameVC(0, 1) || g.SameVC(0, 2) {
+		t.Error("membership wrong")
+	}
+	if err := g.SetIncompatible(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Incompatible(0, 2) {
+		t.Error("incompatibility not visible through fused member")
+	}
+	// Fusing incompatible VCs contradicts.
+	if err := g.Fuse(0, 2); !errors.Is(err, ErrContradiction) {
+		t.Errorf("fuse of incompatible VCs: %v", err)
+	}
+	// Incompatibility inside a VC contradicts.
+	if err := g.SetIncompatible(0, 1); !errors.Is(err, ErrContradiction) {
+		t.Errorf("incompatibility inside a VC: %v", err)
+	}
+	// Redundant operations are fine.
+	if err := g.Fuse(0, 1); err != nil {
+		t.Errorf("re-fuse: %v", err)
+	}
+	if err := g.SetIncompatible(0, 2); err != nil {
+		t.Errorf("re-incompatible: %v", err)
+	}
+}
+
+func TestEdgeInheritanceOnFuse(t *testing.T) {
+	// 0–1 incompatible, 2–3 incompatible; fusing 1 and 2 must leave the
+	// new VC incompatible with both 0 and 3 (Figure 5's "inherits all
+	// edges from VCs linked to VC2 or VC3").
+	g := New(4, 0)
+	g.SetIncompatible(0, 1)
+	g.SetIncompatible(2, 3)
+	if err := g.Fuse(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Incompatible(1, 0) || !g.Incompatible(2, 0) {
+		t.Error("edge to 0 lost")
+	}
+	if !g.Incompatible(1, 3) || !g.Incompatible(2, 3) {
+		t.Error("edge to 3 lost")
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("degree = %d, want 2", g.Degree(1))
+	}
+	if g.NumVCs() != 3 {
+		t.Errorf("VCs = %d, want 3", g.NumVCs())
+	}
+}
+
+func TestPaperFigure5Mapping(t *testing.T) {
+	// Figure 5: six VCs with nine incompatibility edges are mapped onto
+	// four physical clusters by fusing VC2+VC3 and VC1+VC4.
+	g := New(6, 0)
+	edges := [][2]int{
+		{0, 1}, {0, 2}, {0, 5}, {1, 2}, {1, 5}, {2, 4}, {3, 4}, {3, 5}, {4, 5},
+	}
+	for _, e := range edges {
+		if err := g.SetIncompatible(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !g.Mappable(4) {
+		t.Fatal("figure-5 VCG not mappable to 4 clusters")
+	}
+	// Step 1: fuse VC2 and VC3 (compatible).
+	if err := g.Fuse(2, 3); err != nil {
+		t.Fatalf("fuse VC2,VC3: %v", err)
+	}
+	// Step 2: fuse VC1 and VC4 (compatible).
+	if err := g.Fuse(1, 4); err != nil {
+		t.Fatalf("fuse VC1,VC4: %v", err)
+	}
+	if g.NumVCs() != 4 {
+		t.Fatalf("after fusions VCs = %d, want 4", g.NumVCs())
+	}
+	// Now every remaining pair is incompatible (the 4 VCs form a clique
+	// in Figure 5.c) and the mapping is a bijection.
+	cg, _ := g.ColoringGraph()
+	if lb := cg.MaxCliqueLB(); lb != 4 {
+		t.Errorf("clique bound after fusions = %d, want 4", lb)
+	}
+	if !g.Mappable(4) || g.Mappable(3) {
+		t.Error("mappability after fusions wrong")
+	}
+}
+
+func TestAnchors(t *testing.T) {
+	g := New(3, 2)
+	if !g.HasAnchors() || g.NumAnchors() != 2 {
+		t.Fatal("anchors missing")
+	}
+	a0, a1 := g.Anchor(0), g.Anchor(1)
+	if !g.Incompatible(a0, a1) {
+		t.Error("anchors not pairwise incompatible")
+	}
+	if _, ok := g.PinnedPC(0); ok {
+		t.Error("unpinned node reports a pin")
+	}
+	if err := g.Fuse(0, a1); err != nil {
+		t.Fatal(err)
+	}
+	if pc, ok := g.PinnedPC(0); !ok || pc != 1 {
+		t.Errorf("PinnedPC = %d,%v, want 1,true", pc, ok)
+	}
+	// Node 0 is now pinned to PC1; making it incompatible with a1 must
+	// contradict, and fusing with a0 must contradict.
+	if err := g.SetIncompatible(0, a1); !errors.Is(err, ErrContradiction) {
+		t.Error("pin contradiction not detected")
+	}
+	if err := g.Fuse(0, a0); !errors.Is(err, ErrContradiction) {
+		t.Error("double pin not detected")
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(2, 1)
+	id := g.AddNode()
+	if id != 3 { // 2 instructions + 1 anchor
+		t.Fatalf("AddNode = %d, want 3", id)
+	}
+	if err := g.SetIncompatible(id, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Incompatible(id, 0) {
+		t.Error("edge on added node lost")
+	}
+	if g.Len() != 4 {
+		t.Errorf("Len = %d, want 4", g.Len())
+	}
+}
+
+func TestMembersAndVCs(t *testing.T) {
+	g := New(5, 0)
+	g.Fuse(0, 3)
+	g.Fuse(3, 4)
+	m := g.Members(0)
+	if len(m) != 3 {
+		t.Fatalf("Members = %v", m)
+	}
+	if len(g.VCs()) != 3 {
+		t.Errorf("VCs = %v", g.VCs())
+	}
+	if len(g.IncompatibleVCs(0)) != 0 {
+		t.Error("phantom incompatibilities")
+	}
+	g.SetIncompatible(0, 1)
+	if got := g.IncompatibleVCs(4); len(got) != 1 || got[0] != g.Rep(1) {
+		t.Errorf("IncompatibleVCs = %v", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := New(4, 1)
+	g.SetIncompatible(0, 1)
+	cp := g.Clone()
+	cp.Fuse(0, 2)
+	cp.SetIncompatible(2, 3)
+	if g.SameVC(0, 2) {
+		t.Error("Clone shares union-find")
+	}
+	if g.Incompatible(2, 3) {
+		t.Error("Clone shares incompatibility sets")
+	}
+	if !cp.Incompatible(0, 1) {
+		t.Error("clone lost an edge")
+	}
+}
+
+func TestCliqueExceeds(t *testing.T) {
+	g := New(4, 0)
+	for a := 0; a < 3; a++ {
+		for b := a + 1; b < 3; b++ {
+			g.SetIncompatible(a, b)
+		}
+	}
+	if g.CliqueExceeds(3) {
+		t.Error("K3 reported as exceeding 3")
+	}
+	if !g.CliqueExceeds(2) {
+		t.Error("K3 not detected as exceeding 2")
+	}
+}
+
+// Property: after any random sequence of consistent fuses and
+// incompatibilities, invariants hold: Incompatible is symmetric, never
+// intra-VC, and fusion transitively merges edge sets.
+func TestRandomOperationsInvariants(t *testing.T) {
+	fn := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		g := New(n, 0)
+		for step := 0; step < 30; step++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				if g.Incompatible(a, b) {
+					if err := g.Fuse(a, b); err == nil {
+						return false
+					}
+				} else if err := g.Fuse(a, b); err != nil {
+					return false
+				}
+			} else {
+				if g.SameVC(a, b) {
+					if err := g.SetIncompatible(a, b); err == nil {
+						return false
+					}
+				} else if err := g.SetIncompatible(a, b); err != nil {
+					return false
+				}
+			}
+		}
+		// Invariants.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				if g.Incompatible(a, b) != g.Incompatible(b, a) {
+					return false
+				}
+				if g.SameVC(a, b) && g.Incompatible(a, b) {
+					return false
+				}
+			}
+		}
+		// Edge sets are consistent across members of one VC.
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if g.SameVC(a, b) && g.Degree(a) != g.Degree(b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

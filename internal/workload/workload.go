@@ -1,0 +1,301 @@
+// Package workload synthesizes superblock corpora that stand in for the
+// paper's benchmarks (7 SpecInt95 + 7 MediaBench applications compiled
+// with IMPACT). The real superblocks are not available, so each
+// application gets a seeded generator profile controlling block size,
+// instruction-level parallelism, operation mix, exit-probability skew
+// and execution-count distribution — the block characteristics the
+// scheduling comparison is actually sensitive to. DESIGN.md documents
+// the substitution.
+//
+// Two "inputs" per application (the paper's ref/train distinction for
+// Figure 12) share the block *structure* and differ only in profile
+// data: exit probabilities and execution counts.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vcsched/internal/ir"
+	"vcsched/internal/sched"
+)
+
+// Suite names the benchmark suite an application belongs to.
+type Suite string
+
+// The two suites of the paper's evaluation.
+const (
+	SpecInt95  Suite = "SpecInt95"
+	MediaBench Suite = "MediaBench"
+)
+
+// AppProfile is the generator profile of one synthetic application.
+type AppProfile struct {
+	Name   string
+	Suite  Suite
+	Blocks int // superblocks at scale 1.0
+
+	MeanBB     float64 // mean basic blocks per superblock (= exits)
+	MeanInstrs float64 // mean non-branch instructions per basic block
+	TailProb   float64 // probability of a 3–6× oversized superblock
+	ChainProb  float64 // probability an operand comes from the immediate
+	// neighborhood (high = chainy code, low ILP)
+	MemFrac  float64 // fraction of mem-class instructions
+	FPFrac   float64 // fraction of fp-class instructions
+	ExitBias float64 // probability mass on early exits (0 = all falls through)
+	ZipfS    float64 // execution-count skew across blocks
+	Seed     int64
+}
+
+// Benchmarks returns the fourteen application profiles in the paper's
+// presentation order. The profiles encode the usual folklore: SpecInt is
+// chainy integer code with unpredictable branches; MediaBench kernels
+// are wider, more regular, heavier on memory and fp, with strongly
+// biased exits.
+func Benchmarks() []AppProfile {
+	specint := func(name string, seed int64, meanI, chain, tail float64) AppProfile {
+		return AppProfile{
+			Name: name, Suite: SpecInt95, Blocks: 120,
+			MeanBB: 2.6, MeanInstrs: meanI, TailProb: tail,
+			ChainProb: chain, MemFrac: 0.30, FPFrac: 0.02,
+			ExitBias: 0.35, ZipfS: 1.1, Seed: seed,
+		}
+	}
+	media := func(name string, seed int64, meanI, chain, tail float64) AppProfile {
+		return AppProfile{
+			Name: name, Suite: MediaBench, Blocks: 120,
+			MeanBB: 2.0, MeanInstrs: meanI + 2, TailProb: tail,
+			ChainProb: chain - 0.15, MemFrac: 0.34, FPFrac: 0.14,
+			ExitBias: 0.18, ZipfS: 1.35, Seed: seed,
+		}
+	}
+	return []AppProfile{
+		specint("099.go", 9901, 4.6, 0.55, 0.06),
+		specint("124.m88ksim", 12401, 3.8, 0.62, 0.03),
+		specint("129.compress", 12901, 4.2, 0.58, 0.04),
+		specint("130.li", 13001, 3.6, 0.60, 0.03),
+		specint("132.ijpeg", 13201, 5.2, 0.48, 0.05),
+		specint("134.perl", 13401, 4.0, 0.57, 0.05),
+		specint("147.vortex", 14701, 3.9, 0.61, 0.07),
+		media("epicdec", 20101, 4.4, 0.52, 0.05),
+		media("epicenc", 20201, 4.8, 0.50, 0.06),
+		media("g721dec", 20301, 3.6, 0.58, 0.02),
+		media("g721enc", 20401, 3.7, 0.58, 0.02),
+		media("mpeg2dec", 20501, 4.6, 0.50, 0.05),
+		media("mpeg2enc", 20601, 5.0, 0.47, 0.06),
+		media("rasta", 20701, 4.2, 0.54, 0.03),
+	}
+}
+
+// BenchmarkByName returns the profile with the given name.
+func BenchmarkByName(name string) (AppProfile, error) {
+	for _, p := range Benchmarks() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return AppProfile{}, fmt.Errorf("workload: unknown benchmark %q", name)
+}
+
+// App is one generated application: its superblocks with profile data
+// embedded (exit probabilities, execution counts).
+type App struct {
+	Profile AppProfile
+	Input   int
+	Blocks  []*ir.Superblock
+}
+
+// Generate builds the application's superblocks. scale multiplies the
+// block count (use < 1 for quick runs); input selects the profile data
+// (0 = the paper's "same input", 1 = the alternative input of Figure
+// 12). Block structure is identical across inputs.
+func (p AppProfile) Generate(scale float64, input int) *App {
+	n := int(math.Round(float64(p.Blocks) * scale))
+	if n < 1 {
+		n = 1
+	}
+	app := &App{Profile: p, Input: input}
+	for i := 0; i < n; i++ {
+		structRng := rand.New(rand.NewSource(p.Seed + int64(i)*7919))
+		profRng := rand.New(rand.NewSource(p.Seed + int64(i)*7919 + int64(input+1)*104729))
+		app.Blocks = append(app.Blocks, p.generateBlock(i, structRng, profRng))
+	}
+	return app
+}
+
+// latencies of the synthetic ISA.
+var classLat = map[ir.Class]int{ir.Int: 1, ir.Mem: 2, ir.FP: 3, ir.Branch: 2}
+
+func (p AppProfile) generateBlock(idx int, structRng, profRng *rand.Rand) *ir.Superblock {
+	b := ir.NewBuilder(fmt.Sprintf("%s.sb%04d", p.Name, idx))
+
+	sizeMul := 1.0
+	if structRng.Float64() < p.TailProb {
+		sizeMul = 3 + 3*structRng.Float64()
+	}
+	nbb := 1 + poisson(structRng, p.MeanBB-1)
+	if nbb > 6 {
+		nbb = 6
+	}
+
+	// Live-in values feeding the early code.
+	nLive := 2 + structRng.Intn(3)
+	liveConsumers := make([][]int, nLive)
+
+	var ids []int      // all non-branch instruction ids so far
+	var branches []int // exit ids in order
+	lastBranch := -1
+	for bb := 0; bb < nbb; bb++ {
+		k := 1 + poisson(structRng, p.MeanInstrs*sizeMul-1)
+		if k > 90 {
+			k = 90
+		}
+		for j := 0; j < k; j++ {
+			class := ir.Int
+			r := structRng.Float64()
+			if r < p.MemFrac {
+				class = ir.Mem
+			} else if r < p.MemFrac+p.FPFrac {
+				class = ir.FP
+			}
+			id := b.Instr("", class, classLat[class])
+			// Operands: one or two, from the recent window (chainy) or
+			// anywhere earlier (parallel), or a live-in. Duplicate
+			// producers collapse into one edge.
+			nOps := 1 + structRng.Intn(2)
+			usedProd := make(map[int]bool, nOps)
+			usedLive := make(map[int]bool, nOps)
+			for o := 0; o < nOps; o++ {
+				switch {
+				case len(ids) == 0 || (structRng.Float64() < 0.25 && nLive > 0):
+					li := structRng.Intn(nLive)
+					if !usedLive[li] {
+						usedLive[li] = true
+						liveConsumers[li] = append(liveConsumers[li], id)
+					}
+				case structRng.Float64() < p.ChainProb:
+					lo := len(ids) - 4
+					if lo < 0 {
+						lo = 0
+					}
+					from := ids[lo+structRng.Intn(len(ids)-lo)]
+					if !usedProd[from] {
+						usedProd[from] = true
+						b.Data(from, id)
+					}
+				default:
+					from := ids[structRng.Intn(len(ids))]
+					if !usedProd[from] {
+						usedProd[from] = true
+						b.Data(from, id)
+					}
+				}
+			}
+			// Stores (a third of mem ops) cannot move above the previous
+			// exit.
+			if class == ir.Mem && lastBranch >= 0 && structRng.Float64() < 0.33 {
+				b.Ctrl(lastBranch, id)
+			}
+			ids = append(ids, id)
+		}
+		// The block's exit branch: consumes a compare-like value.
+		br := b.Exit("", classLat[ir.Branch], 0) // probability set below
+		if len(ids) > 0 {
+			lo := len(ids) - k
+			if lo < 0 {
+				lo = 0
+			}
+			b.Data(ids[lo+structRng.Intn(len(ids)-lo)], br)
+		}
+		if lastBranch >= 0 {
+			b.Ctrl(lastBranch, br)
+		}
+		lastBranch = br
+		branches = append(branches, br)
+	}
+
+	// Live-outs: a few distinct late producers.
+	liveOutSeen := map[int]bool{}
+	for o := 0; o < 1+structRng.Intn(2) && len(ids) > 0; o++ {
+		u := ids[len(ids)-1-structRng.Intn(min(3, len(ids)))]
+		if !liveOutSeen[u] {
+			liveOutSeen[u] = true
+			b.LiveOut(u)
+		}
+	}
+	for li, cons := range liveConsumers {
+		if len(cons) > 0 {
+			b.LiveIn(fmt.Sprintf("li%d", li), cons...)
+		}
+	}
+
+	sb := b.MustFinishWithProbs(exitProbs(profRng, len(branches), p.ExitBias))
+	sb.ExecCount = execCount(profRng, idx, p.ZipfS)
+	return sb
+}
+
+// exitProbs draws the probability of leaving at each exit; the final
+// exit absorbs the remainder.
+func exitProbs(rng *rand.Rand, nExits int, bias float64) []float64 {
+	probs := make([]float64, nExits)
+	remain := 1.0
+	for i := 0; i < nExits-1; i++ {
+		p := bias * rng.Float64() * remain
+		p = math.Round(p*1000) / 1000
+		if p <= 0 {
+			p = 0.001
+		}
+		probs[i] = p
+		remain -= p
+	}
+	probs[nExits-1] = remain
+	return probs
+}
+
+// execCount draws a Zipf-flavored execution count: a few hot blocks
+// dominate the application, as profiles of real programs do.
+func execCount(rng *rand.Rand, idx int, s float64) int64 {
+	rank := 1 + rng.Intn(200)
+	c := 1e7 / math.Pow(float64(rank), s)
+	return int64(math.Max(1, c*(0.5+rng.Float64())))
+}
+
+// poisson draws a Poisson-distributed value with the given mean (mean
+// <= 0 yields 0) via inversion; fine for the small means used here.
+func poisson(rng *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 1000 {
+			return k
+		}
+	}
+}
+
+// PinsFor assigns the block's live-in and live-out values to physical
+// clusters, seeded deterministically per (block, cluster count) — the
+// paper's "randomly distributed, same assignment for both schedulers".
+func PinsFor(sb *ir.Superblock, clusters int, seed int64) sched.Pins {
+	h := seed
+	for _, c := range sb.Name {
+		h = h*131 + int64(c)
+	}
+	rng := rand.New(rand.NewSource(h + int64(clusters)))
+	var p sched.Pins
+	for range sb.LiveIns {
+		p.LiveIn = append(p.LiveIn, rng.Intn(clusters))
+	}
+	for range sb.LiveOuts {
+		p.LiveOut = append(p.LiveOut, rng.Intn(clusters))
+	}
+	return p
+}

@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"vcsched/internal/cars"
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+)
+
+func TestBenchmarksList(t *testing.T) {
+	bs := Benchmarks()
+	if len(bs) != 14 {
+		t.Fatalf("benchmarks = %d, want 14", len(bs))
+	}
+	spec, media := 0, 0
+	seen := map[string]bool{}
+	for _, p := range bs {
+		if seen[p.Name] {
+			t.Errorf("duplicate benchmark %q", p.Name)
+		}
+		seen[p.Name] = true
+		switch p.Suite {
+		case SpecInt95:
+			spec++
+		case MediaBench:
+			media++
+		default:
+			t.Errorf("%s: unknown suite %q", p.Name, p.Suite)
+		}
+	}
+	if spec != 7 || media != 7 {
+		t.Errorf("suites = %d spec + %d media, want 7+7", spec, media)
+	}
+	if _, err := BenchmarkByName("132.ijpeg"); err != nil {
+		t.Error(err)
+	}
+	if _, err := BenchmarkByName("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestGenerateValidBlocks(t *testing.T) {
+	for _, p := range Benchmarks() {
+		app := p.Generate(0.25, 0)
+		if len(app.Blocks) == 0 {
+			t.Fatalf("%s: no blocks", p.Name)
+		}
+		for _, sb := range app.Blocks {
+			if err := sb.Validate(); err != nil {
+				t.Fatalf("%s: %v\n%s", p.Name, err, sb)
+			}
+			if !sb.ExitOrderOK() {
+				t.Errorf("%s %s: exits not ordered", p.Name, sb.Name)
+			}
+			if sb.ExecCount < 1 {
+				t.Errorf("%s %s: exec count %d", p.Name, sb.Name, sb.ExecCount)
+			}
+		}
+	}
+}
+
+func TestStructureStableAcrossInputs(t *testing.T) {
+	p, _ := BenchmarkByName("099.go")
+	a0 := p.Generate(0.2, 0)
+	a1 := p.Generate(0.2, 1)
+	if len(a0.Blocks) != len(a1.Blocks) {
+		t.Fatal("block counts differ across inputs")
+	}
+	probsDiffer := false
+	for i := range a0.Blocks {
+		b0, b1 := a0.Blocks[i], a1.Blocks[i]
+		if b0.N() != b1.N() || len(b0.Edges) != len(b1.Edges) {
+			t.Fatalf("block %d structure differs across inputs", i)
+		}
+		for j := range b0.Instrs {
+			if b0.Instrs[j].Class != b1.Instrs[j].Class || b0.Instrs[j].Latency != b1.Instrs[j].Latency {
+				t.Fatalf("block %d instr %d differs structurally", i, j)
+			}
+			if math.Abs(b0.Instrs[j].Prob-b1.Instrs[j].Prob) > 1e-12 {
+				probsDiffer = true
+			}
+		}
+		for j := range b0.Edges {
+			if b0.Edges[j] != b1.Edges[j] {
+				t.Fatalf("block %d edge %d differs", i, j)
+			}
+		}
+	}
+	if !probsDiffer {
+		t.Error("inputs 0 and 1 have identical exit probabilities everywhere")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p, _ := BenchmarkByName("mpeg2enc")
+	a := p.Generate(0.1, 0)
+	b := p.Generate(0.1, 0)
+	for i := range a.Blocks {
+		if a.Blocks[i].String() != b.Blocks[i].String() {
+			t.Fatalf("block %d not deterministic", i)
+		}
+	}
+}
+
+func TestPinsFor(t *testing.T) {
+	p, _ := BenchmarkByName("rasta")
+	sb := p.Generate(0.05, 0).Blocks[0]
+	pins1 := PinsFor(sb, 4, 42)
+	pins2 := PinsFor(sb, 4, 42)
+	if len(pins1.LiveIn) != len(sb.LiveIns) || len(pins1.LiveOut) != len(sb.LiveOuts) {
+		t.Fatal("pin lengths wrong")
+	}
+	for i := range pins1.LiveIn {
+		if pins1.LiveIn[i] != pins2.LiveIn[i] {
+			t.Fatal("pins not deterministic")
+		}
+		if pins1.LiveIn[i] < 0 || pins1.LiveIn[i] >= 4 {
+			t.Fatal("pin out of range")
+		}
+	}
+	// Different cluster counts change the assignment range.
+	pins2c := PinsFor(sb, 2, 42)
+	for _, k := range pins2c.LiveIn {
+		if k < 0 || k >= 2 {
+			t.Fatal("2-cluster pin out of range")
+		}
+	}
+}
+
+// TestCARSSchedulesWholeApp: the baseline must handle every generated
+// block on every evaluation machine (the harness depends on this as the
+// universal fallback).
+func TestCARSSchedulesWholeApp(t *testing.T) {
+	p, _ := BenchmarkByName("129.compress")
+	app := p.Generate(0.3, 0)
+	for _, m := range machine.EvaluationConfigs() {
+		for _, sb := range app.Blocks {
+			pins := PinsFor(sb, m.Clusters, 1)
+			s, err := cars.Schedule(sb, m, pins)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", sb.Name, m.Name, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s on %s: %v", sb.Name, m.Name, err)
+			}
+		}
+	}
+}
+
+func TestBlockSizeDistribution(t *testing.T) {
+	p, _ := BenchmarkByName("099.go")
+	app := p.Generate(1.0, 0)
+	total, maxN := 0, 0
+	for _, sb := range app.Blocks {
+		total += sb.N()
+		if sb.N() > maxN {
+			maxN = sb.N()
+		}
+	}
+	mean := float64(total) / float64(len(app.Blocks))
+	if mean < 5 || mean > 40 {
+		t.Errorf("mean block size %.1f outside sanity range", mean)
+	}
+	if maxN < 20 {
+		t.Errorf("max block size %d: tail blocks missing", maxN)
+	}
+	_ = ir.NegInf // keep the ir import for documentation parity
+}
