@@ -28,6 +28,7 @@ func main() {
 	machName := flag.String("machine", "2c1l", "target: 2c1l, 4c1l, 4c2l, sec5 (paper §5 example)")
 	algo := flag.String("algo", "both", "scheduler: vc, cars or both")
 	timeout := flag.Duration("timeout", 5*time.Second, "VC scheduling timeout per block")
+	parallel := flag.Int("parallel", 1, "portfolio search workers per block (1 = serial driver; results are identical, only wall-clock changes)")
 	example := flag.Bool("example", false, "schedule the paper's Figure 1 superblock")
 	showSched := flag.Bool("print", true, "print the schedules, not just the metrics")
 	dot := flag.Bool("dot", false, "emit Graphviz DOT for each block's dependence and scheduling graphs instead of scheduling")
@@ -89,7 +90,7 @@ func main() {
 		pins := workload.PinsFor(sb, m.Clusters, *seed)
 		fmt.Printf("== %s (%d instructions) on %s\n", sb.Name, sb.N(), m)
 		if *algo == "vc" || *algo == "both" {
-			runVC(sb, m, pins, *timeout, *showSched, saveTo)
+			runVC(sb, m, pins, *timeout, *parallel, *showSched, saveTo)
 		}
 		if *algo == "cars" || *algo == "both" {
 			runCARS(sb, m, pins, *showSched)
@@ -97,16 +98,22 @@ func main() {
 	}
 }
 
-func runVC(sb *ir.Superblock, m *machine.Config, pins sched.Pins, timeout time.Duration, show bool, saveTo io.Writer) {
+func runVC(sb *ir.Superblock, m *machine.Config, pins sched.Pins, timeout time.Duration, parallel int, show bool, saveTo io.Writer) {
 	start := time.Now()
-	s, stats, err := core.Schedule(sb, m, core.Options{Pins: pins, Timeout: timeout})
+	s, stats, err := core.Schedule(sb, m, core.Options{Pins: pins, Timeout: timeout, Parallelism: parallel})
 	el := time.Since(start).Round(time.Microsecond)
 	if err != nil {
-		fmt.Printf("  VC:   failed after %v: %v\n", el, err)
+		fmt.Printf("  VC:   failed after %v: %v (%d attempts, %d cancelled)\n",
+			el, err, stats.AttemptsLaunched, stats.AttemptsCancelled)
 		return
 	}
 	fmt.Printf("  VC:   AWCT %.3f (lower bound %.3f, %d AWCT values tried, %d comms, %v)\n",
 		s.AWCT(), stats.MinAWCT, stats.AWCTTried, s.NumComms(), el)
+	if parallel > 1 {
+		fmt.Printf("        portfolio: %d attempts launched, %d cancelled, %d deduction steps\n",
+			stats.AttemptsLaunched, stats.AttemptsCancelled, stats.StepsSpent)
+	}
+	fmt.Printf("        exits %s\n", sched.FormatExitCycles(s.ExitCycles()))
 	if show {
 		indent(os.Stdout, s.Format())
 	}

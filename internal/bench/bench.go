@@ -40,7 +40,12 @@ type Config struct {
 	Machines   []*machine.Config
 	Apps       []workload.AppProfile
 	Workers    int  // parallel scheduling workers (default: NumCPU)
-	Verbose    bool // progress to stdout
+	// Parallelism is passed through to core.Options.Parallelism: the
+	// number of portfolio workers *within* one block's VC search
+	// (default 1 = the serial driver). Schedules are identical either
+	// way; only VCTime changes.
+	Parallelism int
+	Verbose     bool // progress to stdout
 }
 
 func (c Config) withDefaults() Config {
@@ -73,7 +78,14 @@ type BlockResult struct {
 	N         int
 	ExecCount int64
 
+	// Err records a baseline failure (CARS errored or produced an
+	// invalid schedule): the block has no usable result and is skipped
+	// by every aggregate. One bad input degrades that block, not the
+	// whole sweep.
+	Err string
+
 	VCOK    bool          // the VC scheduler produced a valid schedule
+	VCErr   string        // why the VC scheduler failed (timeout, exhaustion, invalid schedule)
 	VCTime  time.Duration // wall-clock VC scheduling time
 	VCAWCT  float64       // valid when VCOK
 	VCExits map[int]int   // exit cycles of the VC schedule (for Fig. 12)
@@ -83,10 +95,14 @@ type BlockResult struct {
 	CARSExits map[int]int
 }
 
+// Skipped reports whether the block has no usable baseline result and
+// is excluded from every aggregate.
+func (r BlockResult) Skipped() bool { return r.Err != "" }
+
 // UseVC reports whether, under the given threshold, the block runs the
 // VC schedule (the paper's fallback policy).
 func (r BlockResult) UseVC(threshold time.Duration) bool {
-	return r.VCOK && r.VCTime <= threshold
+	return !r.Skipped() && r.VCOK && r.VCTime <= threshold
 }
 
 // AWCT returns the block's effective AWCT under the threshold policy.
@@ -106,22 +122,41 @@ type AppResult struct {
 }
 
 // TC computes the application's total cycles (Σ AWCT·execcount, the
-// paper's §2 metric) under the threshold policy.
+// paper's §2 metric) under the threshold policy. Skipped blocks do not
+// contribute.
 func (a AppResult) TC(threshold time.Duration) float64 {
 	var tc float64
 	for _, b := range a.Blocks {
+		if b.Skipped() {
+			continue
+		}
 		tc += b.AWCT(threshold) * float64(b.ExecCount)
 	}
 	return tc
 }
 
-// TCBaseline computes the pure-CARS total cycles.
+// TCBaseline computes the pure-CARS total cycles over the non-skipped
+// blocks.
 func (a AppResult) TCBaseline() float64 {
 	var tc float64
 	for _, b := range a.Blocks {
+		if b.Skipped() {
+			continue
+		}
 		tc += b.CARSAWCT * float64(b.ExecCount)
 	}
 	return tc
+}
+
+// SkippedBlocks returns the blocks recorded as skipped, for reporting.
+func (a AppResult) SkippedBlocks() []BlockResult {
+	var out []BlockResult
+	for _, b := range a.Blocks {
+		if b.Skipped() {
+			out = append(out, b)
+		}
+	}
+	return out
 }
 
 // Speedup is the paper's headline metric: CARS cycles over VC cycles
@@ -145,7 +180,7 @@ func RunApp(app *workload.App, m *machine.Config, cfg Config) AppResult {
 		go func(i int, sb *ir.Superblock) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			br := runBlock(sb, m, cfg.Seed, maxT)
+			br := runBlock(sb, m, cfg.Seed, maxT, cfg.Parallelism)
 			br.App = app.Profile.Name
 			res.Blocks[i] = br
 		}(i, sb)
@@ -154,28 +189,39 @@ func RunApp(app *workload.App, m *machine.Config, cfg Config) AppResult {
 	return res
 }
 
-func runBlock(sb *ir.Superblock, m *machine.Config, seed int64, timeout time.Duration) BlockResult {
+func runBlock(sb *ir.Superblock, m *machine.Config, seed int64, timeout time.Duration, parallelism int) BlockResult {
 	pins := workload.PinsFor(sb, m.Clusters, seed)
 	r := BlockResult{Block: sb.Name, N: sb.N(), ExecCount: sb.ExecCount}
 
+	// A CARS failure (or an invalid CARS schedule) leaves the block
+	// without a baseline: record the error and skip it rather than
+	// killing the whole sweep.
 	start := time.Now()
 	cs, err := cars.Schedule(sb, m, pins)
 	r.CARSTime = time.Since(start)
 	if err != nil {
-		panic(fmt.Sprintf("bench: CARS failed on %s: %v", sb.Name, err))
+		r.Err = fmt.Sprintf("CARS failed: %v", err)
+		return r
 	}
 	if err := cs.Validate(); err != nil {
-		panic(fmt.Sprintf("bench: CARS schedule invalid on %s: %v", sb.Name, err))
+		r.Err = fmt.Sprintf("CARS schedule invalid: %v", err)
+		return r
 	}
 	r.CARSAWCT = cs.AWCT()
 	r.CARSExits = cs.ExitCycles()
 
 	start = time.Now()
-	vs, _, err := core.Schedule(sb, m, core.Options{Pins: pins, Timeout: timeout})
+	vs, _, err := core.Schedule(sb, m, core.Options{Pins: pins, Timeout: timeout, Parallelism: parallelism})
 	r.VCTime = time.Since(start)
-	if err == nil {
+	switch {
+	case err != nil:
+		r.VCErr = err.Error()
+	default:
 		if verr := vs.Validate(); verr != nil {
-			panic(fmt.Sprintf("bench: VC schedule invalid on %s: %v", sb.Name, verr))
+			// The block still has its CARS baseline; only the VC side
+			// is marked failed.
+			r.VCErr = fmt.Sprintf("VC schedule invalid: %v", verr)
+			break
 		}
 		r.VCOK = true
 		r.VCAWCT = vs.AWCT()
@@ -208,6 +254,9 @@ func RunAll(cfg Config) ([][]AppResult, error) {
 // counts come from the alternate blocks.
 func EvalCrossInput(a AppResult, alt *workload.App, threshold time.Duration) (tcVC, tcCARS float64) {
 	for i, b := range a.Blocks {
+		if b.Skipped() {
+			continue
+		}
 		altSB := alt.Blocks[i]
 		var awctVC float64
 		if b.UseVC(threshold) {
@@ -229,6 +278,9 @@ func CompiledWithin(apps []AppResult, threshold time.Duration, vc bool) float64 
 	total, ok := 0, 0
 	for _, a := range apps {
 		for _, b := range a.Blocks {
+			if b.Skipped() {
+				continue
+			}
 			total++
 			if vc {
 				if b.UseVC(threshold) {

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"vcsched/internal/ir"
 	"vcsched/internal/machine"
 	"vcsched/internal/workload"
 )
@@ -72,6 +73,87 @@ func TestRunAllAndPolicies(t *testing.T) {
 	}
 	if f := CompiledWithin(results[0], time.Minute, false); f != 1.0 {
 		t.Errorf("CARS compiled-within(1m) = %g, want 1", f)
+	}
+}
+
+// TestBadBlockSkippedNotFatal: a superblock the baseline scheduler
+// cannot handle (an FP instruction on a machine with no FP units) is
+// recorded as skipped instead of panicking, and every aggregate
+// excludes it.
+func TestBadBlockSkippedNotFatal(t *testing.T) {
+	var fu [ir.NumClasses]int
+	fu[ir.Int], fu[ir.Mem], fu[ir.Branch] = 2, 1, 1 // no FP units
+	m := &machine.Config{Name: "nofp", Clusters: 2, Buses: 1, BusLatency: 1, FU: fu}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	b := ir.NewBuilder("needs-fp")
+	f := b.Instr("f", ir.FP, 2)
+	x := b.Exit("x", 1, 1.0)
+	b.Data(f, x)
+	bad := b.MustFinish()
+
+	r := runBlock(bad, m, 1, time.Second, 1)
+	if !r.Skipped() {
+		t.Fatalf("block with unschedulable FP instr not skipped: %+v", r)
+	}
+	if !strings.Contains(r.Err, "CARS failed") {
+		t.Errorf("Err = %q, want a CARS failure", r.Err)
+	}
+	if r.UseVC(time.Minute) {
+		t.Error("skipped block reports UseVC")
+	}
+
+	// A good block alongside the bad one: the aggregates must equal the
+	// good block alone.
+	gb := ir.NewBuilder("fine")
+	i1 := gb.Instr("i1", ir.Int, 1)
+	x2 := gb.Exit("x2", 1, 1.0)
+	gb.Data(i1, x2)
+	good := runBlock(gb.MustFinish(), m, 1, time.Second, 1)
+	if good.Skipped() {
+		t.Fatalf("integer-only block skipped: %q", good.Err)
+	}
+
+	app := AppResult{App: "mixed", Blocks: []BlockResult{good, r}}
+	only := AppResult{App: "good-only", Blocks: []BlockResult{good}}
+	if app.TC(time.Minute) != only.TC(time.Minute) || app.TCBaseline() != only.TCBaseline() {
+		t.Errorf("aggregates include skipped block: TC %g vs %g, TCBaseline %g vs %g",
+			app.TC(time.Minute), only.TC(time.Minute), app.TCBaseline(), only.TCBaseline())
+	}
+	if sk := app.SkippedBlocks(); len(sk) != 1 || sk[0].Block != "needs-fp" {
+		t.Errorf("SkippedBlocks = %+v, want the one bad block", sk)
+	}
+	if f := CompiledWithin([]AppResult{app}, time.Minute, false); f != 1.0 {
+		t.Errorf("CompiledWithin over skipped blocks = %g, want 1 (skipped excluded)", f)
+	}
+}
+
+// TestVCFailureKeepsBaseline: when only the VC scheduler fails (here by
+// timeout) the block keeps its CARS baseline and records the VC error.
+func TestVCFailureKeepsBaseline(t *testing.T) {
+	p, _ := workload.BenchmarkByName("099.go")
+	app := p.Generate(0.5, 0)
+	var big *ir.Superblock
+	for _, sb := range app.Blocks {
+		if big == nil || sb.N() > big.N() {
+			big = sb
+		}
+	}
+	m := machine.TwoCluster1Lat()
+	r := runBlock(big, m, 1, time.Nanosecond, 1)
+	if r.Skipped() {
+		t.Fatalf("CARS side unexpectedly failed: %q", r.Err)
+	}
+	if r.VCOK || r.VCErr == "" {
+		t.Fatalf("VC side should have timed out: VCOK=%v VCErr=%q", r.VCOK, r.VCErr)
+	}
+	if r.CARSAWCT <= 0 {
+		t.Errorf("baseline lost: CARSAWCT = %g", r.CARSAWCT)
+	}
+	if r.UseVC(time.Minute) {
+		t.Error("UseVC true despite VC failure")
 	}
 }
 

@@ -53,55 +53,131 @@ type Options struct {
 	// Pins assigns live-in/live-out values to clusters (shared with the
 	// baseline for fair comparisons).
 	Pins sched.Pins
-	// Timeout bounds wall-clock scheduling time (0 = none).
+	// Timeout bounds wall-clock scheduling time (<= 0 = none).
 	Timeout time.Duration
-	// MaxSteps bounds deduction passes across the whole attempt
-	// (0 = default; < 0 = unlimited).
+	// MaxSteps bounds deduction passes (0 = default 400000; < 0 =
+	// unlimited). In serial mode the budget is shared across the whole
+	// search. With Parallelism > 1 every attempt runs on its own budget
+	// of MaxSteps (workers cannot meaningfully share a step counter),
+	// and the driver replays the shared-budget accounting in serial
+	// visit order afterwards, so the outcome — schedule or error — is
+	// identical to serial mode in every case.
 	MaxSteps int
-	// ShaveRounds controls the bound-probing depth (default 2).
+	// ShaveRounds controls the bound-probing depth (0 = default 2;
+	// negative values are clamped to 0, disabling the probing).
 	ShaveRounds int
 	// CandidateLimit is the number of most-constraining candidates
-	// studied per stage iteration (default 3).
+	// studied per stage iteration (0 = default 3; values below 1 are
+	// clamped to 1 — at least one candidate must be studied).
 	CandidateLimit int
 	// CycleCandLimit caps the cycles studied per stage-2/6 candidate
-	// (default 6).
+	// (0 = default 6; values below 2 are clamped to 2 — both window
+	// boundaries are always studied).
 	CycleCandLimit int
-	// MaxAWCTIters caps the AWCT enumeration (default 64).
+	// MaxAWCTIters caps the AWCT enumeration (0 = default 64; values
+	// below 1 are clamped to 1 — the initial exit vector is always
+	// tried).
 	MaxAWCTIters int
 	// Retries is the number of perturbed decision orders tried per AWCT
-	// value before bumping it (default 3): heuristic dead-ends are
-	// order-sensitive, so rotating the candidate order recovers many
-	// feasible AWCTs.
+	// value before bumping it (0 = default 3; values below 1 are
+	// clamped to 1): heuristic dead-ends are order-sensitive, so
+	// rotating the candidate order recovers many feasible AWCTs.
 	Retries int
+	// Parallelism is the number of concurrent portfolio workers running
+	// the perturbed-order attempts (0 or 1 = the serial driver; values
+	// below 1 are clamped to 1). The committed schedule is identical to
+	// the serial driver's — only wall-clock time changes; see
+	// portfolio.go for the determinism argument.
+	Parallelism int
 	// NoStage3Matching disables the maximum-weight matching in the
 	// outedge-elimination stage, falling back to one VC pair at a time
 	// (an ablation of the paper's global-view argument in §4.4.1.2).
 	NoStage3Matching bool
 	// Trace, when non-nil, receives search progress lines (AWCT
-	// attempts, stage failures) for debugging.
+	// attempts, stage failures) for debugging. With Parallelism > 1 it
+	// is called concurrently from the portfolio workers and must be
+	// safe for concurrent use.
 	Trace func(format string, args ...any)
 }
 
 func (o Options) withDefaults() Options {
 	if o.MaxSteps == 0 {
-		o.MaxSteps = 400000
+		o.MaxSteps = 400000 // < 0 stays: unlimited
 	}
 	if o.ShaveRounds == 0 {
 		o.ShaveRounds = 2
+	} else if o.ShaveRounds < 0 {
+		o.ShaveRounds = 0
 	}
 	if o.CandidateLimit == 0 {
 		o.CandidateLimit = 3
+	} else if o.CandidateLimit < 1 {
+		o.CandidateLimit = 1
 	}
 	if o.CycleCandLimit == 0 {
 		o.CycleCandLimit = 6
+	} else if o.CycleCandLimit < 2 {
+		o.CycleCandLimit = 2
 	}
 	if o.MaxAWCTIters == 0 {
 		o.MaxAWCTIters = 64
+	} else if o.MaxAWCTIters < 1 {
+		o.MaxAWCTIters = 1
 	}
 	if o.Retries == 0 {
 		o.Retries = 3
+	} else if o.Retries < 1 {
+		o.Retries = 1
+	}
+	if o.Parallelism < 1 {
+		o.Parallelism = 1
+	}
+	if o.Timeout < 0 {
+		o.Timeout = 0
 	}
 	return o
+}
+
+// AttemptOutcome classifies how one (exit vector, variant) attempt
+// ended.
+type AttemptOutcome uint8
+
+const (
+	// AttemptContradicted: the DP refuted the attempt; the search moved
+	// on to the next variant or exit vector.
+	AttemptContradicted AttemptOutcome = iota
+	// AttemptSucceeded: the attempt produced a valid schedule.
+	AttemptSucceeded
+	// AttemptCancelled: a sibling portfolio worker won first; the
+	// attempt was aborted and its result discarded.
+	AttemptCancelled
+	// AttemptErrored: the attempt aborted on a terminal error (budget
+	// exhaustion or timeout).
+	AttemptErrored
+)
+
+// String returns a short outcome label for traces and stats dumps.
+func (o AttemptOutcome) String() string {
+	switch o {
+	case AttemptContradicted:
+		return "contradicted"
+	case AttemptSucceeded:
+		return "succeeded"
+	case AttemptCancelled:
+		return "cancelled"
+	case AttemptErrored:
+		return "errored"
+	}
+	return "unknown"
+}
+
+// Attempt records one (exit vector, variant) scheduling attempt for the
+// per-attempt accounting in Stats.
+type Attempt struct {
+	AWCTIndex int // position of the exit vector in enumeration order
+	Variant   int // perturbed decision order index within the vector
+	Steps     int // deduction passes this attempt consumed
+	Outcome   AttemptOutcome
 }
 
 // Stats reports how the search went.
@@ -111,7 +187,13 @@ type Stats struct {
 	AWCTTried  int           // number of exit vectors attempted
 	Elapsed    time.Duration // wall-clock scheduling time
 	Comms      int           // communications in the final schedule
-	StepsSpent int           // deduction passes consumed
+	StepsSpent int           // deduction passes consumed (all attempts + bound probes)
+
+	// Per-attempt accounting (filled by both the serial and the
+	// parallel portfolio drivers; sorted by (AWCTIndex, Variant)).
+	AttemptsLaunched  int
+	AttemptsCancelled int
+	Attempts          []Attempt
 }
 
 type scheduler struct {
@@ -121,6 +203,7 @@ type scheduler struct {
 	opts     Options
 	budget   *deduce.Budget
 	deadline time.Time
+	cancel   <-chan struct{} // set on portfolio workers; closed when a sibling wins
 	dist     [][]int
 	tail     []int // longest completion tail from each node (see bump)
 	variant  int   // perturbs candidate order across retries of one AWCT
@@ -151,6 +234,12 @@ func Schedule(sb *ir.Superblock, m *machine.Config, opts Options) (*sched.Schedu
 	}
 	stats.MinAWCT = s.awctOf(ests)
 
+	if opts.Parallelism > 1 {
+		schedule, err := s.schedulePortfolio(&stats, ests)
+		stats.Elapsed = time.Since(start)
+		return schedule, stats, err
+	}
+
 	// Best-first enumeration over exit-cycle vectors: vectors are tried
 	// in increasing AWCT order; a failed vector enqueues every
 	// single-exit bump the Section 4.2 rule allows. (A strict
@@ -170,11 +259,16 @@ func Schedule(sb *ir.Superblock, m *machine.Config, opts Options) (*sched.Schedu
 				return nil, stats, err
 			}
 			s.variant = v
+			before := s.stepsSpent()
 			schedule, err := s.attempt(vector)
+			stats.AttemptsLaunched++
+			rec := Attempt{AWCTIndex: stats.AWCTTried - 1, Variant: v, Steps: s.stepsSpent() - before}
 			if s.opts.Trace != nil {
 				s.opts.Trace("attempt vector=%v awct=%.3f variant=%d err=%v", vector, s.awctOf(vector), v, err)
 			}
 			if err == nil {
+				rec.Outcome = AttemptSucceeded
+				stats.Attempts = append(stats.Attempts, rec)
 				stats.FinalAWCT = schedule.AWCT()
 				stats.Comms = schedule.NumComms()
 				stats.Elapsed = time.Since(start)
@@ -182,15 +276,21 @@ func Schedule(sb *ir.Superblock, m *machine.Config, opts Options) (*sched.Schedu
 				return schedule, stats, nil
 			}
 			if !deduce.IsContradiction(err) {
+				rec.Outcome = AttemptErrored
+				stats.Attempts = append(stats.Attempts, rec)
 				stats.Elapsed = time.Since(start)
+				stats.StepsSpent = s.stepsSpent()
 				return nil, stats, s.mapErr(err)
 			}
+			rec.Outcome = AttemptContradicted
+			stats.Attempts = append(stats.Attempts, rec)
 		}
 		for _, succ := range s.bumpSuccessors(vector) {
 			queue.push(succ)
 		}
 	}
 	stats.Elapsed = time.Since(start)
+	stats.StepsSpent = s.stepsSpent()
 	return nil, stats, fmt.Errorf("%w: no schedule within %d AWCT values", ErrExhausted, opts.MaxAWCTIters)
 }
 
@@ -237,14 +337,19 @@ func (s *scheduler) mapErr(err error) error {
 	return err
 }
 
-func (s *scheduler) stepsSpent() int {
-	if s.budget == nil {
-		return 0
-	}
-	return s.opts.MaxSteps - s.budget.Steps
-}
+func (s *scheduler) stepsSpent() int { return s.budget.Used() }
 
+// checkTime aborts between stage iterations on cancellation or deadline
+// expiry; the deduce.Budget performs the same checks deep inside
+// propagation runs.
 func (s *scheduler) checkTime() error {
+	if s.cancel != nil {
+		select {
+		case <-s.cancel:
+			return deduce.ErrCancelled
+		default:
+		}
+	}
 	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
 		return ErrTimeout
 	}

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; heavy
+// sweep tests shrink their corpus under it (everything runs ~10–20×
+// slower).
+const raceEnabled = true

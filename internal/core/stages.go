@@ -217,7 +217,21 @@ func (s *scheduler) stageOutedges(st *deduce.State) error {
 		if len(out) == 0 {
 			return nil
 		}
-		// Build the matching graph over VC representatives.
+		// Build the matching graph over VC representatives. out is a Go
+		// map: sort the pairs before numbering nodes and emitting edges,
+		// or the matching input (and thus tie-breaking between
+		// equal-weight matchings) would vary run to run.
+		type pairW struct{ a, b, w int }
+		all := make([]pairW, 0, len(out))
+		for p, w := range out {
+			all = append(all, pairW{p[0], p[1], w})
+		}
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].a != all[j].a {
+				return all[i].a < all[j].a
+			}
+			return all[i].b < all[j].b
+		})
 		repIdx := make(map[int]int)
 		var order []int
 		idx := func(r int) int {
@@ -228,12 +242,9 @@ func (s *scheduler) stageOutedges(st *deduce.State) error {
 			order = append(order, r)
 			return len(order) - 1
 		}
-		type pairW struct{ a, b, w int }
-		var edges []matching.Edge
-		var all []pairW
-		for p, w := range out {
-			edges = append(edges, matching.Edge{U: idx(p[0]), V: idx(p[1]), Weight: w})
-			all = append(all, pairW{p[0], p[1], w})
+		edges := make([]matching.Edge, 0, len(all))
+		for _, p := range all {
+			edges = append(edges, matching.Edge{U: idx(p.a), V: idx(p.b), Weight: p.w})
 		}
 		var match []matching.Edge
 		if !s.opts.NoStage3Matching {

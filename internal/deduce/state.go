@@ -45,6 +45,12 @@ var ErrContradiction = errors.New("deduce: contradiction")
 // the baseline scheduler).
 var ErrBudget = errors.New("deduce: step budget exhausted")
 
+// ErrCancelled is returned when the budget's cancellation channel closes
+// mid-propagation: a sibling portfolio worker already found a schedule,
+// so this attempt's result no longer matters. It is neither a
+// contradiction nor a budget failure.
+var ErrCancelled = errors.New("deduce: cancelled")
+
 func contraf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrContradiction, fmt.Sprintf(format, args...))
 }
@@ -54,8 +60,10 @@ func contraf(format string, args ...any) error {
 // an optional wall-clock deadline bounds it in real time too.
 type Budget struct {
 	Steps    int // remaining rule-pass steps; <= 0 disables the limit
+	used     int
 	limit    bool
 	deadline time.Time
+	cancel   <-chan struct{}
 	ticks    int
 }
 
@@ -66,19 +74,37 @@ func NewBudget(n int) *Budget { return &Budget{Steps: n, limit: n > 0} }
 // the deadline passes (checked every few steps to keep it cheap).
 func (b *Budget) SetDeadline(t time.Time) { b.deadline = t }
 
+// SetCancel attaches a cancellation channel: once it closes, spend fails
+// with ErrCancelled (checked every few steps, like the deadline), so
+// long propagation runs abort promptly when a sibling attempt wins.
+func (b *Budget) SetCancel(ch <-chan struct{}) { b.cancel = ch }
+
 func (b *Budget) spend() error {
 	if b == nil {
 		return nil
 	}
+	b.used++
 	if b.limit {
 		b.Steps--
 		if b.Steps < 0 {
 			return ErrBudget
 		}
 	}
-	if !b.deadline.IsZero() {
-		if b.ticks++; b.ticks%8 == 0 && time.Now().After(b.deadline) {
-			return ErrBudget
+	if b.cancel != nil || !b.deadline.IsZero() {
+		// Check on the first tick and every 8th after: small
+		// propagations (a few steps total) must still notice
+		// cancellation and deadlines.
+		if b.ticks++; b.ticks%8 == 1 {
+			if b.cancel != nil {
+				select {
+				case <-b.cancel:
+					return ErrCancelled
+				default:
+				}
+			}
+			if !b.deadline.IsZero() && time.Now().After(b.deadline) {
+				return ErrBudget
+			}
 		}
 	}
 	return nil
@@ -86,6 +112,15 @@ func (b *Budget) spend() error {
 
 // Exhausted reports whether the budget has run out.
 func (b *Budget) Exhausted() bool { return b != nil && b.limit && b.Steps < 0 }
+
+// Used returns the number of deduction steps spent from this budget
+// (counted whether or not a step limit is in force).
+func (b *Budget) Used() int {
+	if b == nil {
+		return 0
+	}
+	return b.used
+}
 
 // PairStatus describes the resolution state of a scheduling-graph pair.
 type PairStatus uint8

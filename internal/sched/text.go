@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -23,14 +24,18 @@ import (
 // Reading requires the original superblock and machine; the names are
 // cross-checked.
 
-// WriteText serializes the schedule in .sched form.
+// WriteText serializes the schedule in .sched form. The output is
+// canonical: communications are emitted in sorted (cycle, producer)
+// order regardless of the order the scheduler materialized them in, so
+// two equal schedules — e.g. the serial and the parallel portfolio
+// winner — always serialize identically (golden tests diff the bytes).
 func (s *Schedule) WriteText(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "schedule %s\n", s.SB.Name)
 	for i, p := range s.Place {
 		fmt.Fprintf(bw, "place %d %d %d\n", i, p.Cycle, p.Cluster)
 	}
-	for _, c := range s.Comms {
+	for _, c := range sortedComms(s.Comms) {
 		fmt.Fprintf(bw, "comm %d %d\n", c.Producer, c.Cycle)
 	}
 	if len(s.Pins.LiveIn) > 0 {
@@ -132,6 +137,41 @@ func ReadSchedule(r io.Reader, sb *ir.Superblock, m *machine.Config) (*Schedule,
 		return nil, fmt.Errorf("sched: no schedule in input")
 	}
 	return s, nil
+}
+
+// sortedComms returns a copy of the communications in canonical (cycle,
+// producer) order.
+func sortedComms(comms []Comm) []Comm {
+	out := append([]Comm(nil), comms...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycle != out[j].Cycle {
+			return out[i].Cycle < out[j].Cycle
+		}
+		return out[i].Producer < out[j].Producer
+	})
+	return out
+}
+
+// FormatExitCycles renders an exit-cycle map (as returned by
+// Schedule.ExitCycles) with sorted keys: Go map iteration order is
+// random, so any emitter printing the map directly would differ between
+// two runs of the same schedule.
+func FormatExitCycles(cycles map[int]int) string {
+	keys := make([]int, 0, len(cycles))
+	for x := range cycles {
+		keys = append(keys, x)
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, x := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", x, cycles[x])
+	}
+	b.WriteByte(']')
+	return b.String()
 }
 
 func threeInts(f []string) (a, b, c int, err error) {

@@ -40,6 +40,43 @@ func TestScheduleRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWriteTextCanonical: serializing the same schedule with its
+// communications recorded in different orders must produce identical
+// bytes — required for golden tests and for diffing the serial driver's
+// winner against the parallel portfolio's.
+func TestWriteTextCanonical(t *testing.T) {
+	a := section5Schedule(t)
+	b := section5Schedule(t)
+	b.Comms = []Comm{b.Comms[1], b.Comms[0]} // reversed materialization order
+
+	render := func(s *Schedule) string {
+		var sb strings.Builder
+		if err := s.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if ta, tb := render(a), render(b); ta != tb {
+		t.Errorf("WriteText not canonical:\n%s\nvs\n%s", ta, tb)
+	}
+	if fa, fb := a.Format(), b.Format(); fa != fb {
+		t.Errorf("Format not canonical:\n%s\nvs\n%s", fa, fb)
+	}
+}
+
+// TestFormatExitCycles: sorted keys, independent of map insertion order.
+func TestFormatExitCycles(t *testing.T) {
+	got := FormatExitCycles(map[int]int{6: 7, 4: 5})
+	if got != "[4:5 6:7]" {
+		t.Errorf("FormatExitCycles = %q, want \"[4:5 6:7]\"", got)
+	}
+	for i := 0; i < 20; i++ {
+		if again := FormatExitCycles(map[int]int{6: 7, 4: 5}); again != got {
+			t.Fatalf("unstable output: %q vs %q", again, got)
+		}
+	}
+}
+
 func TestReadScheduleErrors(t *testing.T) {
 	sb := ir.PaperFigure1()
 	m := machine.PaperExampleSection5()
