@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench fuzz-smoke
 
 # check is the tier-1 gate (see ROADMAP.md): vet, build and the full
 # test suite under the race detector. Everything must be green before a
@@ -21,3 +21,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# fuzz-smoke is the short-budget fuzzing gate: a small differential
+# campaign (internal/difftest via cmd/vcfuzz) plus 10 seconds of each
+# native fuzz target. Any violation fails the target; shrunken
+# reproducers land under results/repros/.
+fuzz-smoke:
+	$(GO) run ./cmd/vcfuzz -budget 60 -seed 1 -out results/repros
+	$(GO) test ./internal/ir -run '^$$' -fuzz FuzzParseSuperblock -fuzztime 10s
+	$(GO) test ./internal/sched -run '^$$' -fuzz FuzzValidate -fuzztime 10s

@@ -139,17 +139,7 @@ func runCARS(sb *ir.Superblock, m *machine.Config, pins sched.Pins, show bool) {
 }
 
 func pickMachine(name string) (*machine.Config, error) {
-	switch name {
-	case "2c1l":
-		return machine.TwoCluster1Lat(), nil
-	case "4c1l":
-		return machine.FourCluster1Lat(), nil
-	case "4c2l":
-		return machine.FourCluster2Lat(), nil
-	case "sec5":
-		return machine.PaperExampleSection5(), nil
-	}
-	return nil, fmt.Errorf("unknown machine %q (want 2c1l, 4c1l, 4c2l or sec5)", name)
+	return machine.ByKey(name)
 }
 
 func indent(w io.Writer, s string) {

@@ -1,0 +1,106 @@
+package coloring
+
+import "testing"
+
+// clique returns a complete graph on n vertices, optionally embedded in
+// a larger vertex set starting at offset.
+func clique(g *Graph, offset, n int) {
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(offset+u, offset+v)
+		}
+	}
+}
+
+// TestCliqueEqualsClusterCount: a clique of exactly k vertices is the
+// boundary the scheduler's VC feasibility check lives on — it needs
+// exactly k colors, so it maps onto k physical clusters but not k−1.
+// The paper's deduction must keep such configurations and discard only
+// k+1 cliques.
+func TestCliqueEqualsClusterCount(t *testing.T) {
+	for k := 2; k <= 6; k++ {
+		g := New(k)
+		clique(g, 0, k)
+		if got := g.MaxCliqueLB(); got != k {
+			t.Errorf("k=%d: MaxCliqueLB = %d, want %d", k, got, k)
+		}
+		if !g.Colorable(k) {
+			t.Errorf("k=%d: clique of size k reported not k-colorable", k)
+		}
+		if g.Colorable(k - 1) {
+			t.Errorf("k=%d: clique of size k reported (k-1)-colorable", k)
+		}
+		colors, used := g.Greedy()
+		if used != k {
+			t.Errorf("k=%d: greedy used %d colors, want %d", k, used, k)
+		}
+		if !g.Valid(colors, used) {
+			t.Errorf("k=%d: greedy coloring invalid", k)
+		}
+	}
+}
+
+// TestCliqueOneOverClusterCount: the k+1 clique is the certain-discard
+// case.
+func TestCliqueOneOverClusterCount(t *testing.T) {
+	for k := 2; k <= 6; k++ {
+		g := New(k + 1)
+		clique(g, 0, k+1)
+		if g.Colorable(k) {
+			t.Errorf("k=%d: (k+1)-clique reported k-colorable", k)
+		}
+		if got := g.MaxCliqueLB(); got != k+1 {
+			t.Errorf("k=%d: MaxCliqueLB = %d, want %d", k, got, k+1)
+		}
+	}
+}
+
+// TestDisconnectedComponents: virtual cluster graphs routinely fall
+// apart into independent components (values that never meet). Coloring
+// must treat them independently — the color demand is the max over
+// components, not the sum — and isolated vertices must not inflate it.
+func TestDisconnectedComponents(t *testing.T) {
+	// A 3-clique, a disjoint 2-clique, and two isolated vertices.
+	g := New(7)
+	clique(g, 0, 3)
+	clique(g, 3, 2)
+	colors, used := g.Greedy()
+	if used != 3 {
+		t.Errorf("greedy used %d colors, want 3 (max component demand)", used)
+	}
+	if !g.Valid(colors, used) {
+		t.Error("coloring invalid")
+	}
+	if !g.Colorable(3) || g.Colorable(2) {
+		t.Error("colorable thresholds wrong for disconnected graph")
+	}
+	if got := g.MaxCliqueLB(); got != 3 {
+		t.Errorf("MaxCliqueLB = %d, want 3", got)
+	}
+
+	// Two equal cliques: still the max, not the sum.
+	h := New(8)
+	clique(h, 0, 4)
+	clique(h, 4, 4)
+	if _, used := h.Greedy(); used != 4 {
+		t.Errorf("two 4-cliques: greedy used %d colors, want 4", used)
+	}
+}
+
+// TestEmptyAndSingleton: degenerate graphs at the small end.
+func TestEmptyAndSingleton(t *testing.T) {
+	g := New(0)
+	if _, used := g.Greedy(); used != 0 {
+		t.Errorf("empty graph used %d colors", used)
+	}
+	if got := g.MaxCliqueLB(); got != 0 {
+		t.Errorf("empty graph MaxCliqueLB = %d", got)
+	}
+	s := New(1)
+	if _, used := s.Greedy(); used != 1 {
+		t.Errorf("singleton used %d colors, want 1", used)
+	}
+	if !s.Colorable(1) {
+		t.Error("singleton not 1-colorable")
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"vcsched/internal/machine"
+	"vcsched/internal/workload"
+)
+
+// TestSerialParallelRenderedBytesIdentical is the strongest form of the
+// portfolio determinism claim: over 50 seeded workload blocks, the
+// serial driver and a Parallelism=4 portfolio must produce byte-for-byte
+// identical rendered schedules (WriteText output) and identical error
+// classes on failures. Placement-level equality (TestPortfolioMatchesSerial)
+// would miss a divergence in anything WriteText derives — comm ordering,
+// pins, formatting of the exit vector — so this test compares the bytes
+// the .sched files and the differential fuzz harness actually consume.
+func TestSerialParallelRenderedBytesIdentical(t *testing.T) {
+	const wantBlocks = 50
+	maxSteps := 25000
+	if raceEnabled {
+		// The race detector slows scheduling ~10–20×. Keep all 50 blocks
+		// but cut the search budget: exhaustion must replay identically
+		// too, so a smaller budget loses no coverage, only optimality.
+		maxSteps = 6000
+	}
+	machines := machine.EvaluationConfigs()
+	profiles := workload.Benchmarks()
+	checked := 0
+	for i := 0; checked < wantBlocks; i++ {
+		p := profiles[i%len(profiles)]
+		sb := p.GenerateBlock(i, 0)
+		if sb.N() > 35 {
+			continue // keep the sweep fast; size is not what's under test
+		}
+		m := machines[i%len(machines)]
+		pins := workload.PinsFor(sb, m.Clusters, 1)
+		// No wall-clock timeout: the outcome must be a pure function of
+		// the input for byte identity to be well-defined.
+		base := Options{Pins: pins, MaxSteps: maxSteps}
+		s1, st1, err1 := Schedule(sb, m, base)
+		par := base
+		par.Parallelism = 4
+		s2, st2, err2 := Schedule(sb, m, par)
+		checked++
+
+		name := p.Name + "/" + sb.Name
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: serial err=%v, parallel err=%v", name, err1, err2)
+		}
+		if err1 != nil {
+			if errors.Is(err1, ErrExhausted) != errors.Is(err2, ErrExhausted) ||
+				errors.Is(err1, ErrTimeout) != errors.Is(err2, ErrTimeout) {
+				t.Fatalf("%s: error classes differ: %v vs %v", name, err1, err2)
+			}
+			if st1.AWCTTried != st2.AWCTTried {
+				t.Errorf("%s: failing AWCTTried %d serial vs %d parallel", name, st1.AWCTTried, st2.AWCTTried)
+			}
+			continue
+		}
+		var b1, b2 bytes.Buffer
+		if err := s1.WriteText(&b1); err != nil {
+			t.Fatalf("%s: serial WriteText: %v", name, err)
+		}
+		if err := s2.WriteText(&b2); err != nil {
+			t.Fatalf("%s: parallel WriteText: %v", name, err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("%s: rendered schedules differ\nserial:\n%s\nparallel:\n%s", name, b1.String(), b2.String())
+		}
+	}
+	if checked != wantBlocks {
+		t.Fatalf("checked %d blocks, want %d", checked, wantBlocks)
+	}
+}

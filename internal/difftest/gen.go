@@ -1,0 +1,197 @@
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"vcsched/internal/ir"
+	"vcsched/internal/workload"
+)
+
+// Gen produces the fuzzing corpus: a mix of realistic blocks sampled
+// from the synthetic benchmark profiles, dense tiny blocks (where the
+// exhaustive oracle can referee), and structural mutants of profile
+// blocks (shapes the profile generator would never emit on its own). A
+// Gen is deterministic in its seed.
+type Gen struct {
+	rng       *rand.Rand
+	profiles  []workload.AppProfile
+	maxInstrs int
+}
+
+// NewGen returns a generator. Blocks larger than maxInstrs (default 40)
+// are resampled: the point of the harness is checking many shapes, not
+// burning the step budget on few giants.
+func NewGen(seed int64, maxInstrs int) *Gen {
+	if maxInstrs <= 0 {
+		maxInstrs = 40
+	}
+	return &Gen{
+		rng:       rand.New(rand.NewSource(seed)),
+		profiles:  workload.Benchmarks(),
+		maxInstrs: maxInstrs,
+	}
+}
+
+// Next returns the next corpus block.
+func (g *Gen) Next() *ir.Superblock {
+	switch r := g.rng.Float64(); {
+	case r < 0.40:
+		return SmallBlock(g.rng)
+	case r < 0.80:
+		return g.profileBlock()
+	default:
+		return g.mutant()
+	}
+}
+
+func (g *Gen) profileBlock() *ir.Superblock {
+	for try := 0; try < 16; try++ {
+		p := g.profiles[g.rng.Intn(len(g.profiles))]
+		sb := p.GenerateBlock(g.rng.Intn(200), g.rng.Intn(3))
+		if sb.N() <= g.maxInstrs {
+			return sb
+		}
+	}
+	return SmallBlock(g.rng)
+}
+
+// mutant applies 1–3 random structural mutations to a profile block.
+// Inapplicable mutations (nil results) are simply skipped.
+func (g *Gen) mutant() *ir.Superblock {
+	sb := g.profileBlock()
+	for k := 1 + g.rng.Intn(3); k > 0; k-- {
+		var cand *ir.Superblock
+		switch g.rng.Intn(5) {
+		case 0:
+			cand = DropInstr(sb, g.rng.Intn(sb.N()))
+		case 1:
+			if len(sb.Edges) > 0 {
+				cand = DropEdge(sb, g.rng.Intn(len(sb.Edges)))
+			}
+		case 2:
+			if len(sb.LiveIns) > 0 {
+				cand = DropLiveIn(sb, g.rng.Intn(len(sb.LiveIns)))
+			}
+		case 3:
+			if len(sb.LiveOuts) > 0 {
+				cand = DropLiveOut(sb, g.rng.Intn(len(sb.LiveOuts)))
+			}
+		case 4:
+			cand = SetLatency(sb, g.rng.Intn(sb.N()), 1+g.rng.Intn(4))
+		}
+		if cand != nil {
+			sb = cand
+		}
+	}
+	return sb
+}
+
+// SmallBlock generates a random superblock of 2–10 instructions with
+// 1–3 exits, random dependences, live-ins and live-outs. Small blocks
+// are where the differential harness bites hardest: the exhaustive
+// oracle can certify them, and dense dependence structure at tiny sizes
+// exercises the deduction corner cases.
+func SmallBlock(rng *rand.Rand) *ir.Superblock {
+	for {
+		if sb := smallBlock(rng); sb != nil {
+			return sb
+		}
+	}
+}
+
+func smallBlock(rng *rand.Rand) *ir.Superblock {
+	n := 2 + rng.Intn(9)
+	b := ir.NewBuilder(fmt.Sprintf("tiny%08x", rng.Int63n(1<<32)))
+	b.SetExecCount(int64(1 + rng.Intn(1000)))
+
+	nExits := 1
+	if n >= 4 && rng.Float64() < 0.5 {
+		nExits = 2
+	}
+	if n >= 7 && rng.Float64() < 0.4 {
+		nExits = 3
+	}
+	exitAt := map[int]bool{n - 1: true}
+	for len(exitAt) < nExits {
+		exitAt[1+rng.Intn(n-1)] = true
+	}
+
+	classes := []ir.Class{ir.Int, ir.FP, ir.Mem}
+	ids := make([]int, n)
+	var exits []int
+	for i := 0; i < n; i++ {
+		if exitAt[i] {
+			ids[i] = b.Exit("", 1+rng.Intn(3), 0)
+			exits = append(exits, ids[i])
+		} else {
+			ids[i] = b.Instr("", classes[rng.Intn(len(classes))], 1+rng.Intn(3))
+		}
+	}
+
+	// Random dependences, at most one edge per ordered pair (duplicate
+	// same-kind edges are invalid).
+	seen := map[[2]int]bool{}
+	addDep := func(from, to int, data bool) {
+		key := [2]int{from, to}
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		if data {
+			b.Data(from, to)
+		} else {
+			b.Ctrl(from, to)
+		}
+	}
+	for i := 1; i < n; i++ {
+		for k := rng.Intn(3); k > 0; k-- {
+			addDep(ids[rng.Intn(i)], ids[i], rng.Float64() < 0.85)
+		}
+	}
+	// Superblock semantics force a total order on the exits.
+	for i := 1; i < len(exits); i++ {
+		addDep(exits[i-1], exits[i], false)
+	}
+
+	for k := rng.Intn(3); k > 0; k-- {
+		b.LiveIn(fmt.Sprintf("v%d", k), ids[rng.Intn(n)])
+	}
+	var producers []int
+	for i := 0; i < n; i++ {
+		if !exitAt[i] {
+			producers = append(producers, ids[i])
+		}
+	}
+	outSeen := map[int]bool{}
+	for k := rng.Intn(3); k > 0 && len(producers) > 0; k-- {
+		u := producers[rng.Intn(len(producers))]
+		if !outSeen[u] {
+			outSeen[u] = true
+			b.LiveOut(u)
+		}
+	}
+
+	// Exit probabilities: milli-precision, each in (0, remain).
+	probs := make([]float64, nExits)
+	remain := 1.0
+	for i := 0; i < nExits-1; i++ {
+		p := math.Round(remain*(0.05+0.9*rng.Float64())*1000) / 1000
+		if p < 0.001 {
+			p = 0.001
+		}
+		if p > remain-0.001 {
+			p = remain - 0.001
+		}
+		probs[i] = p
+		remain -= p
+	}
+	probs[nExits-1] = remain
+
+	sb, err := b.FinishWithProbs(probs)
+	if err != nil || !sb.ExitOrderOK() {
+		return nil
+	}
+	return sb
+}

@@ -1,0 +1,226 @@
+package difftest
+
+import "vcsched/internal/ir"
+
+// parts is a mutable, builder-free decomposition of a superblock. The
+// mutators below edit a parts value and reassemble it through the normal
+// Builder path, so every mutation result either satisfies the full
+// superblock contract (ir.Validate plus exit total order) or is reported
+// as inapplicable by returning nil — the fuzzer and the shrinker never
+// leave the input space the schedulers are specified over.
+type parts struct {
+	name     string
+	exec     int64
+	instrs   []ir.Instr
+	edges    []ir.Edge
+	liveIns  []ir.LiveIn
+	liveOuts []int
+}
+
+func partsOf(sb *ir.Superblock) parts {
+	p := parts{name: sb.Name, exec: sb.ExecCount}
+	p.instrs = append([]ir.Instr(nil), sb.Instrs...)
+	p.edges = append([]ir.Edge(nil), sb.Edges...)
+	for _, li := range sb.LiveIns {
+		p.liveIns = append(p.liveIns, ir.LiveIn{Name: li.Name, Consumers: append([]int(nil), li.Consumers...)})
+	}
+	p.liveOuts = append([]int(nil), sb.LiveOuts...)
+	return p
+}
+
+// build assembles the parts into a validated superblock, or nil when the
+// result leaves the supported input space. One repair is attempted
+// before giving up: when a removal broke the dependence order between
+// consecutive exits (the order often flows through the removed node),
+// explicit control edges restore the chain — without this, blocks whose
+// exit order hangs on interior instructions would be unshrinkable.
+func (p parts) build() *ir.Superblock {
+	sb := p.assemble()
+	if sb == nil {
+		return nil
+	}
+	if sb.ExitOrderOK() {
+		return sb
+	}
+	exits := sb.Exits()
+	for i := 1; i < len(exits); i++ {
+		from, to := exits[i-1], exits[i]
+		have := false
+		for _, e := range p.edges {
+			if e.From == from && e.To == to {
+				have = true
+				break
+			}
+		}
+		if !have {
+			p.edges = append(p.edges, ir.Edge{From: from, To: to, Kind: ir.Ctrl, Latency: 1})
+		}
+	}
+	sb = p.assemble()
+	if sb == nil || !sb.ExitOrderOK() {
+		return nil
+	}
+	return sb
+}
+
+func (p parts) assemble() *ir.Superblock {
+	b := ir.NewBuilder(p.name)
+	b.SetExecCount(p.exec)
+	var probs []float64
+	for _, in := range p.instrs {
+		if in.IsExit() {
+			b.Exit(in.Name, in.Latency, 0)
+			probs = append(probs, in.Prob)
+		} else {
+			b.Instr(in.Name, in.Class, in.Latency)
+		}
+	}
+	for _, e := range p.edges {
+		b.Dep(e.Kind, e.From, e.To, e.Latency)
+	}
+	for _, li := range p.liveIns {
+		b.LiveIn(li.Name, li.Consumers...)
+	}
+	for _, u := range p.liveOuts {
+		b.LiveOut(u)
+	}
+	sb, err := b.FinishWithProbs(probs)
+	if err != nil {
+		return nil
+	}
+	return sb
+}
+
+// DropInstr removes instruction u, remapping every id above it. A
+// removed exit donates its probability to the last remaining exit, so
+// the exit distribution stays normalized. Returns nil when u is the only
+// instruction, the only exit, or the removal cannot be repaired into a
+// valid block.
+func DropInstr(sb *ir.Superblock, u int) *ir.Superblock {
+	if u < 0 || u >= sb.N() || sb.N() == 1 {
+		return nil
+	}
+	p := partsOf(sb)
+	if p.instrs[u].IsExit() {
+		last := -1
+		for i, q := range p.instrs {
+			if i != u && q.IsExit() {
+				last = i
+			}
+		}
+		if last < 0 {
+			return nil
+		}
+		p.instrs[last].Prob += p.instrs[u].Prob
+	}
+	p.instrs = append(p.instrs[:u], p.instrs[u+1:]...)
+	remap := func(id int) int {
+		if id > u {
+			return id - 1
+		}
+		return id
+	}
+	edges := p.edges[:0]
+	for _, e := range p.edges {
+		if e.From == u || e.To == u {
+			continue
+		}
+		e.From, e.To = remap(e.From), remap(e.To)
+		edges = append(edges, e)
+	}
+	p.edges = edges
+	liveIns := p.liveIns[:0]
+	for _, li := range p.liveIns {
+		cons := li.Consumers[:0]
+		for _, c := range li.Consumers {
+			if c == u {
+				continue
+			}
+			cons = append(cons, remap(c))
+		}
+		if len(cons) == 0 {
+			continue // a live-in needs at least one consumer
+		}
+		li.Consumers = cons
+		liveIns = append(liveIns, li)
+	}
+	p.liveIns = liveIns
+	liveOuts := p.liveOuts[:0]
+	for _, o := range p.liveOuts {
+		if o == u {
+			continue
+		}
+		liveOuts = append(liveOuts, remap(o))
+	}
+	p.liveOuts = liveOuts
+	return p.build()
+}
+
+// DropEdge removes the ei-th dependence edge. Returns nil when the edge
+// carried load-bearing structure that cannot be repaired (in particular,
+// dropping an exit-chain edge just gets re-added by the repair, and the
+// identical result is rejected by the shrinker's strict-decrease rule).
+func DropEdge(sb *ir.Superblock, ei int) *ir.Superblock {
+	if ei < 0 || ei >= len(sb.Edges) {
+		return nil
+	}
+	p := partsOf(sb)
+	p.edges = append(p.edges[:ei], p.edges[ei+1:]...)
+	return p.build()
+}
+
+// DropLiveIn removes the li-th live-in value (all its consumers stop
+// reading it).
+func DropLiveIn(sb *ir.Superblock, li int) *ir.Superblock {
+	if li < 0 || li >= len(sb.LiveIns) {
+		return nil
+	}
+	p := partsOf(sb)
+	p.liveIns = append(p.liveIns[:li], p.liveIns[li+1:]...)
+	return p.build()
+}
+
+// DropLiveInConsumer removes one consumer from a live-in that has
+// several.
+func DropLiveInConsumer(sb *ir.Superblock, li, ci int) *ir.Superblock {
+	if li < 0 || li >= len(sb.LiveIns) {
+		return nil
+	}
+	cons := sb.LiveIns[li].Consumers
+	if ci < 0 || ci >= len(cons) || len(cons) < 2 {
+		return nil
+	}
+	p := partsOf(sb)
+	c := p.liveIns[li].Consumers
+	p.liveIns[li].Consumers = append(c[:ci], c[ci+1:]...)
+	return p.build()
+}
+
+// DropLiveOut removes the oi-th live-out declaration.
+func DropLiveOut(sb *ir.Superblock, oi int) *ir.Superblock {
+	if oi < 0 || oi >= len(sb.LiveOuts) {
+		return nil
+	}
+	p := partsOf(sb)
+	p.liveOuts = append(p.liveOuts[:oi], p.liveOuts[oi+1:]...)
+	return p.build()
+}
+
+// SetLatency changes instruction u's latency. Data edges out of u whose
+// latency equaled the old instruction latency (the Builder.Data
+// convention) follow the new value, so the block stays internally
+// consistent.
+func SetLatency(sb *ir.Superblock, u, lat int) *ir.Superblock {
+	if u < 0 || u >= sb.N() || lat < 1 || lat == sb.Instrs[u].Latency {
+		return nil
+	}
+	p := partsOf(sb)
+	old := p.instrs[u].Latency
+	p.instrs[u].Latency = lat
+	for i := range p.edges {
+		if p.edges[i].Kind == ir.Data && p.edges[i].From == u && p.edges[i].Latency == old {
+			p.edges[i].Latency = lat
+		}
+	}
+	return p.build()
+}

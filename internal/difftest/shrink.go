@@ -1,0 +1,85 @@
+package difftest
+
+import "vcsched/internal/ir"
+
+// Size is the shrinking order: instruction count dominates, then
+// structural element counts, then latencies. Shrink only ever accepts a
+// candidate with a strictly smaller Size, which both defines "minimal"
+// and guarantees termination (the repair pass in the mutators can
+// otherwise reproduce the input block exactly).
+func Size(sb *ir.Superblock) int {
+	s := sb.N()*1000 + (len(sb.Edges)+len(sb.LiveIns)+len(sb.LiveOuts))*25
+	for _, in := range sb.Instrs {
+		s += in.Latency
+	}
+	for _, li := range sb.LiveIns {
+		s += len(li.Consumers)
+	}
+	return s
+}
+
+// Shrink greedily minimizes a superblock while pred keeps holding
+// (delta-debugging style): repeatedly take the first single mutation —
+// drop an instruction, an edge, a live value, or a latency — that
+// strictly reduces Size and still satisfies pred. pred must be
+// deterministic; for a fuzzing violation it is "Check still reports the
+// same violation kind". If pred does not hold for sb itself, sb is
+// returned unchanged.
+func Shrink(sb *ir.Superblock, pred func(*ir.Superblock) bool) *ir.Superblock {
+	if !pred(sb) {
+		return sb
+	}
+	cur := sb
+	for {
+		next := shrinkStep(cur, pred)
+		if next == nil {
+			return cur
+		}
+		cur = next
+	}
+}
+
+func shrinkStep(cur *ir.Superblock, pred func(*ir.Superblock) bool) *ir.Superblock {
+	try := func(cand *ir.Superblock) *ir.Superblock {
+		if cand != nil && Size(cand) < Size(cur) && pred(cand) {
+			return cand
+		}
+		return nil
+	}
+	// Instructions first (the dominant term), from the tail: late
+	// instructions are depended on least, so their removal survives the
+	// validity check most often.
+	for u := cur.N() - 1; u >= 0; u-- {
+		if got := try(DropInstr(cur, u)); got != nil {
+			return got
+		}
+	}
+	for ei := len(cur.Edges) - 1; ei >= 0; ei-- {
+		if got := try(DropEdge(cur, ei)); got != nil {
+			return got
+		}
+	}
+	for li := len(cur.LiveIns) - 1; li >= 0; li-- {
+		if got := try(DropLiveIn(cur, li)); got != nil {
+			return got
+		}
+		for ci := len(cur.LiveIns[li].Consumers) - 1; ci >= 0; ci-- {
+			if got := try(DropLiveInConsumer(cur, li, ci)); got != nil {
+				return got
+			}
+		}
+	}
+	for oi := len(cur.LiveOuts) - 1; oi >= 0; oi-- {
+		if got := try(DropLiveOut(cur, oi)); got != nil {
+			return got
+		}
+	}
+	for u := 0; u < cur.N(); u++ {
+		if cur.Instrs[u].Latency > 1 {
+			if got := try(SetLatency(cur, u, 1)); got != nil {
+				return got
+			}
+		}
+	}
+	return nil
+}

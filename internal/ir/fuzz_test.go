@@ -5,9 +5,10 @@ import (
 	"testing"
 )
 
-// FuzzParse checks that arbitrary input never panics the parser and that
-// anything it accepts survives a print/parse round trip unchanged.
-func FuzzParse(f *testing.F) {
+// FuzzParseSuperblock checks that arbitrary input never panics the
+// parser and that anything it accepts survives a print/parse round trip
+// unchanged.
+func FuzzParseSuperblock(f *testing.F) {
 	f.Add(PaperFigure1().String())
 	f.Add(Diamond().String())
 	f.Add("superblock x\ninst 0 a int 1\ninst 1 b branch 1 exit 1\ndep data 0 1 lat 1\n")

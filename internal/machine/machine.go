@@ -182,6 +182,38 @@ func EvaluationConfigs() []*Config {
 	return []*Config{TwoCluster1Lat(), FourCluster1Lat(), FourCluster2Lat()}
 }
 
+// ByKey returns the machine configuration for a short CLI/repro key:
+// 2c1l, 4c1l, 4c2l (the paper's evaluation machines), sec5 (the worked
+// example of Section 5) or fig4 (the scheduling-graph example). The keys
+// are stable: repro files written by the fuzz harness reference machines
+// by key.
+func ByKey(key string) (*Config, error) {
+	switch key {
+	case "2c1l":
+		return TwoCluster1Lat(), nil
+	case "4c1l":
+		return FourCluster1Lat(), nil
+	case "4c2l":
+		return FourCluster2Lat(), nil
+	case "sec5":
+		return PaperExampleSection5(), nil
+	case "fig4":
+		return PaperExampleSG(), nil
+	}
+	return nil, fmt.Errorf("machine: unknown key %q (want 2c1l, 4c1l, 4c2l, sec5 or fig4)", key)
+}
+
+// Key returns the ByKey key of one of the named configurations, or ""
+// for a configuration that has no key.
+func (c *Config) Key() string {
+	for _, key := range []string{"2c1l", "4c1l", "4c2l", "sec5", "fig4"} {
+		if m, _ := ByKey(key); m != nil && m.Name == c.Name {
+			return key
+		}
+	}
+	return ""
+}
+
 // PaperExampleSG is the single-cluster machine used for the scheduling
 // graph example of Figure 4: issues 2 non-branch and 1 branch
 // instruction per cycle.

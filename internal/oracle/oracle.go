@@ -25,10 +25,22 @@ import (
 // ErrTooLarge is returned when the block exceeds the search limits.
 var ErrTooLarge = errors.New("oracle: superblock too large for exhaustive search")
 
+// ErrBudget is returned when the node budget runs out before the search
+// completes. No schedule is returned: a partial search cannot certify
+// optimality, and callers comparing against the oracle (the differential
+// harness) must not mistake the best-so-far for the optimum.
+var ErrBudget = errors.New("oracle: search node budget exhausted")
+
 // Limits bounds the exhaustive search.
 type Limits struct {
 	MaxInstrs  int // default 8
 	ExtraSlack int // cycles beyond each instruction's earliest start (default 3)
+	// MaxNodes caps the number of search-tree nodes visited (0 =
+	// unlimited). The cost of the enumeration varies by orders of
+	// magnitude with dependence density and cluster count even at equal
+	// block sizes; a node budget turns "sometimes takes minutes" into a
+	// deterministic, reproducible ErrBudget.
+	MaxNodes int
 }
 
 func (l Limits) withDefaults() Limits {
@@ -60,6 +72,9 @@ func Best(sb *ir.Superblock, m *machine.Config, pins sched.Pins, lim Limits) (*s
 		e.bound += float64(e.est[x]+sb.Instrs[x].Latency) * sb.Instrs[x].Prob
 	}
 	e.search(0)
+	if e.aborted {
+		return nil, ErrBudget
+	}
 	if e.best == nil {
 		return nil, fmt.Errorf("oracle: no valid schedule found for %q on %q", sb.Name, m.Name)
 	}
@@ -79,9 +94,19 @@ type enum struct {
 	best     *sched.Schedule
 	bestAWCT float64
 	bestComm int
+	nodes    int
+	aborted  bool
 }
 
 func (e *enum) search(idx int) {
+	if e.aborted {
+		return
+	}
+	e.nodes++
+	if e.lim.MaxNodes > 0 && e.nodes > e.lim.MaxNodes {
+		e.aborted = true
+		return
+	}
 	if idx == len(e.order) {
 		e.finish()
 		return

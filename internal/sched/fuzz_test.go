@@ -1,0 +1,74 @@
+package sched_test
+
+import (
+	"testing"
+
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/sched"
+)
+
+// FuzzValidate feeds the validator arbitrary placements, communications
+// and pins over parseable superblocks: whatever the bytes decode to, the
+// validator must return a verdict — never panic, never hang — and the
+// verdict must be deterministic. The schedulers only ever hand it
+// well-formed candidates, but the differential harness and the repro
+// loader hand it anything a file or a fault-injection hook can contain.
+func FuzzValidate(f *testing.F) {
+	blockText := ir.PaperFigure1().String()
+	f.Add(blockText, []byte{0, 0, 0, 1, 1, 0, 2, 1, 3, 0, 5, 1, 7, 0})
+	f.Add(blockText, []byte{1})
+	f.Add(blockText, []byte{})
+	f.Add("superblock x\ninst 0 a int 1\ninst 1 b branch 1 exit 1\ndep data 0 1 lat 1\n", []byte{2, 0, 0, 1, 1})
+	f.Add("superblock y\nexeccount 7\ninst 0 b branch 2 exit 1\nlivein v 0\nliveout 0\n", []byte{0, 3, 0, 200, 255, 17})
+	f.Fuzz(func(t *testing.T, sbText string, data []byte) {
+		sb, err := ir.Parse(sbText)
+		if err != nil {
+			return
+		}
+		next := func() int {
+			if len(data) == 0 {
+				return 0
+			}
+			v := int(int8(data[0]))
+			data = data[1:]
+			return v
+		}
+		machines := machine.EvaluationConfigs()
+		m := machines[(next()&0xff+256)%len(machines)]
+
+		s := sched.New(sb, m, sched.Pins{})
+		for i := range s.Place {
+			s.Place[i] = sched.Placement{Cycle: next(), Cluster: next()}
+		}
+		for n := (next() + 128) % 5; n > 0; n-- {
+			s.Comms = append(s.Comms, sched.Comm{Producer: next(), Cycle: next()})
+		}
+		s.Pins.LiveIn = make([]int, len(sb.LiveIns))
+		for i := range s.Pins.LiveIn {
+			s.Pins.LiveIn[i] = next()
+		}
+		s.Pins.LiveOut = make([]int, len(sb.LiveOuts))
+		for i := range s.Pins.LiveOut {
+			s.Pins.LiveOut[i] = next()
+		}
+
+		err1 := s.Validate()
+		err2 := s.Validate()
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("validator verdict not deterministic: %v vs %v", err1, err2)
+		}
+		if err1 != nil && err2 != nil && err1.Error() != err2.Error() {
+			t.Fatalf("validator error not deterministic: %q vs %q", err1, err2)
+		}
+		// Derived metrics must hold up on anything the validator accepts.
+		if err1 == nil {
+			if s.AWCT() < 0 {
+				t.Fatalf("valid schedule with negative AWCT %g", s.AWCT())
+			}
+			if s.EndCycle() < 0 {
+				t.Fatalf("valid schedule ends at negative cycle %d", s.EndCycle())
+			}
+		}
+	})
+}

@@ -254,6 +254,16 @@ func (s *Schedule) validateLive() error {
 	if len(sb.LiveOuts) > 0 && len(s.Pins.LiveOut) != len(sb.LiveOuts) {
 		return fmt.Errorf("sched: %d live-outs but %d pins", len(sb.LiveOuts), len(s.Pins.LiveOut))
 	}
+	for li, home := range s.Pins.LiveIn {
+		if home < 0 || home >= m.Clusters {
+			return fmt.Errorf("sched: live-in %d pinned to nonexistent cluster %d", li, home)
+		}
+	}
+	for oi, home := range s.Pins.LiveOut {
+		if home < 0 || home >= m.Clusters {
+			return fmt.Errorf("sched: live-out %d pinned to nonexistent cluster %d", oi, home)
+		}
+	}
 	for li, l := range sb.LiveIns {
 		home := s.Pins.LiveIn[li]
 		for _, u := range l.Consumers {

@@ -180,23 +180,37 @@ func commHome(s *sched.Schedule, c sched.Comm) int {
 	return s.Place[c.Producer].Cluster
 }
 
+// RunRandom executes the schedule once, drawing the exit path from the
+// caller's rng. The block's exit probabilities are absolute, so exit j
+// triggers with conditional probability P_j / (1 − Σ earlier). All
+// randomness flows through rng: two calls with identically seeded rngs
+// produce identical results (trace lines included), which the
+// differential harness relies on.
+func RunRandom(s *sched.Schedule, rng *rand.Rand, trace bool) (Result, error) {
+	remaining := 1.0
+	return Run(s, func(exit int, prob float64) bool {
+		cond := prob / remaining
+		take := rng.Float64() < cond
+		remaining -= prob
+		return take
+	}, trace)
+}
+
 // AverageCycles Monte-Carlo-samples the region: it draws exits according
 // to their probabilities n times and averages the completion cycles. For
-// a valid schedule this converges to the schedule's AWCT.
+// a valid schedule this converges to the schedule's AWCT. It is
+// AverageCyclesRand with a freshly seeded rng.
 func AverageCycles(s *sched.Schedule, n int, seed int64) (float64, error) {
-	rng := rand.New(rand.NewSource(seed))
+	return AverageCyclesRand(s, n, rand.New(rand.NewSource(seed)))
+}
+
+// AverageCyclesRand is AverageCycles with an explicit random source, so
+// callers embedding the simulation in a larger seeded experiment stay
+// reproducible end to end.
+func AverageCyclesRand(s *sched.Schedule, n int, rng *rand.Rand) (float64, error) {
 	var sum float64
 	for i := 0; i < n; i++ {
-		// One region execution: draw a single path. Conditional exit
-		// probabilities: the block's exit probs are absolute, so exit j
-		// triggers with prob P_j / (1 − Σ earlier).
-		remaining := 1.0
-		res, err := Run(s, func(exit int, prob float64) bool {
-			cond := prob / remaining
-			take := rng.Float64() < cond
-			remaining -= prob
-			return take
-		}, false)
+		res, err := RunRandom(s, rng, false)
 		if err != nil {
 			return 0, err
 		}

@@ -117,11 +117,21 @@ func (p AppProfile) Generate(scale float64, input int) *App {
 	}
 	app := &App{Profile: p, Input: input}
 	for i := 0; i < n; i++ {
-		structRng := rand.New(rand.NewSource(p.Seed + int64(i)*7919))
-		profRng := rand.New(rand.NewSource(p.Seed + int64(i)*7919 + int64(input+1)*104729))
-		app.Blocks = append(app.Blocks, p.generateBlock(i, structRng, profRng))
+		app.Blocks = append(app.Blocks, p.GenerateBlock(i, input))
 	}
 	return app
+}
+
+// GenerateBlock builds the idx-th superblock of the application in
+// isolation, bit-identical to Generate(scale, input).Blocks[idx]: both
+// the structure and the profile rng are seeded per block index, not
+// sequentially, so single blocks can be drawn without generating the
+// whole application (the differential fuzzer samples the corpus this
+// way).
+func (p AppProfile) GenerateBlock(idx, input int) *ir.Superblock {
+	structRng := rand.New(rand.NewSource(p.Seed + int64(idx)*7919))
+	profRng := rand.New(rand.NewSource(p.Seed + int64(idx)*7919 + int64(input+1)*104729))
+	return p.generateBlock(idx, structRng, profRng)
 }
 
 // latencies of the synthetic ISA.
