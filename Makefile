@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz-smoke
+.PHONY: check build vet test race bench fuzz-smoke faults
 
-# check is the tier-1 gate (see ROADMAP.md): vet, build and the full
-# test suite under the race detector. Everything must be green before a
-# change lands.
-check: vet build race
+# check is the tier-1 gate (see ROADMAP.md): vet, build, the full test
+# suite under the race detector, and the fault-injection suite.
+# Everything must be green before a change lands.
+check: vet build race faults
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,18 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# faults re-runs the fault-injection and degradation-ladder suite under
+# the race detector (panic recovery, tier fallback, serial/parallel
+# identity under starvation, the 50+-block resilient batch), then
+# drives the CLI end to end with faults armed through the VCSCHED_FAULTS
+# environment gate.
+faults:
+	$(GO) test -race ./internal/faultpoint ./internal/resilient
+	$(GO) test -race -run 'Fault|Panic|Degrade|Starv|Resilient|Deadline|Exhaust' \
+		./internal/core ./internal/difftest ./internal/bench
+	VCSCHED_FAULTS='core.stage=panic:0:5,deduce.shave=contra:0:4' \
+		$(GO) run ./cmd/vcsched -example -resilient -report -print=false
 
 # fuzz-smoke is the short-budget fuzzing gate: a small differential
 # campaign (internal/difftest via cmd/vcfuzz) plus 10 seconds of each

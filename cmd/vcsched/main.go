@@ -19,6 +19,7 @@ import (
 	"vcsched/internal/core"
 	"vcsched/internal/ir"
 	"vcsched/internal/machine"
+	"vcsched/internal/resilient"
 	"vcsched/internal/sched"
 	"vcsched/internal/sg"
 	"vcsched/internal/workload"
@@ -34,6 +35,8 @@ func main() {
 	dot := flag.Bool("dot", false, "emit Graphviz DOT for each block's dependence and scheduling graphs instead of scheduling")
 	save := flag.String("save", "", "append the VC schedules in .sched form to this file")
 	seed := flag.Int64("seed", 1, "live-in/live-out pin seed")
+	resil := flag.Bool("resilient", false, "run the VC side through the degradation ladder (SG → retry → CARS → naive); every block ends with a valid schedule")
+	report := flag.Bool("report", false, "with -resilient, print the per-block outcome record (tier, retries, error chain per attempt)")
 	flag.Parse()
 
 	m, err := pickMachine(*machName)
@@ -90,7 +93,11 @@ func main() {
 		pins := workload.PinsFor(sb, m.Clusters, *seed)
 		fmt.Printf("== %s (%d instructions) on %s\n", sb.Name, sb.N(), m)
 		if *algo == "vc" || *algo == "both" {
-			runVC(sb, m, pins, *timeout, *parallel, *showSched, saveTo)
+			if *resil {
+				runResilient(sb, m, pins, *timeout, *parallel, *showSched, *report, saveTo)
+			} else {
+				runVC(sb, m, pins, *timeout, *parallel, *showSched, saveTo)
+			}
 		}
 		if *algo == "cars" || *algo == "both" {
 			runCARS(sb, m, pins, *showSched)
@@ -114,6 +121,29 @@ func runVC(sb *ir.Superblock, m *machine.Config, pins sched.Pins, timeout time.D
 			stats.AttemptsLaunched, stats.AttemptsCancelled, stats.StepsSpent)
 	}
 	fmt.Printf("        exits %s\n", sched.FormatExitCycles(s.ExitCycles()))
+	if show {
+		indent(os.Stdout, s.Format())
+	}
+	if saveTo != nil {
+		if err := s.WriteText(saveTo); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func runResilient(sb *ir.Superblock, m *machine.Config, pins sched.Pins, timeout time.Duration, parallel int, show, report bool, saveTo io.Writer) {
+	s, out, err := resilient.Schedule(sb, m, resilient.Options{
+		Core: core.Options{Pins: pins, Timeout: timeout, Parallelism: parallel},
+	})
+	if err != nil {
+		fmt.Printf("  VC:   every tier failed after %v: %v\n", out.Elapsed.Round(time.Microsecond), err)
+		return
+	}
+	fmt.Printf("  VC:   AWCT %.3f via tier %s (%d comms, %v)\n",
+		out.AWCT, out.Tier, s.NumComms(), out.Elapsed.Round(time.Microsecond))
+	if report {
+		indent(os.Stdout, out.String()+"\n")
+	}
 	if show {
 		indent(os.Stdout, s.Format())
 	}

@@ -25,6 +25,8 @@ import (
 	"vcsched/internal/core"
 	"vcsched/internal/ir"
 	"vcsched/internal/machine"
+	"vcsched/internal/resilient"
+	"vcsched/internal/sched"
 	"vcsched/internal/workload"
 )
 
@@ -45,7 +47,12 @@ type Config struct {
 	// (default 1 = the serial driver). Schedules are identical either
 	// way; only VCTime changes.
 	Parallelism int
-	Verbose     bool // progress to stdout
+	// Resilient routes the VC side of every block through the
+	// degradation ladder (internal/resilient): the block always ends
+	// with a Validate-clean schedule and an Outcome naming the tier
+	// that produced it, even when the SG search dies or panics.
+	Resilient bool
+	Verbose   bool // progress to stdout
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +96,11 @@ type BlockResult struct {
 	VCTime  time.Duration // wall-clock VC scheduling time
 	VCAWCT  float64       // valid when VCOK
 	VCExits map[int]int   // exit cycles of the VC schedule (for Fig. 12)
+
+	// Outcome is the resilient pipeline's per-block record (tier used,
+	// tier-2 retries, error chain per attempt); nil unless
+	// Config.Resilient was set.
+	Outcome *resilient.Outcome
 
 	CARSAWCT  float64
 	CARSTime  time.Duration
@@ -180,7 +192,17 @@ func RunApp(app *workload.App, m *machine.Config, cfg Config) AppResult {
 		go func(i int, sb *ir.Superblock) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			br := runBlock(sb, m, cfg.Seed, maxT, cfg.Parallelism)
+			// A panic escaping a block's schedulers must not kill the
+			// whole sweep's worker pool: record it as the block's error.
+			defer func() {
+				if r := recover(); r != nil {
+					res.Blocks[i] = BlockResult{
+						App: app.Profile.Name, Block: sb.Name, N: sb.N(), ExecCount: sb.ExecCount,
+						Err: fmt.Sprintf("panic while scheduling: %v", r),
+					}
+				}
+			}()
+			br := runBlock(sb, m, cfg, maxT)
 			br.App = app.Profile.Name
 			res.Blocks[i] = br
 		}(i, sb)
@@ -189,8 +211,8 @@ func RunApp(app *workload.App, m *machine.Config, cfg Config) AppResult {
 	return res
 }
 
-func runBlock(sb *ir.Superblock, m *machine.Config, seed int64, timeout time.Duration, parallelism int) BlockResult {
-	pins := workload.PinsFor(sb, m.Clusters, seed)
+func runBlock(sb *ir.Superblock, m *machine.Config, cfg Config, timeout time.Duration) BlockResult {
+	pins := workload.PinsFor(sb, m.Clusters, cfg.Seed)
 	r := BlockResult{Block: sb.Name, N: sb.N(), ExecCount: sb.ExecCount}
 
 	// A CARS failure (or an invalid CARS schedule) leaves the block
@@ -210,8 +232,14 @@ func runBlock(sb *ir.Superblock, m *machine.Config, seed int64, timeout time.Dur
 	r.CARSAWCT = cs.AWCT()
 	r.CARSExits = cs.ExitCycles()
 
+	copts := core.Options{Pins: pins, Timeout: timeout, Parallelism: cfg.Parallelism}
 	start = time.Now()
-	vs, _, err := core.Schedule(sb, m, core.Options{Pins: pins, Timeout: timeout, Parallelism: parallelism})
+	var vs *sched.Schedule
+	if cfg.Resilient {
+		vs, r.Outcome, err = resilient.Schedule(sb, m, resilient.Options{Core: copts})
+	} else {
+		vs, _, err = core.Schedule(sb, m, copts)
+	}
 	r.VCTime = time.Since(start)
 	switch {
 	case err != nil:

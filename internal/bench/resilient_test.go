@@ -1,0 +1,63 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"vcsched/internal/faultpoint"
+	"vcsched/internal/machine"
+	"vcsched/internal/resilient"
+	"vcsched/internal/workload"
+)
+
+// TestResilientBatchUnderFaults is the robustness acceptance check: a
+// 50+-block benchmark batch with panics, spurious contradictions and
+// budget starvation all armed must finish with zero hard failures —
+// every block ends VCOK with a Validate-clean schedule and an Outcome
+// naming the tier that produced it.
+func TestResilientBatchUnderFaults(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	faultpoint.Arm("core.stage", faultpoint.Fault{Kind: faultpoint.KindPanic, Every: 7})
+	faultpoint.Arm("deduce.shave", faultpoint.Fault{Kind: faultpoint.KindContra, Every: 3})
+	faultpoint.Arm("core.budget", faultpoint.Fault{Kind: faultpoint.KindStarve, Every: 5, N: 2000})
+
+	m := machine.TwoCluster1Lat()
+	cfg := Config{Seed: 1, Resilient: true, Thresholds: []time.Duration{2 * time.Second}}
+
+	blocks := 0
+	tiers := map[resilient.Tier]int{}
+	for _, p := range []workload.AppProfile{workload.Benchmarks()[0], workload.Benchmarks()[7]} {
+		app := p.Generate(0.25, 0)
+		res := RunApp(app, m, cfg)
+		for _, br := range res.Blocks {
+			blocks++
+			if br.Err != "" {
+				t.Errorf("%s/%s: hard failure: %s", p.Name, br.Block, br.Err)
+				continue
+			}
+			if !br.VCOK {
+				t.Errorf("%s/%s: VC side failed under faults: %s", p.Name, br.Block, br.VCErr)
+				continue
+			}
+			if br.Outcome == nil {
+				t.Errorf("%s/%s: no outcome record", p.Name, br.Block)
+				continue
+			}
+			if br.Outcome.Tier == resilient.TierNone {
+				t.Errorf("%s/%s: outcome names no tier", p.Name, br.Block)
+			}
+			tiers[br.Outcome.Tier]++
+		}
+	}
+	if blocks < 50 {
+		t.Fatalf("batch covered only %d blocks, want at least 50", blocks)
+	}
+	// The faults must actually have bitten: a batch this size at these
+	// firing rates cannot come back all-tier-1.
+	fallback := blocks - tiers[resilient.TierSG]
+	if fallback == 0 {
+		t.Errorf("all %d blocks came back on tier sg; fault injection did not engage (tiers: %v)", blocks, tiers)
+	}
+	t.Logf("tier mix over %d blocks: %v", blocks, tiers)
+}

@@ -18,6 +18,7 @@ package cars
 import (
 	"fmt"
 
+	"vcsched/internal/faultpoint"
 	"vcsched/internal/ir"
 	"vcsched/internal/machine"
 	"vcsched/internal/sched"
@@ -42,6 +43,12 @@ func ScheduleFixed(sb *ir.Superblock, m *machine.Config, pins sched.Pins, assign
 }
 
 func schedule(sb *ir.Superblock, m *machine.Config, pins sched.Pins, fixed []int) (*sched.Schedule, error) {
+	// Fault point for exercising the degradation ladder's last rung:
+	// KindPanic panics inside Fire; any other armed kind becomes a
+	// scheduling error.
+	if f, ok := faultpoint.Fire("cars.schedule"); ok {
+		return nil, fmt.Errorf("cars: injected fault (%v)", f.Kind)
+	}
 	for cl := 0; cl < ir.NumClasses; cl++ {
 		class := ir.Class(cl)
 		if class == ir.Copy {

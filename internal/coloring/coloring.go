@@ -5,7 +5,11 @@
 // bound), and ordering virtual clusters for the final VC→PC mapping.
 package coloring
 
-import "sort"
+import (
+	"sort"
+
+	"vcsched/internal/faultpoint"
+)
 
 // Graph is a simple undirected graph on vertices 0..N-1 described by an
 // adjacency predicate. Build one with New.
@@ -86,7 +90,12 @@ func (g *Graph) Greedy() (colors []int, used int) {
 }
 
 // Colorable reports whether the greedy coloring fits in k colors.
+// The "coloring.colorable" fault point sits on this hot path to
+// exercise panic recovery in the drivers above (Colorable returns a
+// bare bool, so only KindPanic — which panics inside Fire — is
+// meaningful here; other kinds are ignored).
 func (g *Graph) Colorable(k int) bool {
+	faultpoint.Fire("coloring.colorable")
 	_, used := g.Greedy()
 	return used <= k
 }
@@ -94,7 +103,11 @@ func (g *Graph) Colorable(k int) bool {
 // MaxCliqueLB returns a lower bound on the maximum clique size, found by
 // greedily extending a clique from each vertex in decreasing-degree
 // order. If MaxCliqueLB(g) > k the graph is certainly not k-colorable.
+// The faultpoint sits on this query because it is the coloring entry
+// the deduction rules hit on every propagation round (same signature
+// caveat as Colorable: only KindPanic is meaningful).
 func (g *Graph) MaxCliqueLB() int {
+	faultpoint.Fire("coloring.maxclique")
 	best := 0
 	if g.N > 0 {
 		best = 1

@@ -31,6 +31,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"vcsched/internal/deduce"
@@ -83,6 +84,12 @@ type Options struct {
 	// clamped to 1): heuristic dead-ends are order-sensitive, so
 	// rotating the candidate order recovers many feasible AWCTs.
 	Retries int
+	// VariantOffset shifts the perturbed decision orders: attempt v runs
+	// as variant VariantOffset+v. A re-run with a different offset
+	// explores genuinely different orders instead of repeating the ones
+	// that already failed — the resilient pipeline's tier-2 retries use
+	// it. Zero (the default) reproduces the historical orders.
+	VariantOffset int
 	// Parallelism is the number of concurrent portfolio workers running
 	// the perturbed-order attempts (0 or 1 = the serial driver; values
 	// below 1 are clamped to 1). The committed schedule is identical to
@@ -205,15 +212,22 @@ type scheduler struct {
 	deadline time.Time
 	cancel   <-chan struct{} // set on portfolio workers; closed when a sibling wins
 	dist     [][]int
-	tail     []int // longest completion tail from each node (see bump)
-	variant  int   // perturbs candidate order across retries of one AWCT
+	tail     []int  // longest completion tail from each node (see bump)
+	variant  int    // perturbs candidate order across retries of one AWCT
+	curStage string // pipeline stage currently running (panic context)
 }
 
 // Schedule runs the full algorithm on one superblock. On ErrTimeout or
 // ErrExhausted no schedule is returned and the caller should fall back
-// to a baseline scheduler.
-func Schedule(sb *ir.Superblock, m *machine.Config, opts Options) (*sched.Schedule, Stats, error) {
+// to a baseline scheduler. Schedule never panics: panics anywhere in
+// the pipeline are recovered into a *PanicError (wrapping ErrInternal)
+// with the stage, exit vector and stack attached.
+func Schedule(sb *ir.Superblock, m *machine.Config, opts Options) (schedule *sched.Schedule, stats Stats, err error) {
+	defer recoverToError("schedule", nil, &err)
 	opts = opts.withDefaults()
+	if n, ok := starveSteps(); ok && (opts.MaxSteps <= 0 || n < opts.MaxSteps) {
+		opts.MaxSteps = n
+	}
 	start := time.Now()
 	s := newScheduler(sb, m, opts)
 	if opts.Timeout > 0 {
@@ -226,8 +240,7 @@ func Schedule(sb *ir.Superblock, m *machine.Config, opts Options) (*sched.Schedu
 		s.budget.SetDeadline(s.deadline)
 	}
 
-	var stats Stats
-	ests, err := s.enhancedExitEsts()
+	ests, err := s.safeExitEsts()
 	if err != nil {
 		stats.Elapsed = time.Since(start)
 		return nil, stats, s.mapErr(err)
@@ -235,9 +248,9 @@ func Schedule(sb *ir.Superblock, m *machine.Config, opts Options) (*sched.Schedu
 	stats.MinAWCT = s.awctOf(ests)
 
 	if opts.Parallelism > 1 {
-		schedule, err := s.schedulePortfolio(&stats, ests)
+		schedule, perr := s.schedulePortfolio(&stats, ests)
 		stats.Elapsed = time.Since(start)
-		return schedule, stats, err
+		return schedule, stats, perr
 	}
 
 	// Best-first enumeration over exit-cycle vectors: vectors are tried
@@ -258,9 +271,9 @@ func Schedule(sb *ir.Superblock, m *machine.Config, opts Options) (*sched.Schedu
 				stats.Elapsed = time.Since(start)
 				return nil, stats, err
 			}
-			s.variant = v
+			s.variant = opts.VariantOffset + v
 			before := s.stepsSpent()
-			schedule, err := s.attempt(vector)
+			schedule, err := s.safeAttempt(vector)
 			stats.AttemptsLaunched++
 			rec := Attempt{AWCTIndex: stats.AWCTTried - 1, Variant: v, Steps: s.stepsSpent() - before}
 			if s.opts.Trace != nil {
@@ -291,7 +304,18 @@ func Schedule(sb *ir.Superblock, m *machine.Config, opts Options) (*sched.Schedu
 	}
 	stats.Elapsed = time.Since(start)
 	stats.StepsSpent = s.stepsSpent()
-	return nil, stats, fmt.Errorf("%w: no schedule within %d AWCT values", ErrExhausted, opts.MaxAWCTIters)
+	return nil, stats, s.exhaustErr()
+}
+
+// exhaustErr is the verdict when the AWCT enumeration ends without a
+// schedule. The deadline may have expired between checkTime polls —
+// e.g. during a stage whose contradictions mask the budget's deadline
+// signal — and an expired deadline is a timeout, never exhaustion.
+func (s *scheduler) exhaustErr() error {
+	if err := s.checkTime(); err != nil {
+		return err
+	}
+	return fmt.Errorf("%w: no schedule within %d AWCT values", ErrExhausted, s.opts.MaxAWCTIters)
 }
 
 // newScheduler precomputes the immutable search context. tail[u] is the
@@ -442,6 +466,14 @@ func (s *scheduler) enhancedExitEsts() ([]int, error) {
 	return ests, nil
 }
 
+// safeExitEsts runs the enhanced-lower-bound computation with panic
+// recovery: a crash while probing the minimum AWCT becomes a
+// *PanicError in stage "min-awct".
+func (s *scheduler) safeExitEsts() (ests []int, err error) {
+	defer recoverToError("min-awct", nil, &err)
+	return s.enhancedExitEsts()
+}
+
 // probe builds a state (exits bounded, not pinned) and shaves it.
 func (s *scheduler) probe(deadlines map[int]int) error {
 	st, err := deduce.NewState(s.sb, s.m, s.g, deadlines, s.stateOpts(false))
@@ -573,14 +605,36 @@ func (q *vectorQueue) pop() ([]int, bool) {
 	return v, true
 }
 
+// safeAttempt is attempt with panic recovery: a crash anywhere in the
+// six stages is converted into a *PanicError carrying the stage that
+// was running, the exit-cycle vector and the stack. Both the serial
+// driver and the portfolio workers go through it — an unrecovered
+// panic in a worker goroutine would kill the whole process.
+func (s *scheduler) safeAttempt(vector []int) (schedule *sched.Schedule, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			schedule = nil
+			err = &PanicError{
+				Stage:  s.curStage,
+				Vector: append([]int(nil), vector...),
+				Value:  r,
+				Stack:  debug.Stack(),
+			}
+		}
+	}()
+	return s.attempt(vector)
+}
+
 // attempt searches for a valid schedule with the exits pinned to the
 // given cycle vector.
 func (s *scheduler) attempt(vector []int) (*sched.Schedule, error) {
+	s.curStage = "setup"
 	deadlines := s.deadlinesOf(vector)
 	st, err := deduce.NewState(s.sb, s.m, s.g, deadlines, s.stateOpts(true))
 	if err != nil {
 		return nil, err
 	}
+	s.curStage = "shave"
 	if err := st.Shave(s.opts.ShaveRounds); err != nil {
 		return nil, err
 	}
@@ -595,7 +649,11 @@ func (s *scheduler) attempt(vector []int) (*sched.Schedule, error) {
 		{"fix-copies", s.stageFixCopies},
 	}
 	for _, stage := range stages {
+		s.curStage = stage.name
 		if err := s.checkTime(); err != nil {
+			return nil, err
+		}
+		if err := injectStageFault("core.stage"); err != nil {
 			return nil, err
 		}
 		if err := stage.run(st); err != nil {
@@ -605,6 +663,7 @@ func (s *scheduler) attempt(vector []int) (*sched.Schedule, error) {
 			return nil, err
 		}
 	}
+	s.curStage = "extract"
 	if !st.AllPairsResolved() {
 		return nil, fmt.Errorf("%w: unresolved pairs remain", deduce.ErrContradiction)
 	}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"vcsched/internal/faultpoint"
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/workload"
+)
+
+// A panic in the stage loop must come back as a recovered *PanicError
+// wrapping ErrInternal — with the stage and exit vector attached — in
+// both drivers, never as a dead process.
+func TestPanicBecomesStructuredError(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+
+	sb := ir.PaperFigure1()
+	m := machine.TwoCluster1Lat()
+	pins := workload.PinsFor(sb, m.Clusters, 1)
+
+	for _, par := range []int{1, 4} {
+		faultpoint.Arm("core.stage", faultpoint.Fault{Kind: faultpoint.KindPanic})
+		s, _, err := Schedule(sb, m, Options{Pins: pins, Parallelism: par})
+		if s != nil {
+			t.Fatalf("parallelism %d: got a schedule alongside an injected panic", par)
+		}
+		if !errors.Is(err, ErrInternal) {
+			t.Fatalf("parallelism %d: err = %v, want ErrInternal", par, err)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("parallelism %d: err %T is not a *PanicError: %v", par, err, err)
+		}
+		if pe.Stage == "" {
+			t.Errorf("parallelism %d: PanicError carries no stage: %+v", par, pe)
+		}
+		if len(pe.Vector) == 0 {
+			t.Errorf("parallelism %d: PanicError carries no exit vector: %+v", par, pe)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("parallelism %d: PanicError carries no stack", par)
+		}
+		faultpoint.Reset()
+	}
+}
+
+// A panic in the coloring oracle — a different package from the stage
+// loop — must be recovered by the same attempt wrapper.
+func TestColoringPanicRecovered(t *testing.T) {
+	faultpoint.Reset()
+	defer faultpoint.Reset()
+	faultpoint.Arm("coloring.maxclique", faultpoint.Fault{Kind: faultpoint.KindPanic})
+
+	sb := ir.PaperFigure1()
+	m := machine.TwoCluster1Lat()
+	_, _, err := Schedule(sb, m, Options{Pins: workload.PinsFor(sb, m.Clusters, 1)})
+	if err == nil {
+		t.Fatal("injected coloring panic did not fail the schedule")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err %T is not a *PanicError: %v", err, err)
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -92,7 +91,7 @@ func pfBefore(seqA, varA, seqB, varB int) bool {
 // (superblock, machine, SG, distance matrix, tails) is shared read-only.
 func (s *scheduler) runAttempt(jb pfJob) pfResult {
 	w := *s
-	w.variant = jb.variant
+	w.variant = s.opts.VariantOffset + jb.variant
 	w.cancel = jb.cancel
 	steps := s.opts.MaxSteps
 	if steps < 0 {
@@ -103,7 +102,9 @@ func (s *scheduler) runAttempt(jb pfJob) pfResult {
 		w.budget.SetDeadline(s.deadline)
 	}
 	w.budget.SetCancel(jb.cancel)
-	schedule, err := w.attempt(jb.vector)
+	// safeAttempt, not attempt: an unrecovered panic here would unwind a
+	// worker goroutine and kill the process.
+	schedule, err := w.safeAttempt(jb.vector)
 	return pfResult{seq: jb.seq, variant: jb.variant, schedule: schedule, err: err, steps: w.stepsSpent()}
 }
 
@@ -194,9 +195,9 @@ func (s *scheduler) schedulePortfolio(stats *Stats, ests []int) (*sched.Schedule
 			if seq >= len(vectors) {
 				if chainDone {
 					// Every vector of the complete chain contradicted
-					// within budget: serial exhaustion.
-					return verdict{decided: true, seq: len(vectors) - 1,
-						err: fmt.Errorf("%w: no schedule within %d AWCT values", ErrExhausted, opts.MaxAWCTIters)}
+					// within budget: serial exhaustion (or a timeout, if
+					// the deadline expired on the way — exhaustErr checks).
+					return verdict{decided: true, seq: len(vectors) - 1, err: s.exhaustErr()}
 				}
 				return verdict{}
 			}
@@ -368,5 +369,5 @@ func (s *scheduler) schedulePortfolio(stats *Stats, ests []int) (*sched.Schedule
 		return nil, final.err
 	}
 	stats.AWCTTried = len(vectors)
-	return nil, fmt.Errorf("%w: no schedule within %d AWCT values", ErrExhausted, opts.MaxAWCTIters)
+	return nil, s.exhaustErr()
 }

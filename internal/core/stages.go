@@ -41,7 +41,10 @@ func (s *scheduler) study(st *deduce.State, cands []candidate) error {
 			}
 			continue
 		}
-		m := probe.Metrics()
+		m, err := probe.Metrics()
+		if err != nil {
+			return err
+		}
 		if cands[i].fallback {
 			if bestFB < 0 || m.Better(bestFBM) {
 				bestFB, bestFBM = i, m
@@ -213,7 +216,10 @@ func (s *scheduler) stageOutedges(st *deduce.State) error {
 		if err := s.checkTime(); err != nil {
 			return err
 		}
-		out := st.OutEdges()
+		out, err := st.OutEdges()
+		if err != nil {
+			return err
+		}
 		if len(out) == 0 {
 			return nil
 		}
@@ -274,7 +280,7 @@ func (s *scheduler) stageOutedges(st *deduce.State) error {
 			return all[i].b < all[j].b
 		})
 		e := all[0]
-		err := st.Clone().FuseVC(e.a, e.b)
+		err = st.Clone().FuseVC(e.a, e.b)
 		if err == nil {
 			if err := st.FuseVC(e.a, e.b); err != nil {
 				return err
@@ -322,7 +328,12 @@ func (s *scheduler) stageMapping(st *deduce.State) error {
 		var cands []candidate
 		for kk := 0; kk < s.m.Clusters; kk++ {
 			k := (kk + s.variant) % s.m.Clusters
-			anchor := st.VC().Anchor(k)
+			anchor, err := st.VC().Anchor(k)
+			if err != nil {
+				// k ranges over the machine's clusters and NewState created
+				// one anchor per cluster, so this is an internal breakage.
+				return fmt.Errorf("%w: stage mapping: %v", deduce.ErrInternal, err)
+			}
 			if st.VC().Incompatible(rep, anchor) {
 				continue
 			}

@@ -138,6 +138,9 @@ func (st *State) SplitVC(a, b int) error {
 // to rounds times or until no bound moves.
 func (st *State) Shave(rounds int) error {
 	for r := 0; r < rounds; r++ {
+		if err := injectFault("deduce.shave"); err != nil {
+			return err
+		}
 		changed := false
 		for node := 0; node < len(st.est); node++ {
 			if st.Pinned(node) {

@@ -121,10 +121,10 @@ func TestSection5FullManualSchedule(t *testing.T) {
 		t.Fatalf("comms = %v, want 2 (I0 and I1 values)", st.Comms())
 	}
 	// Map remaining VCs to physical clusters via anchors.
-	if err := st.FuseVC(0, st.VC().Anchor(0)); err != nil {
+	if err := st.FuseVC(0, st.VC().MustAnchor(0)); err != nil {
 		t.Fatalf("map cluster 0: %v", err)
 	}
-	if err := st.FuseVC(2, st.VC().Anchor(1)); err != nil {
+	if err := st.FuseVC(2, st.VC().MustAnchor(1)); err != nil {
 		t.Fatalf("map cluster 1: %v", err)
 	}
 	// Pin any copies that still have slack.
@@ -348,7 +348,7 @@ func TestLiveOutComm(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Force the producer away from its live-out cluster.
-	if err := st.SplitVC(p, st.VC().Anchor(1)); err != nil {
+	if err := st.SplitVC(p, st.VC().MustAnchor(1)); err != nil {
 		t.Fatal(err)
 	}
 	if len(st.Comms()) != 1 {
@@ -366,7 +366,10 @@ func TestOutEdgesAndMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := st.Metrics()
+	m, err := st.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.Comms != 0 {
 		t.Errorf("initial comms = %d", m.Comms)
 	}
@@ -376,7 +379,10 @@ func TestOutEdgesAndMetrics(t *testing.T) {
 		t.Errorf("VCs = %d, want 7", m.VCs)
 	}
 	// All seven data edges cross distinct compatible VCs.
-	edges := st.OutEdges()
+	edges, err := st.OutEdges()
+	if err != nil {
+		t.Fatal(err)
+	}
 	total := 0
 	for _, n := range edges {
 		total += n

@@ -41,14 +41,18 @@ func (m Metrics) Better(o Metrics) bool {
 }
 
 // Metrics computes the comparison metrics of the current state.
-func (st *State) Metrics() Metrics {
+func (st *State) Metrics() (Metrics, error) {
 	m := Metrics{Comms: len(st.comms)}
 	for node := 0; node < len(st.est); node++ {
 		m.SumSlack += st.lst[node] - st.est[node]
 	}
-	m.OutEdges = len(st.outEdgePairs())
+	pairs, err := st.outEdgePairs()
+	if err != nil {
+		return Metrics{}, err
+	}
+	m.OutEdges = len(pairs)
 	m.VCs = st.instrVCCount()
-	return m
+	return m, nil
 }
 
 // instrVCCount counts VCs containing at least one instruction node
@@ -64,31 +68,43 @@ func (st *State) instrVCCount() int {
 // outEdgePairs collects, per unordered pair of VC representatives that
 // are distinct and not incompatible, the number of value flows crossing
 // them (the stage-3 outedges and the matching-graph weights).
-func (st *State) outEdgePairs() map[[2]int]int {
+func (st *State) outEdgePairs() (map[[2]int]int, error) {
 	out := make(map[[2]int]int)
-	add := func(value, consumer int) {
-		a := st.vc.Rep(st.valueVCNode(value))
+	add := func(value, consumer int) error {
+		node, err := st.valueVCNode(value)
+		if err != nil {
+			return err
+		}
+		a := st.vc.Rep(node)
 		b := st.vc.Rep(st.vcID(consumer))
 		if a == b || st.vc.Incompatible(a, b) {
-			return
+			return nil
 		}
 		if a > b {
 			a, b = b, a
 		}
 		out[[2]int{a, b}]++
+		return nil
 	}
 	for v := 0; v < st.nOrig; v++ {
 		for _, c := range st.SB.DataConsumers(v) {
-			add(v, c)
+			if err := add(v, c); err != nil {
+				return nil, err
+			}
 		}
 	}
 	for li := range st.SB.LiveIns {
 		for _, c := range st.SB.LiveIns[li].Consumers {
-			add(-(li + 1), c)
+			if err := add(-(li+1), c); err != nil {
+				return nil, err
+			}
 		}
 	}
 	for oi, u := range st.SB.LiveOuts {
-		anchor := st.vc.Anchor(st.pins.LiveOut[oi])
+		anchor, err := st.vc.Anchor(st.pins.LiveOut[oi])
+		if err != nil {
+			return nil, internalf("live-out %d: %v", u, err)
+		}
 		a, b := st.vc.Rep(anchor), st.vc.Rep(st.vcID(u))
 		if a == b || st.vc.Incompatible(a, b) {
 			continue
@@ -98,12 +114,12 @@ func (st *State) outEdgePairs() map[[2]int]int {
 		}
 		out[[2]int{a, b}]++
 	}
-	return out
+	return out, nil
 }
 
 // OutEdges exposes the current outedge multiset for the stage-3 matching
 // graph.
-func (st *State) OutEdges() map[[2]int]int { return st.outEdgePairs() }
+func (st *State) OutEdges() (map[[2]int]int, error) { return st.outEdgePairs() }
 
 // OpenPairs returns the indices of pairs still Open, sorted by
 // combination slack (fewest realizable placements first) — the paper's

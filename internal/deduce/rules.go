@@ -12,6 +12,9 @@ import (
 // pass may conclude new mandatory changes, which are themselves fed back
 // in until nothing changes.
 func (st *State) Propagate() error {
+	if err := injectFault("deduce.propagate"); err != nil {
+		return err
+	}
 	for {
 		if err := st.budget.spend(); err != nil {
 			return err
@@ -377,7 +380,10 @@ func (st *State) ruleClusterEdges() (bool, error) {
 
 // handleFlow treats one value→consumer flow.
 func (st *State) handleFlow(value, consumer int) (bool, error) {
-	pNode := st.valueVCNode(value)
+	pNode, err := st.valueVCNode(value)
+	if err != nil {
+		return false, err
+	}
 	cNode := st.vcID(consumer)
 	if st.vc.SameVC(pNode, cNode) {
 		return false, nil
@@ -410,7 +416,10 @@ func (st *State) handleFlow(value, consumer int) (bool, error) {
 // handleLiveOut treats a live-out value pinned to physical cluster pc:
 // like a consumer at the anchor whose latest start is the region end.
 func (st *State) handleLiveOut(u, pc int) (bool, error) {
-	anchor := st.vc.Anchor(pc)
+	anchor, err := st.vc.Anchor(pc)
+	if err != nil {
+		return false, internalf("live-out %d: %v", u, err)
+	}
 	uNode := st.vcID(u)
 	if st.vc.SameVC(uNode, anchor) {
 		return false, nil
@@ -450,11 +459,18 @@ func (st *State) ensureComm(value int) (node int, changed bool, err error) {
 	if est > lst {
 		return 0, false, contraf("communication of value %d cannot fit: ready %d, deadline %d", value, est, lst)
 	}
-	node = st.addNode(ir.Copy, st.M.BusLatency, est, lst)
+	home, err := st.valueVCNode(value)
+	if err != nil {
+		return 0, false, err
+	}
+	node, err = st.addNode(ir.Copy, st.M.BusLatency, est, lst)
+	if err != nil {
+		return 0, false, err
+	}
 	st.commByValue[value] = len(st.comms)
 	st.comms = append(st.comms, commRec{Node: node, Value: value})
 	// The copy executes in the value's home cluster.
-	if err := st.vc.Fuse(st.vcID(node), st.valueVCNode(value)); err != nil {
+	if err := st.vc.Fuse(st.vcID(node), home); err != nil {
 		return 0, true, contraf("copy of value %d cannot join its producer's VC: %v", value, err)
 	}
 	if value >= 0 {
@@ -520,7 +536,15 @@ func (st *State) rulePPLC() (bool, error) {
 		for i := 0; i < len(values); i++ {
 			for j := i + 1; j < len(values); j++ {
 				v1, v2 := values[i], values[j]
-				if !st.vc.Incompatible(st.valueVCNode(v1), st.valueVCNode(v2)) {
+				n1, err := st.valueVCNode(v1)
+				if err != nil {
+					return changed, err
+				}
+				n2, err := st.valueVCNode(v2)
+				if err != nil {
+					return changed, err
+				}
+				if !st.vc.Incompatible(n1, n2) {
 					continue
 				}
 				arrive := min(st.valueReadyEst(v1), st.valueReadyEst(v2)) + st.M.BusLatency

@@ -276,8 +276,8 @@ func TestQueryHelpers(t *testing.T) {
 	for _, r := range st.UnmappedVCReps() {
 		mapped := false
 		for k := 0; k < m.Clusters && !mapped; k++ {
-			if st.Clone().FuseVC(r, st.VC().Anchor(k)) == nil {
-				if err := st.FuseVC(r, st.VC().Anchor(k)); err != nil {
+			if st.Clone().FuseVC(r, st.VC().MustAnchor(k)) == nil {
+				if err := st.FuseVC(r, st.VC().MustAnchor(k)); err != nil {
 					t.Fatal(err)
 				}
 				mapped = true

@@ -51,8 +51,19 @@ var ErrBudget = errors.New("deduce: step budget exhausted")
 // contradiction nor a budget failure.
 var ErrCancelled = errors.New("deduce: cancelled")
 
+// ErrInternal is the sentinel wrapped by invariant violations that
+// formerly panicked (an out-of-range anchor, a VCG id space out of
+// sync): the state is corrupt and the attempt must be abandoned, but
+// the process survives and the caller can degrade to a baseline
+// scheduler. It is neither a contradiction nor a budget failure.
+var ErrInternal = errors.New("deduce: internal invariant violated")
+
 func contraf(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrContradiction, fmt.Sprintf(format, args...))
+}
+
+func internalf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInternal, fmt.Sprintf(format, args...))
 }
 
 // Budget counts deduction work shared across all states cloned from one
@@ -219,6 +230,9 @@ type Options struct {
 // initial consequences. The returned error is a contradiction if the
 // deadlines are infeasible even for the initial rules.
 func NewState(sb *ir.Superblock, m *machine.Config, g *sg.Graph, deadlines map[int]int, opts Options) (*State, error) {
+	if err := validatePins(sb, m, opts.Pins); err != nil {
+		return nil, err
+	}
 	n := sb.N()
 	st := &State{
 		SB:          sb,
@@ -279,6 +293,30 @@ func NewState(sb *ir.Superblock, m *machine.Config, g *sg.Graph, deadlines map[i
 		return nil, err
 	}
 	return st, nil
+}
+
+// validatePins rejects live-in/live-out pin tables that do not cover the
+// block or name nonexistent clusters. Before this check the first
+// out-of-range pin panicked deep inside the anchor lookup; now the
+// whole construction fails softly with context.
+func validatePins(sb *ir.Superblock, m *machine.Config, pins sched.Pins) error {
+	if len(sb.LiveIns) > 0 && len(pins.LiveIn) != len(sb.LiveIns) {
+		return internalf("%d live-ins but %d pins", len(sb.LiveIns), len(pins.LiveIn))
+	}
+	if len(sb.LiveOuts) > 0 && len(pins.LiveOut) != len(sb.LiveOuts) {
+		return internalf("%d live-outs but %d pins", len(sb.LiveOuts), len(pins.LiveOut))
+	}
+	for li, k := range pins.LiveIn {
+		if k < 0 || k >= m.Clusters {
+			return internalf("live-in %d pinned to nonexistent cluster %d of %d", li, k, m.Clusters)
+		}
+	}
+	for oi, k := range pins.LiveOut {
+		if k < 0 || k >= m.Clusters {
+			return internalf("live-out %d pinned to nonexistent cluster %d of %d", oi, k, m.Clusters)
+		}
+	}
+	return nil
 }
 
 // vcID maps a state node to its VCG node (anchors sit between original
@@ -375,9 +413,16 @@ func (st *State) addArc(from, to, lat int) bool {
 	return true
 }
 
-// addNode appends a new state node (for communications).
-func (st *State) addNode(class ir.Class, lat, est, lst int) int {
+// addNode appends a new state node (for communications). It fails
+// softly (formerly a panic) when the VCG id space has drifted from the
+// state's — only possible if the VCG was mutated behind the state's
+// back — so one corrupt attempt degrades instead of killing the
+// process.
+func (st *State) addNode(class ir.Class, lat, est, lst int) (int, error) {
 	node := len(st.est)
+	if v := st.vc.Len(); v != st.vcID(node) {
+		return 0, internalf("VCG id space out of sync: %d VCG nodes, next state node %d maps to %d", v, node, st.vcID(node))
+	}
 	st.class = append(st.class, class)
 	st.lat = append(st.lat, lat)
 	st.est = append(st.est, est)
@@ -385,10 +430,8 @@ func (st *State) addNode(class ir.Class, lat, est, lst int) int {
 	st.outA = append(st.outA, nil)
 	st.inA = append(st.inA, nil)
 	st.cc.Add()
-	if v := st.vc.AddNode(); v != st.vcID(node) {
-		panic("deduce: VCG id space out of sync")
-	}
-	return node
+	st.vc.AddNode()
+	return node, nil
 }
 
 // Clone deep-copies the state (sharing the immutable superblock, machine
@@ -452,13 +495,18 @@ func (st *State) valueReadyEst(value int) int {
 }
 
 // valueVCNode returns the VCG node that holds the value: the producing
-// instruction, or the anchor of the live-in's pinned cluster.
-func (st *State) valueVCNode(value int) int {
+// instruction, or the anchor of the live-in's pinned cluster. Pins are
+// validated in NewState, so the anchor lookup can only fail if the
+// state is corrupt; the error (ErrInternal) abandons the attempt.
+func (st *State) valueVCNode(value int) (int, error) {
 	if value < 0 {
 		li := -(value + 1)
+		if li >= len(st.pins.LiveIn) {
+			return 0, internalf("live-in %d outside pin table of %d", li, len(st.pins.LiveIn))
+		}
 		return st.vc.Anchor(st.pins.LiveIn[li])
 	}
-	return value
+	return value, nil
 }
 
 // consumersOf returns the instruction ids consuming the given value.

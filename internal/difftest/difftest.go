@@ -28,6 +28,7 @@ import (
 	"vcsched/internal/ir"
 	"vcsched/internal/machine"
 	"vcsched/internal/oracle"
+	"vcsched/internal/resilient"
 	"vcsched/internal/sched"
 	"vcsched/internal/sim"
 	"vcsched/internal/workload"
@@ -57,6 +58,10 @@ const (
 	KindCARSValidate   = "cars-validate"   // baseline schedule fails the validator
 	KindCARSSim        = "cars-sim"        // baseline schedule fails the simulator
 	KindCARSOracle     = "cars-oracle"     // baseline beats the exhaustive optimum
+
+	KindResilient         = "resilient"          // degradation ladder hard-failed or reported an inconsistent outcome
+	KindResilientValidate = "resilient-validate" // resilient schedule fails the validator
+	KindResilientOracle   = "resilient-oracle"   // resilient schedule beats the exhaustive optimum
 )
 
 // Violation is one cross-check failure.
@@ -86,6 +91,13 @@ type Options struct {
 	// OracleLimit is the largest instruction count cross-checked against
 	// the exhaustive oracle (default 8; < 0 disables the oracle checks).
 	OracleLimit int
+	// Resilient also runs the degradation-ladder pipeline
+	// (internal/resilient) on the block and cross-checks it: whatever
+	// tier produced the result must be Validate-clean, consistent with
+	// its own Outcome record, never better than the exhaustive optimum,
+	// and — when the pipeline reports tier "sg" — bit-identical to the
+	// serial core driver.
+	Resilient bool
 	// CorruptVC, when non-nil, is applied to the VC schedule between
 	// scheduling and cross-checking. It exists for fault injection: tests
 	// use it to simulate a scheduler bug and assert the harness catches
@@ -220,6 +232,49 @@ func Check(sb *ir.Superblock, opts Options) *Report {
 	}
 	if opt != nil && cs != nil && cs.AWCT() < opt.AWCT()-eps {
 		rep.violate(KindCARSOracle, "CARS AWCT %g beats exhaustive optimum %g", cs.AWCT(), opt.AWCT())
+	}
+
+	// (e) degradation ladder: the resilient pipeline may fall back to a
+	// weaker tier, but whatever it returns must still clear every
+	// correctness oracle, and its tier-1 claim must be the serial core
+	// result byte for byte.
+	if opts.Resilient {
+		rs, rout, rerr := resilient.Schedule(sb, m, resilient.Options{Core: base})
+		switch {
+		case rerr != nil:
+			// CARS succeeding proves the block is schedulable, so a hard
+			// failure means a ladder rung swallowed a recoverable input.
+			if cs != nil {
+				rep.violate(KindResilient, "ladder hard-failed on a CARS-schedulable block: %v", rerr)
+			}
+		default:
+			if verr := rs.Validate(); verr != nil {
+				rep.violate(KindResilientValidate, "tier %s: %v", rout.Tier, verr)
+			}
+			if math.Abs(rout.AWCT-rs.AWCT()) > eps {
+				rep.violate(KindResilient, "outcome AWCT %g vs schedule AWCT %g (tier %s)",
+					rout.AWCT, rs.AWCT(), rout.Tier)
+			}
+			if opt != nil && rs.AWCT() < opt.AWCT()-eps {
+				rep.violate(KindResilientOracle, "tier %s AWCT %g beats exhaustive optimum %g",
+					rout.Tier, rs.AWCT(), opt.AWCT())
+			}
+			if rout.Tier == resilient.TierSG {
+				if err != nil {
+					rep.violate(KindResilient, "ladder reports tier sg but serial core failed: %v", err)
+				} else {
+					var cbuf, rbuf bytes.Buffer
+					if werr := vc.WriteText(&cbuf); werr == nil {
+						if werr := rs.WriteText(&rbuf); werr != nil {
+							rep.violate(KindResilient, "resilient WriteText: %v", werr)
+						} else if !bytes.Equal(cbuf.Bytes(), rbuf.Bytes()) {
+							rep.violate(KindResilient, "tier-sg schedule differs from serial core:\ncore:\n%sresilient:\n%s",
+								cbuf.String(), rbuf.String())
+						}
+					}
+				}
+			}
+		}
 	}
 
 	if err != nil {

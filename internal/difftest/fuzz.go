@@ -24,6 +24,7 @@ type Config struct {
 	PinSeed     int64
 	MaxSteps    int
 	Parallelism int
+	Resilient   bool
 	OracleLimit int
 	// ReproDir, when set, receives one .sb repro file per violating
 	// block.
@@ -72,6 +73,7 @@ func Fuzz(cfg Config) (*Outcome, error) {
 			PinSeed:     cfg.PinSeed,
 			MaxSteps:    cfg.MaxSteps,
 			Parallelism: cfg.Parallelism,
+			Resilient:   cfg.Resilient,
 			OracleLimit: cfg.OracleLimit,
 			CorruptVC:   cfg.CorruptVC,
 		}

@@ -35,6 +35,7 @@ type Repro struct {
 	MaxSteps    int
 	Parallelism int
 	OracleLimit int
+	Resilient   bool
 	// Violations records what the harness saw when writing the file
 	// (first line of each violation). Informational: Replay re-derives
 	// the ground truth.
@@ -56,6 +57,7 @@ func ReproOf(rep *Report) (*Repro, error) {
 		MaxSteps:    rep.Opts.MaxSteps,
 		Parallelism: rep.Opts.Parallelism,
 		OracleLimit: rep.Opts.OracleLimit,
+		Resilient:   rep.Opts.Resilient,
 	}
 	for _, v := range rep.Violations {
 		r.Violations = append(r.Violations, firstLine(v.String()))
@@ -82,6 +84,7 @@ func (r *Repro) Options() (Options, error) {
 		MaxSteps:    r.MaxSteps,
 		Parallelism: r.Parallelism,
 		OracleLimit: r.OracleLimit,
+		Resilient:   r.Resilient,
 	}, nil
 }
 
@@ -103,6 +106,9 @@ func (r *Repro) Write(w io.Writer) error {
 	fmt.Fprintf(w, "# maxsteps %d\n", r.MaxSteps)
 	fmt.Fprintf(w, "# parallelism %d\n", r.Parallelism)
 	fmt.Fprintf(w, "# oraclelimit %d\n", r.OracleLimit)
+	if r.Resilient {
+		fmt.Fprintln(w, "# resilient 1")
+	}
 	for _, v := range r.Violations {
 		fmt.Fprintf(w, "# violation %s\n", firstLine(v))
 	}
@@ -167,6 +173,8 @@ func ReadRepro(rd io.Reader) (*Repro, error) {
 			r.Parallelism, perr = strconv.Atoi(fields[1])
 		case "oraclelimit":
 			r.OracleLimit, perr = strconv.Atoi(fields[1])
+		case "resilient":
+			r.Resilient = fields[1] != "0"
 		case "violation":
 			r.Violations = append(r.Violations, strings.Join(fields[1:], " "))
 		}

@@ -1,0 +1,232 @@
+// Package faultpoint is a deterministic fault-injection registry for
+// exercising the resilient scheduling pipeline (internal/resilient) and
+// the panic-recovery paths of the core scheduler without waiting for a
+// real bug to strike. Named points are compiled into hot paths of
+// deduce, core and coloring; each point is a single atomic load when no
+// fault is armed, so the instrumentation is free in production.
+//
+// Faults are armed programmatically (Arm, ArmSpec — tests) or through
+// the VCSCHED_FAULTS environment variable (`make faults` CI job):
+//
+//	VCSCHED_FAULTS='deduce.propagate=contra:0:50,core.stage=panic:3'
+//
+// The spec grammar is point=kind[:skip[:every[:n]]], comma-separated:
+//
+//	kind   panic | contra | starve | sleep
+//	skip   hits of the point to let pass before the first firing
+//	every  after skip, fire on every every-th hit (0 or 1 = every hit)
+//	n      kind parameter: step cap for starve, milliseconds for sleep
+//
+// Firing is a pure function of the point's hit counter, so a serial run
+// replays identically; concurrent runs (portfolio workers, bench
+// workers) share the counters, which is fine for robustness properties
+// ("no fault may sink the batch") that must hold under any interleaving.
+package faultpoint
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind is the failure a fault point injects.
+type Kind uint8
+
+const (
+	// KindPanic makes Fire panic at the call site, exercising the
+	// recover-and-degrade paths.
+	KindPanic Kind = iota
+	// KindContra asks the call site to return its domain contradiction
+	// error (a spurious refutation of a feasible state).
+	KindContra
+	// KindStarve asks the call site to exhaust (or cap, parameter N) its
+	// step budget.
+	KindStarve
+	// KindSleep asks the call site to sleep N milliseconds, forcing
+	// wall-clock deadlines to expire between explicit checks.
+	KindSleep
+)
+
+// String returns the spec-grammar name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPanic:
+		return "panic"
+	case KindContra:
+		return "contra"
+	case KindStarve:
+		return "starve"
+	case KindSleep:
+		return "sleep"
+	}
+	return "unknown"
+}
+
+func kindOf(s string) (Kind, error) {
+	switch s {
+	case "panic":
+		return KindPanic, nil
+	case "contra":
+		return KindContra, nil
+	case "starve":
+		return KindStarve, nil
+	case "sleep":
+		return KindSleep, nil
+	}
+	return 0, fmt.Errorf("faultpoint: unknown kind %q", s)
+}
+
+// Fault describes when and how an armed point fires.
+type Fault struct {
+	Kind  Kind
+	Skip  int // hits to let pass before the first firing
+	Every int // after Skip, fire on every Every-th hit (<=1 = every hit)
+	N     int // parameter: step cap (starve), milliseconds (sleep)
+}
+
+// PanicValue is the value a KindPanic point panics with, so tests and
+// recovery paths can tell an injected panic from a real one.
+type PanicValue struct{ Point string }
+
+func (p PanicValue) String() string { return "faultpoint: injected panic at " + p.Point }
+
+type entry struct {
+	fault Fault
+	hits  int
+}
+
+var (
+	armed atomic.Bool // fast-path gate: any faults registered
+	mu    sync.Mutex
+	reg   = map[string]*entry{}
+)
+
+func init() {
+	if spec := os.Getenv("VCSCHED_FAULTS"); spec != "" {
+		if err := ArmSpec(spec); err != nil {
+			// A malformed spec must not silently run the suite fault-free.
+			panic(err)
+		}
+	}
+}
+
+// Enabled reports whether any fault is armed. Call sites use it (or
+// Fire directly — same cost when disarmed) to keep the disarmed path to
+// one atomic load.
+func Enabled() bool { return armed.Load() }
+
+// Arm registers (or replaces) the fault at the named point and resets
+// its hit counter.
+func Arm(point string, f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	reg[point] = &entry{fault: f}
+	armed.Store(true)
+}
+
+// Disarm removes the named point.
+func Disarm(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(reg, point)
+	armed.Store(len(reg) > 0)
+}
+
+// Reset disarms every point.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	reg = map[string]*entry{}
+	armed.Store(false)
+}
+
+// ArmSpec parses and arms a comma-separated spec string (see the
+// package comment for the grammar).
+func ArmSpec(spec string) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		point, rhs, ok := strings.Cut(part, "=")
+		if !ok || point == "" {
+			return fmt.Errorf("faultpoint: bad spec entry %q (want point=kind[:skip[:every[:n]]])", part)
+		}
+		fields := strings.Split(rhs, ":")
+		k, err := kindOf(fields[0])
+		if err != nil {
+			return err
+		}
+		f := Fault{Kind: k}
+		nums := []*int{&f.Skip, &f.Every, &f.N}
+		if len(fields)-1 > len(nums) {
+			return fmt.Errorf("faultpoint: too many fields in %q", part)
+		}
+		for i, s := range fields[1:] {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				return fmt.Errorf("faultpoint: bad number %q in %q", s, part)
+			}
+			*nums[i] = v
+		}
+		Arm(point, f)
+	}
+	return nil
+}
+
+// Points returns the armed point names, sorted (for diagnostics).
+func Points() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]string, 0, len(reg))
+	for p := range reg {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hits returns how many times the named point has been hit since it was
+// armed (fired or not). Zero when the point is not armed.
+func Hits(point string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if e := reg[point]; e != nil {
+		return e.hits
+	}
+	return 0
+}
+
+// Fire records a hit of the named point and reports whether a fault
+// fires on it. A KindPanic fault panics here (with PanicValue); every
+// other kind is returned for the call site to translate into its domain
+// failure. Unarmed points cost one atomic load.
+func Fire(point string) (Fault, bool) {
+	if !armed.Load() {
+		return Fault{}, false
+	}
+	mu.Lock()
+	e := reg[point]
+	if e == nil {
+		mu.Unlock()
+		return Fault{}, false
+	}
+	e.hits++
+	n := e.hits
+	f := e.fault
+	mu.Unlock()
+	if n <= f.Skip {
+		return Fault{}, false
+	}
+	if f.Every > 1 && (n-f.Skip-1)%f.Every != 0 {
+		return Fault{}, false
+	}
+	if f.Kind == KindPanic {
+		panic(PanicValue{Point: point})
+	}
+	return f, true
+}

@@ -1,0 +1,92 @@
+package faultpoint
+
+import "testing"
+
+func TestDisarmedFireIsFree(t *testing.T) {
+	Reset()
+	if Enabled() {
+		t.Fatal("fresh registry reports Enabled")
+	}
+	if _, ok := Fire("anything"); ok {
+		t.Fatal("disarmed point fired")
+	}
+}
+
+func TestSkipAndEvery(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Fault{Kind: KindContra, Skip: 2, Every: 3})
+	var fired []int
+	for i := 1; i <= 12; i++ {
+		if _, ok := Fire("p"); ok {
+			fired = append(fired, i)
+		}
+	}
+	want := []int{3, 6, 9, 12} // first firing on hit Skip+1, then every 3rd
+	if len(fired) != len(want) {
+		t.Fatalf("fired on hits %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired on hits %v, want %v", fired, want)
+		}
+	}
+	if got := Hits("p"); got != 12 {
+		t.Fatalf("Hits = %d, want 12", got)
+	}
+}
+
+func TestPanicKindPanicsWithPanicValue(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("boom", Fault{Kind: KindPanic})
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok || pv.Point != "boom" {
+			t.Fatalf("recovered %v, want PanicValue{boom}", r)
+		}
+	}()
+	Fire("boom")
+	t.Fatal("Fire did not panic")
+}
+
+func TestArmSpec(t *testing.T) {
+	Reset()
+	defer Reset()
+	if err := ArmSpec("a=contra, b=starve:1:2:500 ,c=sleep:0:0:20"); err != nil {
+		t.Fatal(err)
+	}
+	if got := Points(); len(got) != 3 {
+		t.Fatalf("Points = %v, want 3 entries", got)
+	}
+	f, ok := Fire("c")
+	if !ok || f.Kind != KindSleep || f.N != 20 {
+		t.Fatalf("c fired %v %v, want sleep n=20", f, ok)
+	}
+	if _, ok := Fire("b"); ok {
+		t.Fatal("b fired on first hit despite skip=1")
+	}
+	f, ok = Fire("b")
+	if !ok || f.Kind != KindStarve || f.N != 500 {
+		t.Fatalf("b second hit fired %v %v, want starve n=500", f, ok)
+	}
+	for _, bad := range []string{"nokind", "a=frob", "a=contra:x", "a=contra:1:2:3:4"} {
+		if err := ArmSpec(bad); err == nil {
+			t.Fatalf("ArmSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	Reset()
+	defer Reset()
+	Arm("p", Fault{Kind: KindContra})
+	Disarm("p")
+	if Enabled() {
+		t.Fatal("Enabled after last point disarmed")
+	}
+	if _, ok := Fire("p"); ok {
+		t.Fatal("disarmed point fired")
+	}
+}

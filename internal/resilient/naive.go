@@ -1,0 +1,206 @@
+package resilient
+
+import (
+	"fmt"
+
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/sched"
+)
+
+// naiveSchedule is the ladder's tier 4: a last-resort scheduler built
+// to be unrefusable rather than good. It serializes the block — one
+// instruction per cycle, in topological order, each on the first
+// cluster that has a functional unit of its class — and commits every
+// required communication inline on a fully serialized bus. No search,
+// no heuristics, no budget: the only errors are for inputs no schedule
+// of any kind can exist for (an instruction class with no functional
+// unit on any cluster, or a required communication on a machine with
+// no bus).
+//
+// The schedule it emits is checked by sched.Validate like every other
+// tier's, so "cannot fail" is a verified claim, not an assumption.
+func naiveSchedule(sb *ir.Superblock, m *machine.Config, pins sched.Pins) (*sched.Schedule, error) {
+	exits := sb.Exits()
+	if len(exits) == 0 {
+		return nil, fmt.Errorf("naive: superblock %q has no exits", sb.Name)
+	}
+	if len(sb.LiveIns) > 0 && len(pins.LiveIn) != len(sb.LiveIns) {
+		return nil, fmt.Errorf("naive: %d live-ins but %d pins", len(sb.LiveIns), len(pins.LiveIn))
+	}
+	if len(sb.LiveOuts) > 0 && len(pins.LiveOut) != len(sb.LiveOuts) {
+		return nil, fmt.Errorf("naive: %d live-outs but %d pins", len(sb.LiveOuts), len(pins.LiveOut))
+	}
+
+	// Per-class home cluster: the first cluster with a unit of the
+	// class. Heterogeneous machines may split classes across clusters;
+	// the bus serialization below absorbs the resulting traffic.
+	home := func(cl ir.Class) (int, error) {
+		for k := 0; k < m.Clusters; k++ {
+			if m.ClusterFU(k, cl) > 0 {
+				return k, nil
+			}
+		}
+		return 0, fmt.Errorf("naive: no cluster has a %s unit", cl)
+	}
+
+	s := sched.New(sb, m, pins)
+	last := exits[len(exits)-1]
+	if len(sb.OutEdges(last)) > 0 {
+		// Placing the final exit last (to cover every completion) would
+		// invert these dependences.
+		return nil, fmt.Errorf("naive: final exit %d has dependent successors", last)
+	}
+	occ := m.BusOccupancy()
+	if occ < 1 {
+		occ = 1
+	}
+	busNext := 0 // next cycle the (single, serialized) bus is free
+	// commit reserves the bus for producer's value at the earliest cycle
+	// ≥ ready and returns the arrival cycle.
+	commit := func(producer, ready int) (int, error) {
+		if m.Buses < 1 {
+			return 0, fmt.Errorf("naive: communication needed but machine has no buses")
+		}
+		c := busNext
+		if c < ready {
+			c = ready
+		}
+		if c < 0 {
+			c = 0
+		}
+		busNext = c + occ
+		s.Comms = append(s.Comms, sched.Comm{Producer: producer, Cycle: c})
+		return c + m.BusLatency, nil
+	}
+	commDone := make(map[int]int) // producer encoding → arrival cycle
+
+	// arrivalFor ensures the value of producer (instruction id, or
+	// live-in encoding with the given ready cycle) is available on u's
+	// cluster, committing the one allowed communication on first need.
+	arrivalFor := func(producer, ready int) (int, error) {
+		if a, ok := commDone[producer]; ok {
+			return a, nil
+		}
+		a, err := commit(producer, ready)
+		if err != nil {
+			return 0, err
+		}
+		commDone[producer] = a
+		return a, nil
+	}
+
+	next := 0 // next free issue cycle (one instruction per cycle, machine-wide)
+	place := func(u int) error {
+		k, err := home(sb.Instrs[u].Class)
+		if err != nil {
+			return err
+		}
+		cycle := next
+		// Dependences: same-cluster (and control) edges need the edge
+		// latency; cross-cluster data edges need the communicated value.
+		for _, e := range sb.Edges {
+			if e.To != u {
+				continue
+			}
+			p := s.Place[e.From]
+			if e.Kind == ir.Ctrl || p.Cluster == k {
+				if v := p.Cycle + e.Latency; v > cycle {
+					cycle = v
+				}
+				continue
+			}
+			ready := p.Cycle + sb.Instrs[e.From].Latency
+			a, err := arrivalFor(e.From, ready)
+			if err != nil {
+				return err
+			}
+			if a > cycle {
+				cycle = a
+			}
+		}
+		// Live-in operands living on another cluster arrive by bus.
+		for li := range sb.LiveIns {
+			for _, c := range sb.LiveIns[li].Consumers {
+				if c != u || pins.LiveIn[li] == k {
+					continue
+				}
+				a, err := arrivalFor(-(li + 1), 0)
+				if err != nil {
+					return err
+				}
+				if a > cycle {
+					cycle = a
+				}
+			}
+		}
+		s.Place[u] = sched.Placement{Cycle: cycle, Cluster: k}
+		lat := sb.Instrs[u].Latency
+		if lat < 1 {
+			lat = 1
+		}
+		next = cycle + lat
+		return nil
+	}
+
+	for _, u := range sb.TopoOrder() {
+		if u == last {
+			continue // placed at the very end, once everything it must cover is known
+		}
+		if err := place(u); err != nil {
+			return nil, err
+		}
+	}
+
+	// Live-out values produced away from their pinned cluster travel by
+	// bus; their arrival (like every communication's) must precede the
+	// region end, which the final exit's placement below guarantees.
+	for oi, u := range sb.LiveOuts {
+		k := s.Place[u]
+		if u == last {
+			// The final exit's value can never reach another cluster: the
+			// copy could only issue at the region end. Schedulable only if
+			// it is produced on its pinned cluster already — checked after
+			// the final exit is placed.
+			continue
+		}
+		if k.Cluster == pins.LiveOut[oi] {
+			continue
+		}
+		if _, err := arrivalFor(u, k.Cycle+sb.Instrs[u].Latency); err != nil {
+			return nil, err
+		}
+	}
+
+	// The final exit ends the region: place it late enough that every
+	// other completion and every communication arrival fits before it.
+	if err := place(last); err != nil {
+		return nil, err
+	}
+	lastLat := sb.Instrs[last].Latency
+	end := s.Place[last].Cycle
+	for u := range sb.Instrs {
+		if u == last {
+			continue
+		}
+		if v := s.Place[u].Cycle + sb.Instrs[u].Latency - lastLat; v > end {
+			end = v
+		}
+	}
+	for _, a := range commDone {
+		if v := a - lastLat; v > end {
+			end = v
+		}
+	}
+	if end > s.Place[last].Cycle {
+		s.Place[last] = sched.Placement{Cycle: end, Cluster: s.Place[last].Cluster}
+	}
+
+	for oi, u := range sb.LiveOuts {
+		if u == last && s.Place[u].Cluster != pins.LiveOut[oi] {
+			return nil, fmt.Errorf("naive: live-out %d is the final exit, produced on cluster %d but pinned to %d: no copy can arrive before the region ends",
+				oi, s.Place[u].Cluster, pins.LiveOut[oi])
+		}
+	}
+	return s, nil
+}

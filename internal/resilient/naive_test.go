@@ -1,0 +1,91 @@
+package resilient
+
+import (
+	"testing"
+
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/workload"
+)
+
+// The tier-4 scheduler's contract is "cannot fail on schedulable
+// inputs, and everything it emits passes sched.Validate". Exercise it
+// across the fixtures, every evaluation machine and a generated corpus.
+func TestNaiveValidatesOnFixtures(t *testing.T) {
+	blocks := []*ir.Superblock{
+		ir.PaperFigure1(), ir.Diamond(), ir.Straight(1), ir.Straight(20), ir.Wide(16),
+	}
+	for _, m := range machine.EvaluationConfigs() {
+		for _, sb := range blocks {
+			pins := workload.PinsFor(sb, m.Clusters, 1)
+			s, err := naiveSchedule(sb, m, pins)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", sb.Name, m.Name, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s on %s: invalid naive schedule: %v\n%s", sb.Name, m.Name, err, s.Format())
+			}
+		}
+	}
+}
+
+func TestNaiveValidatesOnCorpus(t *testing.T) {
+	app := workload.Benchmarks()[0].Generate(0.25, 0)
+	for _, m := range machine.EvaluationConfigs() {
+		for _, sb := range app.Blocks {
+			pins := workload.PinsFor(sb, m.Clusters, 7)
+			s, err := naiveSchedule(sb, m, pins)
+			if err != nil {
+				t.Fatalf("%s on %s: %v", sb.Name, m.Name, err)
+			}
+			if err := s.Validate(); err != nil {
+				t.Fatalf("%s on %s: invalid naive schedule: %v", sb.Name, m.Name, err)
+			}
+		}
+	}
+}
+
+func TestNaiveHeterogeneousHomes(t *testing.T) {
+	// Cluster 0 has no memory unit: mem instructions must live on
+	// cluster 1, with bus traffic for the cross-cluster flows.
+	m := machine.TwoCluster1Lat()
+	fu := m.FU
+	fu[ir.Mem] = 0
+	m.SetClusterFU(0, fu)
+
+	b := ir.NewBuilder("hetero")
+	ld := b.Instr("ld", ir.Mem, 2)
+	add := b.Instr("add", ir.Int, 1)
+	x := b.Exit("br", 1, 1.0)
+	b.Data(ld, add).Ctrl(add, x)
+	sb := b.MustFinish()
+
+	s, err := naiveSchedule(sb, m, workload.PinsFor(sb, m.Clusters, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid: %v\n%s", err, s.Format())
+	}
+	if s.Place[ld].Cluster != 1 {
+		t.Errorf("mem instruction on cluster %d, want 1", s.Place[ld].Cluster)
+	}
+}
+
+func TestNaiveImpossibleMachine(t *testing.T) {
+	m := machine.TwoCluster1Lat()
+	fu := m.FU
+	fu[ir.FP] = 0
+	m.SetClusterFU(0, fu)
+	m.SetClusterFU(1, fu)
+
+	b := ir.NewBuilder("fp-block")
+	f := b.Instr("fmul", ir.FP, 3)
+	x := b.Exit("br", 1, 1.0)
+	b.Ctrl(f, x)
+	sb := b.MustFinish()
+
+	if _, err := naiveSchedule(sb, m, workload.PinsFor(sb, m.Clusters, 1)); err == nil {
+		t.Fatal("scheduled a block whose class has no unit anywhere")
+	}
+}

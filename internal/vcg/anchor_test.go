@@ -1,0 +1,43 @@
+package vcg
+
+import "testing"
+
+// Anchor used to panic on misuse ("vcg: no such anchor"); it now
+// returns an error so corrupt callers degrade instead of crashing.
+func TestAnchorErrorsInsteadOfPanicking(t *testing.T) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Anchor panicked: %v", r)
+		}
+	}()
+	noAnchors := New(3, 0)
+	if _, err := noAnchors.Anchor(0); err == nil {
+		t.Error("Anchor(0) on an anchorless graph returned no error")
+	}
+	g := New(3, 2)
+	if _, err := g.Anchor(2); err == nil {
+		t.Error("Anchor(2) with 2 anchors returned no error")
+	}
+	if _, err := g.Anchor(-1); err == nil {
+		t.Error("Anchor(-1) returned no error")
+	}
+	a, err := g.Anchor(1)
+	if err != nil {
+		t.Fatalf("valid anchor lookup failed: %v", err)
+	}
+	if a != 4 {
+		t.Errorf("Anchor(1) = %d, want 4 (3 instructions + anchor base 1)", a)
+	}
+	if got := g.MustAnchor(1); got != a {
+		t.Errorf("MustAnchor(1) = %d, want %d", got, a)
+	}
+}
+
+func TestMustAnchorPanicsOnMisuse(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAnchor(5) did not panic")
+		}
+	}()
+	New(3, 2).MustAnchor(5)
+}

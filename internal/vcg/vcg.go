@@ -18,6 +18,7 @@ package vcg
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
 	"vcsched/internal/coloring"
@@ -52,10 +53,9 @@ func New(n, anchors int) *Graph {
 		}
 		for a := 0; a < anchors; a++ {
 			for b := a + 1; b < anchors; b++ {
-				// Anchors represent distinct physical clusters.
-				if err := g.SetIncompatible(g.Anchor(a), g.Anchor(b)); err != nil {
-					panic(err) // fresh anchors cannot conflict
-				}
+				// Anchors represent distinct physical clusters; fresh
+				// anchors are distinct VCs, so this cannot contradict.
+				g.setEdge(g.anchorBase+a, g.anchorBase+b)
 			}
 		}
 	}
@@ -76,13 +76,29 @@ func (g *Graph) AddNode() int { return g.addNode() }
 // additions).
 func (g *Graph) Len() int { return g.uf.Len() }
 
-// Anchor returns the node id of the anchor for physical cluster k.
-// Valid only if the graph was created with anchors.
-func (g *Graph) Anchor(k int) int {
-	if g.anchorBase < 0 || k < 0 || k >= g.numAnchors {
-		panic("vcg: no such anchor")
+// Anchor returns the node id of the anchor for physical cluster k. It
+// returns an error (formerly a panic) when the graph has no such
+// anchor — an out-of-range physical cluster, or a graph created without
+// anchors.
+func (g *Graph) Anchor(k int) (int, error) {
+	if g.anchorBase < 0 {
+		return 0, fmt.Errorf("vcg: no such anchor %d: graph has no anchors", k)
 	}
-	return g.anchorBase + k
+	if k < 0 || k >= g.numAnchors {
+		return 0, fmt.Errorf("vcg: no such anchor %d: %d anchor(s) exist", k, g.numAnchors)
+	}
+	return g.anchorBase + k, nil
+}
+
+// MustAnchor is Anchor for callers that know k is valid (tests,
+// examples); it panics on misuse instead of returning an error.
+// Production paths use Anchor and propagate the error.
+func (g *Graph) MustAnchor(k int) int {
+	a, err := g.Anchor(k)
+	if err != nil {
+		panic(err)
+	}
+	return a
 }
 
 // HasAnchors reports whether anchor nodes exist.
@@ -170,7 +186,7 @@ func (g *Graph) PinnedPC(a int) (int, bool) {
 	}
 	ra := g.uf.Find(a)
 	for k := 0; k < g.numAnchors; k++ {
-		if g.uf.Find(g.Anchor(k)) == ra {
+		if g.uf.Find(g.anchorBase+k) == ra {
 			return k, true
 		}
 	}

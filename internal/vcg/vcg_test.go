@@ -107,7 +107,7 @@ func TestAnchors(t *testing.T) {
 	if !g.HasAnchors() || g.NumAnchors() != 2 {
 		t.Fatal("anchors missing")
 	}
-	a0, a1 := g.Anchor(0), g.Anchor(1)
+	a0, a1 := g.MustAnchor(0), g.MustAnchor(1)
 	if !g.Incompatible(a0, a1) {
 		t.Error("anchors not pairwise incompatible")
 	}
