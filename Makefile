@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz-smoke faults
+.PHONY: check build vet test race bench bench-short bench-figures fuzz-smoke faults
 
 # check is the tier-1 gate (see ROADMAP.md): vet, build, the full test
 # suite under the race detector, and the fault-injection suite.
@@ -19,7 +19,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# bench runs the deduction-engine microbenchmarks (Shave, single
+# probe, end-to-end block schedule) 5 times and records the averaged
+# numbers in BENCH_deduce.json; EXPERIMENTS.md tracks before/after.
+# bench-short is the single-run CI form (record-only, no gate).
 bench:
+	$(GO) test -bench='BenchmarkShave|BenchmarkProbeCommit|BenchmarkScheduleBlock' \
+		-benchmem -count=5 -run '^$$' ./internal/deduce | $(GO) run ./cmd/benchjson > BENCH_deduce.json
+	cat BENCH_deduce.json
+
+bench-short:
+	$(GO) test -bench='BenchmarkShave|BenchmarkProbeCommit|BenchmarkScheduleBlock' \
+		-benchmem -count=1 -run '^$$' ./internal/deduce | $(GO) run ./cmd/benchjson > BENCH_deduce.json
+	cat BENCH_deduce.json
+
+# bench-figures runs the paper-figure reproduction benchmarks at the
+# repository root (the pre-existing `bench` target).
+bench-figures:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
 # faults re-runs the fault-injection and degradation-ladder suite under

@@ -1,0 +1,129 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a small stable JSON document, averaging repeated runs of
+// one benchmark (-count=N) so CI can record a single number per
+// benchmark. Lines that are not benchmark results pass through
+// unparsed; the tool never fails on extra output.
+//
+//	go test -bench=. -benchmem -count=5 ./internal/deduce | benchjson > BENCH_deduce.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// result is one aggregated benchmark.
+type result struct {
+	Name     string  `json:"name"`
+	Runs     int     `json:"runs"`
+	N        int64   `json:"n"`         // iterations of the last run
+	NsOp     float64 `json:"ns_op"`     // mean over runs
+	BOp      float64 `json:"b_op"`      // mean over runs; -1 when not reported
+	AllocsOp float64 `json:"allocs_op"` // mean over runs; -1 when not reported
+}
+
+type acc struct {
+	runs            int
+	n               int64
+	ns, b, allocs   float64
+	hasB, hasAllocs bool
+}
+
+func main() {
+	accs := map[string]*acc{}
+	var order []string
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		name, n, ns, b, allocs, hasMem, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		a := accs[name]
+		if a == nil {
+			a = &acc{}
+			accs[name] = a
+			order = append(order, name)
+		}
+		a.runs++
+		a.n = n
+		a.ns += ns
+		if hasMem {
+			a.b += b
+			a.allocs += allocs
+			a.hasB, a.hasAllocs = true, true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	out := struct {
+		Benchmarks []result `json:"benchmarks"`
+	}{}
+	sort.Strings(order)
+	for _, name := range order {
+		a := accs[name]
+		r := result{
+			Name: name, Runs: a.runs, N: a.n,
+			NsOp: a.ns / float64(a.runs), BOp: -1, AllocsOp: -1,
+		}
+		if a.hasB {
+			r.BOp = a.b / float64(a.runs)
+		}
+		if a.hasAllocs {
+			r.AllocsOp = a.allocs / float64(a.runs)
+		}
+		out.Benchmarks = append(out.Benchmarks, r)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine handles the testing package's benchmark result format:
+//
+//	BenchmarkShave/099.go-8   2805   381463 ns/op   101532 B/op   2541 allocs/op
+//
+// The trailing -P GOMAXPROCS suffix is stripped so runs on machines of
+// different widths aggregate under one name.
+func parseLine(line string) (name string, n int64, ns, b, allocs float64, hasMem, ok bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return
+	}
+	name = f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	var err error
+	if n, err = strconv.ParseInt(f[1], 10, 64); err != nil {
+		return
+	}
+	if f[3] != "ns/op" {
+		return
+	}
+	if ns, err = strconv.ParseFloat(f[2], 64); err != nil {
+		return
+	}
+	ok = true
+	if len(f) >= 8 && f[5] == "B/op" && f[7] == "allocs/op" {
+		bb, err1 := strconv.ParseFloat(f[4], 64)
+		aa, err2 := strconv.ParseFloat(f[6], 64)
+		if err1 == nil && err2 == nil {
+			b, allocs, hasMem = bb, aa, true
+		}
+	}
+	return
+}

@@ -6,8 +6,6 @@
 package coloring
 
 import (
-	"sort"
-
 	"vcsched/internal/faultpoint"
 )
 
@@ -18,19 +16,24 @@ type Graph struct {
 	adj []map[int]bool
 }
 
-// New creates an empty graph with n vertices.
+// New creates an empty graph with n vertices. Adjacency maps are
+// allocated lazily on the first edge of each vertex: the graphs built
+// here per propagation pass are often sparse, and a nil map reads the
+// same as an empty one.
 func New(n int) *Graph {
-	g := &Graph{N: n, adj: make([]map[int]bool, n)}
-	for i := range g.adj {
-		g.adj[i] = make(map[int]bool)
-	}
-	return g
+	return &Graph{N: n, adj: make([]map[int]bool, n)}
 }
 
 // AddEdge inserts an undirected edge (idempotent; self loops ignored).
 func (g *Graph) AddEdge(u, v int) {
 	if u == v {
 		return
+	}
+	if g.adj[u] == nil {
+		g.adj[u] = make(map[int]bool)
+	}
+	if g.adj[v] == nil {
+		g.adj[v] = make(map[int]bool)
 	}
 	g.adj[u][v] = true
 	g.adj[v][u] = true
@@ -45,17 +48,32 @@ func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
 // Order returns the vertices sorted by decreasing degree (ties by
 // index), the order the paper uses for the final mapping stage.
 func (g *Graph) Order() []int {
-	order := make([]int, g.N)
-	for i := range order {
-		order[i] = i
-	}
-	sort.SliceStable(order, func(i, j int) bool {
-		di, dj := g.Degree(order[i]), g.Degree(order[j])
-		if di != dj {
-			return di > dj
+	// Stable counting sort by degree, descending. Vertices of equal
+	// degree keep ascending index, exactly the order the previous
+	// sort.SliceStable comparator produced.
+	maxd := 0
+	for i := 0; i < g.N; i++ {
+		if d := len(g.adj[i]); d > maxd {
+			maxd = d
 		}
-		return order[i] < order[j]
-	})
+	}
+	count := make([]int, maxd+1)
+	for i := 0; i < g.N; i++ {
+		count[len(g.adj[i])]++
+	}
+	// start[d] = first output slot for degree d, with higher degrees first.
+	start := 0
+	for d := maxd; d >= 0; d-- {
+		c := count[d]
+		count[d] = start
+		start += c
+	}
+	order := make([]int, g.N)
+	for i := 0; i < g.N; i++ {
+		d := len(g.adj[i])
+		order[count[d]] = i
+		count[d]++
+	}
 	return order
 }
 
@@ -112,9 +130,18 @@ func (g *Graph) MaxCliqueLB() int {
 	if g.N > 0 {
 		best = 1
 	}
-	for _, seed := range g.Order() {
-		clique := []int{seed}
-		for _, v := range g.Order() {
+	order := g.Order()
+	clique := make([]int, 0, 8)
+	for _, seed := range order {
+		// Every clique member must be adjacent to seed, so the clique
+		// grown from seed has at most Degree(seed)+1 vertices; seeds
+		// that cannot beat the current best are skipped without
+		// changing the result.
+		if g.Degree(seed)+1 <= best {
+			continue
+		}
+		clique = append(clique[:0], seed)
+		for _, v := range order {
 			if v == seed {
 				continue
 			}

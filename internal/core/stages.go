@@ -8,9 +8,10 @@ import (
 	"vcsched/internal/matching"
 )
 
-// candidate is one studied alternative: a decision closure applied to a
-// clone for study and to the live state when selected. onContra, when
-// set, records mandatory knowledge on the live state if the study
+// candidate is one studied alternative: a decision closure run against
+// the live state inside a trail-scoped probe (deduce.State.Probe) for
+// study, and applied for real when selected. onContra, when set,
+// records mandatory knowledge on the live state if the study
 // contradicts (e.g. "this combination is impossible — discard it").
 type candidate struct {
 	apply    func(st *deduce.State) error
@@ -20,16 +21,26 @@ type candidate struct {
 	fallback bool
 }
 
-// study applies every candidate to a clone of st, drops the ones that
-// contradict (applying their onContra knowledge), and commits the best
-// survivor by the Section 4.4.3 metrics. It returns errNoCandidates when
-// every alternative contradicts.
+// study probes every candidate against st (each probe rolled back in
+// O(changes) by the trail), drops the ones that contradict (applying
+// their onContra knowledge), and commits the best survivor by the
+// Section 4.4.3 metrics by re-applying it to the live state — the same
+// double application the Clone-per-probe implementation performed, so
+// budget accounting is unchanged. It returns errNoCandidates when every
+// alternative contradicts.
 func (s *scheduler) study(st *deduce.State, cands []candidate) error {
 	best, bestFB := -1, -1
 	var bestM, bestFBM deduce.Metrics
 	for i := range cands {
-		probe := st.Clone()
-		err := cands[i].apply(probe)
+		var m deduce.Metrics
+		var mErr error
+		err := st.Probe(func(x *deduce.State) error {
+			if err := cands[i].apply(x); err != nil {
+				return err
+			}
+			m, mErr = x.Metrics()
+			return nil
+		})
 		if err != nil {
 			if !deduce.IsContradiction(err) {
 				return err
@@ -41,9 +52,8 @@ func (s *scheduler) study(st *deduce.State, cands []candidate) error {
 			}
 			continue
 		}
-		m, err := probe.Metrics()
-		if err != nil {
-			return err
+		if mErr != nil {
+			return mErr
 		}
 		if cands[i].fallback {
 			if bestFB < 0 || m.Better(bestFBM) {
@@ -257,7 +267,7 @@ func (s *scheduler) stageOutedges(st *deduce.State) error {
 			match = matching.MaxWeight(len(order), edges)
 		}
 		if len(match) > 0 {
-			err := fuseAll(st.Clone(), match, order)
+			err := st.Probe(func(x *deduce.State) error { return fuseAll(x, match, order) })
 			if err == nil {
 				if err := fuseAll(st, match, order); err != nil {
 					return err
@@ -280,7 +290,7 @@ func (s *scheduler) stageOutedges(st *deduce.State) error {
 			return all[i].b < all[j].b
 		})
 		e := all[0]
-		err = st.Clone().FuseVC(e.a, e.b)
+		err = st.Probe(func(x *deduce.State) error { return x.FuseVC(e.a, e.b) })
 		if err == nil {
 			if err := st.FuseVC(e.a, e.b); err != nil {
 				return err

@@ -30,7 +30,7 @@ func (st *State) ChooseComb(a, b, comb int) error {
 	if !containsInt(p.Combs, comb) {
 		return contraf("pair (%d,%d): combination %d already discarded", p.U, p.V, comb)
 	}
-	if err := st.commitComb(p, comb); err != nil {
+	if err := st.commitComb(i, comb); err != nil {
 		return err
 	}
 	return st.Propagate()
@@ -52,17 +52,32 @@ func (st *State) DiscardComb(a, b, comb int) error {
 		}
 		return nil
 	}
-	kept := p.Combs[:0]
-	for _, c := range p.Combs {
+	if containsInt(p.Combs, comb) {
+		st.trailPair(i)
+		p.Combs = filterComb(p.Combs, comb)
+	}
+	if len(p.Combs) == 0 && p.Status != Dropped {
+		st.trailPair(i)
+		p.Status = Dropped
+	}
+	return st.Propagate()
+}
+
+// filterComb removes comb from combs in place and zeroes the vacated
+// tail slots so the backing array holds no stale combination values
+// (they kept dead data live and would poison any code that re-extends
+// the slice within capacity).
+func filterComb(combs []int, comb int) []int {
+	kept := combs[:0]
+	for _, c := range combs {
 		if c != comb {
 			kept = append(kept, c)
 		}
 	}
-	p.Combs = kept
-	if len(p.Combs) == 0 {
-		p.Status = Dropped
+	for i := len(kept); i < len(combs); i++ {
+		combs[i] = 0
 	}
-	return st.Propagate()
+	return kept
 }
 
 // DropPair discards every remaining combination of a pair: the two
@@ -76,6 +91,7 @@ func (st *State) DropPair(a, b int) error {
 	if p.Status == Chosen {
 		return contraf("pair (%d,%d): cannot drop, combination %d chosen", p.U, p.V, p.Comb)
 	}
+	st.trailPair(i)
 	p.Status = Dropped
 	p.Combs = nil
 	return st.Propagate()
@@ -86,8 +102,8 @@ func (st *State) FixCycle(node, cycle int) error {
 	if cycle < st.est[node] || cycle > st.lst[node] {
 		return contraf("node %d: cycle %d outside window [%d,%d]", node, cycle, st.est[node], st.lst[node])
 	}
-	st.est[node] = cycle
-	st.lst[node] = cycle
+	st.setEst(node, cycle)
+	st.setLst(node, cycle)
 	return st.Propagate()
 }
 
@@ -95,7 +111,7 @@ func (st *State) FixCycle(node, cycle int) error {
 // probe at the boundary cycle contradicts).
 func (st *State) TightenEst(node, est int) error {
 	if est > st.est[node] {
-		st.est[node] = est
+		st.setEst(node, est)
 		if st.est[node] > st.lst[node] {
 			return contraf("node %d window emptied by estart %d", node, est)
 		}
@@ -106,7 +122,7 @@ func (st *State) TightenEst(node, est int) error {
 // TightenLst lowers a node's latest start.
 func (st *State) TightenLst(node, lst int) error {
 	if lst < st.lst[node] {
-		st.lst[node] = lst
+		st.setLst(node, lst)
 		if st.est[node] > st.lst[node] {
 			return contraf("node %d window emptied by lstart %d", node, lst)
 		}
@@ -146,25 +162,27 @@ func (st *State) Shave(rounds int) error {
 			if st.Pinned(node) {
 				continue
 			}
-			probe := st.Clone()
-			if err := probe.FixCycle(node, st.est[node]); err != nil {
+			e := st.est[node]
+			if err := st.Probe(func(s *State) error { return s.FixCycle(node, e) }); err != nil {
 				if err == ErrBudget || !isContradiction(err) {
 					return err
 				}
-				if err := st.TightenEst(node, st.est[node]+1); err != nil {
+				if err := st.TightenEst(node, e+1); err != nil {
 					return err
 				}
 				changed = true
 			}
-			if st.Pinned(node) {
+			// A width-1 window needs no second probe: est == lst would
+			// make it the same FixCycle as the est probe just issued.
+			if st.Pinned(node) || st.lst[node] == e {
 				continue
 			}
-			probe = st.Clone()
-			if err := probe.FixCycle(node, st.lst[node]); err != nil {
+			l := st.lst[node]
+			if err := st.Probe(func(s *State) error { return s.FixCycle(node, l) }); err != nil {
 				if err == ErrBudget || !isContradiction(err) {
 					return err
 				}
-				if err := st.TightenLst(node, st.lst[node]-1); err != nil {
+				if err := st.TightenLst(node, l-1); err != nil {
 					return err
 				}
 				changed = true

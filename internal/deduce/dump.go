@@ -1,0 +1,54 @@
+package deduce
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DumpText renders the full deduction state as a canonical text
+// fingerprint: two states that behave identically under every future
+// decision render identically, and any divergence in bounds, pair
+// resolution, connected components, virtual clusters, arcs,
+// communications, PLCs or budget spend shows up as a text diff. The
+// differential harness uses it to cross-check trail-based speculation
+// against the Clone-based oracle (see internal/difftest, kind
+// "trail-clone").
+//
+// Every section iterates in deterministic index order (map-backed data
+// is keyed back through slices or sorted accessors), so the output is a
+// pure function of the state.
+func (st *State) DumpText() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes %d orig %d end %d\n", len(st.est), st.nOrig, st.End)
+	for i := range st.est {
+		fmt.Fprintf(&b, "node %d class %s lat %d est %d lst %d\n",
+			i, st.class[i], st.lat[i], st.est[i], st.lst[i])
+	}
+	for i := range st.pairs {
+		p := &st.pairs[i]
+		fmt.Fprintf(&b, "pair %d (%d,%d) status %d comb %d combs %v\n",
+			i, p.U, p.V, p.Status, p.Comb, p.Combs)
+	}
+	for i := range st.est {
+		root, off := st.cc.Find(i)
+		fmt.Fprintf(&b, "cc %d root %d off %d\n", i, root, off)
+	}
+	for _, r := range st.vc.VCs() {
+		fmt.Fprintf(&b, "vc %d members %v inc %v", r, st.vc.Members(r), st.vc.IncompatibleVCs(r))
+		if pc, ok := st.vc.PinnedPC(r); ok {
+			fmt.Fprintf(&b, " pin %d", pc)
+		}
+		b.WriteByte('\n')
+	}
+	for i, a := range st.arcs {
+		fmt.Fprintf(&b, "arc %d %d->%d lat %d\n", i, a.From, a.To, a.Lat)
+	}
+	for i, c := range st.comms {
+		fmt.Fprintf(&b, "comm %d node %d value %d\n", i, c.Node, c.Value)
+	}
+	for i, p := range st.plcs {
+		fmt.Fprintf(&b, "plc %d consumer %d alts %v\n", i, p.Consumer, p.Alts)
+	}
+	fmt.Fprintf(&b, "budget used %d\n", st.budget.Used())
+	return b.String()
+}

@@ -56,11 +56,11 @@ func (st *State) propagateBounds() (bool, error) {
 		pass := false
 		for _, a := range st.arcs {
 			if v := st.est[a.From] + a.Lat; v > st.est[a.To] {
-				st.est[a.To] = v
+				st.setEst(a.To, v)
 				pass = true
 			}
 			if v := st.lst[a.To] - a.Lat; v < st.lst[a.From] {
-				st.lst[a.From] = v
+				st.setLst(a.From, v)
 				pass = true
 			}
 		}
@@ -82,17 +82,37 @@ func (st *State) propagateBounds() (bool, error) {
 	return changed, nil
 }
 
+// ccGroupsMap returns the connected-component membership of the
+// original instructions plus the roots in sorted order, rebuilt only
+// when the union-find's membership version moved (the cache survives
+// bound-only propagation passes, which are the overwhelming majority).
+// Rules iterate the sorted roots, never the map, so which component
+// detects a contradiction first is a pure function of the state.
+func (st *State) ccGroupsMap() (map[int][]int, []int) {
+	if v := st.cc.Version(); st.ccGroupsVer != v {
+		groups := make(map[int][]int, st.nOrig)
+		roots := make([]int, 0, st.nOrig)
+		for node := 0; node < st.nOrig; node++ {
+			root, _ := st.cc.Find(node)
+			if len(groups[root]) == 0 {
+				roots = append(roots, root)
+			}
+			groups[root] = append(groups[root], node)
+		}
+		sort.Ints(roots)
+		st.ccGroups, st.ccRoots, st.ccGroupsVer = groups, roots, v
+	}
+	return st.ccGroups, st.ccRoots
+}
+
 // ccBounds aligns the bounds of connected-component members: with
 // Cyc(x) = Cyc(root) + off(x), the component-wide feasible root window
 // is the intersection of every member's window shifted by its offset.
 func (st *State) ccBounds() (bool, error) {
-	groups := make(map[int][]int)
-	for node := 0; node < st.nOrig; node++ {
-		root, _ := st.cc.Find(node)
-		groups[root] = append(groups[root], node)
-	}
+	groups, roots := st.ccGroupsMap()
 	changed := false
-	for root, members := range groups {
+	for _, root := range roots {
+		members := groups[root]
 		if len(members) < 2 {
 			continue
 		}
@@ -112,11 +132,11 @@ func (st *State) ccBounds() (bool, error) {
 		for _, m := range members {
 			_, off := st.cc.Find(m)
 			if st.est[m] < lo+off {
-				st.est[m] = lo + off
+				st.setEst(m, lo+off)
 				changed = true
 			}
 			if st.lst[m] > hi+off {
-				st.lst[m] = hi + off
+				st.setLst(m, hi+off)
 				changed = true
 			}
 		}
@@ -142,6 +162,7 @@ func (st *State) ruleCCCoherence() (bool, error) {
 		}
 		lo, hi := sg.CombRange(st.lat[p.U], st.lat[p.V])
 		if delta < lo || delta > hi {
+			st.trailPair(i)
 			p.Status = Dropped
 			p.Combs = nil
 			changed = true
@@ -150,6 +171,7 @@ func (st *State) ruleCCCoherence() (bool, error) {
 		if !containsInt(p.Combs, delta) {
 			return changed, contraf("pair (%d,%d): implied combination %d already discarded", p.U, p.V, delta)
 		}
+		st.trailPair(i)
 		p.Status = Chosen
 		p.Comb = delta
 		p.Combs = []int{delta}
@@ -172,16 +194,28 @@ func (st *State) rulePrunePairs() (bool, error) {
 			}
 			continue
 		}
-		kept := p.Combs[:0]
+		// Scan first, filter only when something goes: the no-discard
+		// case (the common one) must not record a trail entry.
+		drop := 0
 		for _, c := range p.Combs {
-			if sg.CombFeasibleAt(c, st.est[p.U], st.lst[p.U], st.est[p.V], st.lst[p.V]) {
-				kept = append(kept, c)
+			if !sg.CombFeasibleAt(c, st.est[p.U], st.lst[p.U], st.est[p.V], st.lst[p.V]) {
+				drop++
 			}
 		}
-		if len(kept) != len(p.Combs) {
+		if drop > 0 {
+			st.trailPair(i)
+			kept := p.Combs[:0]
+			for _, c := range p.Combs {
+				if sg.CombFeasibleAt(c, st.est[p.U], st.lst[p.U], st.est[p.V], st.lst[p.V]) {
+					kept = append(kept, c)
+				}
+			}
+			for j := len(kept); j < len(p.Combs); j++ {
+				p.Combs[j] = 0 // no stale values in the vacated tail
+			}
+			p.Combs = kept
 			changed = true
 		}
-		p.Combs = kept
 		if p.Status == Chosen {
 			if len(p.Combs) == 0 {
 				return changed, contraf("pair (%d,%d): chosen combination %d became infeasible", p.U, p.V, p.Comb)
@@ -189,6 +223,7 @@ func (st *State) rulePrunePairs() (bool, error) {
 			continue
 		}
 		if len(p.Combs) == 0 {
+			st.trailPair(i)
 			p.Status = Dropped
 			changed = true
 			if st.mustOverlap(p.U, p.V) {
@@ -198,7 +233,7 @@ func (st *State) rulePrunePairs() (bool, error) {
 		}
 		if st.mustOverlap(p.U, p.V) && len(p.Combs) == 1 {
 			// D1: mandatory choice.
-			if err := st.commitComb(p, p.Combs[0]); err != nil {
+			if err := st.commitComb(i, p.Combs[0]); err != nil {
 				return changed, err
 			}
 			changed = true
@@ -211,9 +246,11 @@ func (st *State) mustOverlap(u, v int) bool {
 	return sg.MustOverlap(st.est[u], st.lst[u], st.lat[u], st.est[v], st.lst[v], st.lat[v])
 }
 
-// commitComb records a chosen combination: pair state plus the offset
-// relation in the connected-component structure.
-func (st *State) commitComb(p *PairState, comb int) error {
+// commitComb records a chosen combination for pair i: pair state plus
+// the offset relation in the connected-component structure.
+func (st *State) commitComb(i, comb int) error {
+	st.trailPair(i)
+	p := &st.pairs[i]
 	p.Status = Chosen
 	p.Comb = comb
 	p.Combs = []int{comb}
@@ -229,13 +266,10 @@ func (st *State) commitComb(p *PairState, comb int) error {
 // machine, and with single-unit clusters same-class co-issuers must
 // spread across clusters (rule D3 / paper Rule 2).
 func (st *State) ruleCCResources() (bool, error) {
-	groups := make(map[int][]int)
-	for node := 0; node < st.nOrig; node++ {
-		root, _ := st.cc.Find(node)
-		groups[root] = append(groups[root], node)
-	}
+	groups, roots := st.ccGroupsMap()
 	changed := false
-	for _, members := range groups {
+	for _, root := range roots {
+		members := groups[root]
 		if len(members) < 2 {
 			continue
 		}
@@ -244,12 +278,23 @@ func (st *State) ruleCCResources() (bool, error) {
 			class ir.Class
 		}
 		byCycle := make(map[key][]int)
+		keys := make([]key, 0, len(members))
 		for _, m := range members {
 			_, off := st.cc.Find(m)
 			k := key{off, st.class[m]}
+			if len(byCycle[k]) == 0 {
+				keys = append(keys, k)
+			}
 			byCycle[k] = append(byCycle[k], m)
 		}
-		for k, nodes := range byCycle {
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].off != keys[j].off {
+				return keys[i].off < keys[j].off
+			}
+			return keys[i].class < keys[j].class
+		})
+		for _, k := range keys {
+			nodes := byCycle[k]
 			if len(nodes) < 2 {
 				continue
 			}
@@ -271,6 +316,7 @@ func (st *State) rulePinnedResources() (bool, error) {
 		class ir.Class
 	}
 	byCycle := make(map[key][]int)
+	var keys []key
 	var pinnedCopies []int
 	for node := 0; node < len(st.est); node++ {
 		if !st.Pinned(node) {
@@ -281,10 +327,20 @@ func (st *State) rulePinnedResources() (bool, error) {
 			continue
 		}
 		k := key{st.est[node], st.class[node]}
+		if len(byCycle[k]) == 0 {
+			keys = append(keys, k)
+		}
 		byCycle[k] = append(byCycle[k], node)
 	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].cycle != keys[j].cycle {
+			return keys[i].cycle < keys[j].cycle
+		}
+		return keys[i].class < keys[j].class
+	})
 	changed := false
-	for k, nodes := range byCycle {
+	for _, k := range keys {
+		nodes := byCycle[k]
 		if len(nodes) < 2 {
 			continue
 		}
@@ -431,7 +487,7 @@ func (st *State) handleLiveOut(u, pc int) (bool, error) {
 		}
 		// The copy must complete by the region end.
 		if st.lst[node] > st.End-st.M.BusLatency {
-			st.lst[node] = st.End - st.M.BusLatency
+			st.setLst(node, st.End-st.M.BusLatency)
 			ch = true
 		}
 		return ch, nil
@@ -469,6 +525,7 @@ func (st *State) ensureComm(value int) (node int, changed bool, err error) {
 	}
 	st.commByValue[value] = len(st.comms)
 	st.comms = append(st.comms, commRec{Node: node, Value: value})
+	st.trailMark(tCommAdd)
 	// The copy executes in the value's home cluster.
 	if err := st.vc.Fuse(st.vcID(node), home); err != nil {
 		return 0, true, contraf("copy of value %d cannot join its producer's VC: %v", value, err)
@@ -513,7 +570,7 @@ func (st *State) ruleCPLC() (bool, error) {
 				// At least one of c1, c2 reads from the bus.
 				deadline := max(st.lst[c1], st.lst[c2]) - st.M.BusLatency
 				if st.lst[node] > deadline {
-					st.lst[node] = deadline
+					st.setLst(node, deadline)
 					changed = true
 				}
 			}
@@ -549,7 +606,7 @@ func (st *State) rulePPLC() (bool, error) {
 				}
 				arrive := min(st.valueReadyEst(v1), st.valueReadyEst(v2)) + st.M.BusLatency
 				if st.est[c] < arrive {
-					st.est[c] = arrive
+					st.setEst(c, arrive)
 					changed = true
 					if st.est[c] > st.lst[c] {
 						return changed, contraf("consumer %d of incompatible producers %d,%d: arrival %d after lstart %d",
@@ -560,6 +617,7 @@ func (st *State) rulePPLC() (bool, error) {
 				if !st.plcSeen[key] {
 					st.plcSeen[key] = true
 					st.plcs = append(st.plcs, plcRec{Consumer: c, Alts: [2]int{v1, v2}})
+					st.trailMark(tPLCAdd)
 					changed = true
 				}
 			}
@@ -601,11 +659,12 @@ const packingSizeLimit = 80
 // with pending PLC reservations.
 func (st *State) ruleWindowPacking() (bool, error) {
 	changed := false
-	byClass := make(map[ir.Class][]int)
+	var byClass [ir.NumClasses][]int
 	for node := 0; node < len(st.est); node++ {
 		byClass[st.class[node]] = append(byClass[st.class[node]], node)
 	}
-	for class, nodes := range byClass {
+	for class := ir.Class(0); int(class) < ir.NumClasses; class++ {
+		nodes := byClass[class]
 		if len(nodes) < 2 || len(nodes) > packingSizeLimit {
 			continue
 		}
@@ -692,7 +751,7 @@ func (st *State) packIntervals(ivs []interval, cap, dur int) (bool, error) {
 					// Starts inside, ends after b: push the start past b.
 					newEst := b + 1
 					if newEst > st.est[iv.node] {
-						st.est[iv.node] = newEst
+						st.setEst(iv.node, newEst)
 						iv.lo = newEst
 						changed = true
 						if st.est[iv.node] > st.lst[iv.node] {
@@ -703,7 +762,7 @@ func (st *State) packIntervals(ivs []interval, cap, dur int) (bool, error) {
 					// Ends inside, starts before a: pull the end before a.
 					newLst := a - 1 - (dur - 1)
 					if newLst < st.lst[iv.node] {
-						st.lst[iv.node] = newLst
+						st.setLst(iv.node, newLst)
 						iv.hi = a - 1
 						changed = true
 						if st.est[iv.node] > st.lst[iv.node] {

@@ -213,6 +213,19 @@ type State struct {
 	pins sched.Pins
 
 	budget *Budget
+
+	// tr is the active speculation trail (nil when no Begin checkpoint
+	// is open); see trail.go.
+	tr *trail
+
+	// ccGroups caches the original-instruction membership of each
+	// multi-node connected component, keyed by the union-find's
+	// membership version (0 = no cache; versions start at 1). Rules
+	// rebuild it only when a union, node addition, or trail undo
+	// actually changed the partition.
+	ccGroups    map[int][]int
+	ccRoots     []int // sorted roots of ccGroups, same cache generation
+	ccGroupsVer uint64
 }
 
 // Options configures state construction.
@@ -234,22 +247,32 @@ func NewState(sb *ir.Superblock, m *machine.Config, g *sg.Graph, deadlines map[i
 		return nil, err
 	}
 	n := sb.N()
+	// Size hints from the superblock and SG: at most one communication
+	// is materialized per value (every instruction result plus every
+	// live-in), each adding one node, a producer arc and consumer arcs.
+	// Sizing the maps and node arrays up front means steady-state
+	// scheduling does zero map growth.
+	maxComms := n + len(sb.LiveIns)
+	maxNodes := n + maxComms
 	st := &State{
 		SB:          sb,
 		M:           m,
 		SGr:         g,
 		Deadlines:   deadlines,
 		nOrig:       n,
-		class:       make([]ir.Class, n),
-		lat:         make([]int, n),
+		class:       make([]ir.Class, n, maxNodes),
+		lat:         make([]int, n, maxNodes),
+		pairs:       make([]PairState, 0, g.NumEdges()),
 		pairIdx:     make(map[sg.Pair]int, g.NumEdges()),
 		cc:          graphutil.NewOffsetUF(n),
 		vc:          vcg.New(n, m.Clusters),
-		arcSet:      make(map[[2]int]int),
-		outA:        make([][]int, n),
-		inA:         make([][]int, n),
-		commByValue: make(map[int]int),
-		plcSeen:     make(map[[3]int]bool),
+		arcs:        make([]arc, 0, len(sb.Edges)+4*maxComms),
+		arcSet:      make(map[[2]int]int, len(sb.Edges)+4*maxComms),
+		outA:        make([][]int, n, maxNodes),
+		inA:         make([][]int, n, maxNodes),
+		comms:       make([]commRec, 0, maxComms),
+		commByValue: make(map[int]int, maxComms),
+		plcSeen:     make(map[[3]int]bool, g.NumEdges()),
 		pins:        opts.Pins,
 		budget:      opts.Budget,
 	}
@@ -260,8 +283,8 @@ func NewState(sb *ir.Superblock, m *machine.Config, g *sg.Graph, deadlines map[i
 	last := sb.Exits()[len(sb.Exits())-1]
 	st.End = deadlines[last] + sb.Instrs[last].Latency
 
-	st.est = sb.EStarts()
-	st.lst = sb.LStarts(deadlines)
+	st.est = append(make([]int, 0, maxNodes), sb.EStarts()...)
+	st.lst = append(make([]int, 0, maxNodes), sb.LStarts(deadlines)...)
 	for _, x := range sb.Exits() {
 		d := deadlines[x]
 		if st.est[x] > d {
@@ -403,6 +426,9 @@ func (st *State) addArc(from, to, lat int) bool {
 		if st.arcs[i].Lat >= lat {
 			return false
 		}
+		if st.tr != nil {
+			st.tr.entries = append(st.tr.entries, trailEntry{kind: tArcLat, a: i, b: st.arcs[i].Lat})
+		}
 		st.arcs[i].Lat = lat
 		return true
 	}
@@ -410,6 +436,7 @@ func (st *State) addArc(from, to, lat int) bool {
 	st.arcs = append(st.arcs, arc{from, to, lat})
 	st.outA[from] = append(st.outA[from], len(st.arcs)-1)
 	st.inA[to] = append(st.inA[to], len(st.arcs)-1)
+	st.trailMark(tArcAdd)
 	return true
 }
 
@@ -431,13 +458,20 @@ func (st *State) addNode(class ir.Class, lat, est, lst int) (int, error) {
 	st.inA = append(st.inA, nil)
 	st.cc.Add()
 	st.vc.AddNode()
+	st.trailMark(tNodeAdd)
 	return node, nil
 }
 
 // Clone deep-copies the state (sharing the immutable superblock, machine
 // and SG). The clone shares the budget, so studying candidates spends
-// from the same allowance.
+// from the same allowance. Clone is for long-lived forks (the parallel
+// portfolio's workers, the differential oracle); short-lived candidate
+// probes use Probe/Begin/Rollback instead. It must not be called while
+// a trail checkpoint is open.
 func (st *State) Clone() *State {
+	if st.tr != nil {
+		panic("deduce: Clone during active trail")
+	}
 	cp := &State{
 		SB:          st.SB,
 		M:           st.M,
@@ -463,6 +497,11 @@ func (st *State) Clone() *State {
 		plcSeen:     make(map[[3]int]bool, len(st.plcSeen)),
 		pins:        st.pins,
 		budget:      st.budget,
+		// The groups cache is safe to share: rebuilds replace the map
+		// wholesale, never mutate it in place.
+		ccGroups:    st.ccGroups,
+		ccRoots:     st.ccRoots,
+		ccGroupsVer: st.ccGroupsVer,
 	}
 	for i := range st.pairs {
 		p := st.pairs[i]

@@ -1,0 +1,253 @@
+package deduce
+
+import (
+	"sync"
+
+	"vcsched/internal/vcg"
+)
+
+// This file implements trail-based speculation: instead of deep-copying
+// the whole State to evaluate a candidate decision (O(N) per probe),
+// every reversible mutation between Begin and Commit/Rollback is
+// recorded on a trail and undone in reverse order — O(changes) per
+// probe, the backtracking architecture of modern constraint/SAT
+// engines.
+//
+// What is trailed: est/lst bound moves, pair status/comb/combination
+// mutations, arc inserts and latency tightenings, node additions,
+// communication and PLC materializations. The connected-component
+// union-find (graphutil.OffsetUF) and the virtual cluster graph
+// (vcg.Graph) keep their own op logs, checkpointed here via marks;
+// the logs touch disjoint structures, so undo order between them does
+// not matter. Everything else on State (superblock, machine, SG,
+// deadlines, pairIdx, pins, budget) is immutable during decisions.
+//
+// The budget is deliberately NOT restored on rollback: speculative work
+// costs real deduction steps, exactly as it did when probes ran on
+// clones sharing the parent's budget. This keeps budget accounting —
+// and therefore the deterministic serial/parallel replay — byte-
+// identical to the Clone-per-probe implementation.
+
+// trailKind tags one reversible mutation.
+type trailKind uint8
+
+const (
+	tEst     trailKind = iota // a=node, b=old est
+	tLst                      // a=node, b=old lst
+	tPair                     // a=pair index, b=old Comb, c=arena offset, d=old comb count (−1: nil Combs), status=old Status
+	tArcLat                   // a=arc index, b=old latency
+	tArcAdd                   // arc appended; undo truncates arcs/arcSet/outA/inA
+	tCommAdd                  // comm appended; undo truncates comms and commByValue
+	tPLCAdd                   // PLC appended; undo truncates plcs and plcSeen
+	tNodeAdd                  // state node appended; undo truncates the node arrays
+)
+
+// trailEntry is one recorded mutation. Old pair combinations are copied
+// into the trail's shared int arena (c/d index it) so recording a pair
+// never allocates.
+type trailEntry struct {
+	kind   trailKind
+	status PairStatus
+	a, b   int
+	c, d   int
+}
+
+// trailCP is one Begin checkpoint: positions in the entry log and
+// arena, plus the marks of the two structure-owned logs.
+type trailCP struct {
+	entries int
+	arena   int
+	cc      int
+	vc      vcg.Mark
+}
+
+// trail is the mutation log of one State while speculation is active.
+// Trails are pooled: the backing arrays survive across probes, so a
+// steady-state probe records and undoes without allocating.
+type trail struct {
+	entries []trailEntry
+	arena   []int
+	cps     []trailCP
+}
+
+var trailPool = sync.Pool{New: func() any { return new(trail) }}
+
+// Begin opens a trail checkpoint. Checkpoints nest; each Commit or
+// Rollback closes the innermost one. While any checkpoint is open the
+// state must not be Cloned (the copy would share no undo obligations;
+// the underlying structures panic on the attempt).
+func (st *State) Begin() {
+	if st.tr == nil {
+		tr := trailPool.Get().(*trail)
+		if tr.entries == nil {
+			// First use of this pooled trail: size the log for a typical
+			// probe on this SG — a few bound moves per node plus pair
+			// mutations — so steady state never grows it.
+			tr.entries = make([]trailEntry, 0, 4*len(st.est)+2*len(st.pairs)+16)
+			tr.arena = make([]int, 0, 4*len(st.pairs)+16)
+			tr.cps = make([]trailCP, 0, 4)
+		}
+		st.tr = tr
+	}
+	st.tr.cps = append(st.tr.cps, trailCP{
+		entries: len(st.tr.entries),
+		arena:   len(st.tr.arena),
+		cc:      st.cc.TrailMark(),
+		vc:      st.vc.TrailMark(),
+	})
+}
+
+// Commit closes the innermost checkpoint, keeping its mutations. Inner
+// commits merge the mutations into the enclosing checkpoint; the
+// outermost commit discards the whole log and resumes unlogged
+// operation.
+func (st *State) Commit() {
+	tr := st.tr
+	if tr == nil || len(tr.cps) == 0 {
+		panic("deduce: Commit without Begin")
+	}
+	tr.cps = tr.cps[:len(tr.cps)-1]
+	if len(tr.cps) == 0 {
+		st.releaseTrail()
+	}
+}
+
+// Rollback closes the innermost checkpoint, undoing every mutation
+// recorded since its Begin in reverse order.
+func (st *State) Rollback() {
+	tr := st.tr
+	if tr == nil || len(tr.cps) == 0 {
+		panic("deduce: Rollback without Begin")
+	}
+	cp := tr.cps[len(tr.cps)-1]
+	tr.cps = tr.cps[:len(tr.cps)-1]
+	st.undoTo(cp)
+	if len(tr.cps) == 0 {
+		st.releaseTrail()
+	}
+}
+
+// Probe speculatively runs f against the live state and always rolls
+// its mutations back, returning f's error. It replaces the
+// Clone-per-probe pattern: semantically identical (same deductions,
+// same budget spend, same error), but O(changes) instead of O(N).
+// Callers that want to keep a successful candidate re-apply it to the
+// live state afterwards, exactly as the clone-based callers did.
+func (st *State) Probe(f func(*State) error) error {
+	st.Begin()
+	err := f(st)
+	st.Rollback()
+	return err
+}
+
+// Speculating reports whether a trail checkpoint is open.
+func (st *State) Speculating() bool { return st.tr != nil }
+
+func (st *State) releaseTrail() {
+	tr := st.tr
+	st.tr = nil
+	st.cc.TrailStop()
+	st.vc.TrailStop()
+	tr.entries = tr.entries[:0]
+	tr.arena = tr.arena[:0]
+	tr.cps = tr.cps[:0]
+	trailPool.Put(tr)
+}
+
+// undoTo reverts the entry log down to checkpoint cp, then the
+// structure-owned logs. Entries are undone most recent first, so a slot
+// mutated several times ends at its oldest recorded value.
+func (st *State) undoTo(cp trailCP) {
+	tr := st.tr
+	for i := len(tr.entries) - 1; i >= cp.entries; i-- {
+		e := tr.entries[i]
+		switch e.kind {
+		case tEst:
+			st.est[e.a] = e.b
+		case tLst:
+			st.lst[e.a] = e.b
+		case tPair:
+			p := &st.pairs[e.a]
+			p.Status = e.status
+			p.Comb = e.b
+			if e.d < 0 {
+				p.Combs = nil
+			} else {
+				// Fresh copy: the arena slot is recycled by later probes,
+				// so the pair must not alias it.
+				p.Combs = append([]int(nil), tr.arena[e.c:e.c+e.d]...)
+			}
+		case tArcLat:
+			st.arcs[e.a].Lat = e.b
+		case tArcAdd:
+			n := len(st.arcs) - 1
+			a := st.arcs[n]
+			delete(st.arcSet, [2]int{a.From, a.To})
+			st.arcs = st.arcs[:n]
+			st.outA[a.From] = st.outA[a.From][:len(st.outA[a.From])-1]
+			st.inA[a.To] = st.inA[a.To][:len(st.inA[a.To])-1]
+		case tCommAdd:
+			n := len(st.comms) - 1
+			delete(st.commByValue, st.comms[n].Value)
+			st.comms = st.comms[:n]
+		case tPLCAdd:
+			n := len(st.plcs) - 1
+			p := st.plcs[n]
+			delete(st.plcSeen, [3]int{p.Consumer, min(p.Alts[0], p.Alts[1]), max(p.Alts[0], p.Alts[1])})
+			st.plcs = st.plcs[:n]
+		case tNodeAdd:
+			n := len(st.est) - 1
+			st.class = st.class[:n]
+			st.lat = st.lat[:n]
+			st.est = st.est[:n]
+			st.lst = st.lst[:n]
+			st.outA = st.outA[:n]
+			st.inA = st.inA[:n]
+		}
+	}
+	tr.entries = tr.entries[:cp.entries]
+	tr.arena = tr.arena[:cp.arena]
+	st.cc.TrailUndo(cp.cc)
+	st.vc.TrailUndo(cp.vc)
+}
+
+// setEst moves a node's earliest start, recording the old bound.
+func (st *State) setEst(node, v int) {
+	if st.tr != nil {
+		st.tr.entries = append(st.tr.entries, trailEntry{kind: tEst, a: node, b: st.est[node]})
+	}
+	st.est[node] = v
+}
+
+// setLst moves a node's latest start, recording the old bound.
+func (st *State) setLst(node, v int) {
+	if st.tr != nil {
+		st.tr.entries = append(st.tr.entries, trailEntry{kind: tLst, a: node, b: st.lst[node]})
+	}
+	st.lst[node] = v
+}
+
+// trailPair records pair i's full pre-mutation value (status, chosen
+// comb, remaining combinations). Call before the first mutation of a
+// pair in any code path; redundant records are harmless (undo runs in
+// reverse, so the oldest snapshot wins).
+func (st *State) trailPair(i int) {
+	if st.tr == nil {
+		return
+	}
+	p := &st.pairs[i]
+	e := trailEntry{kind: tPair, status: p.Status, a: i, b: p.Comb, c: len(st.tr.arena), d: -1}
+	if p.Combs != nil {
+		e.d = len(p.Combs)
+		st.tr.arena = append(st.tr.arena, p.Combs...)
+	}
+	st.tr.entries = append(st.tr.entries, e)
+}
+
+// trailMark appends a fieldless marker entry (arc/comm/PLC/node
+// additions, undone by truncating the corresponding structure).
+func (st *State) trailMark(kind trailKind) {
+	if st.tr != nil {
+		st.tr.entries = append(st.tr.entries, trailEntry{kind: kind})
+	}
+}

@@ -1,0 +1,186 @@
+package deduce
+
+import (
+	"testing"
+)
+
+// TestProbeRollbackSweep probes every node at both window boundaries of
+// the paper's AWCT 9.4 state and requires the full fingerprint to be
+// restored after every single probe — including the ones that
+// contradict, which are the probes whose propagation reaches deepest
+// (comms materialize, VCs fuse, pairs resolve before the failure).
+func TestProbeRollbackSweep(t *testing.T) {
+	st, err := newFig1State(t, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := st.DumpText()
+	sawContradiction := false
+	for node := 0; node < st.NumNodes(); node++ {
+		for _, cycle := range []int{st.Est(node), st.Lst(node)} {
+			perr := st.Probe(func(s *State) error { return s.FixCycle(node, cycle) })
+			if perr != nil {
+				if !IsContradiction(perr) {
+					t.Fatalf("probe FixCycle(%d,%d): %v", node, cycle, perr)
+				}
+				sawContradiction = true
+			}
+			if got := st.DumpText(); got != want {
+				t.Fatalf("probe FixCycle(%d,%d) left residue:\ngot:\n%s\nwant:\n%s", node, cycle, got, want)
+			}
+			if st.Speculating() {
+				t.Fatalf("probe FixCycle(%d,%d) left a checkpoint open", node, cycle)
+			}
+		}
+	}
+	if !sawContradiction {
+		t.Error("sweep never hit a contradiction; the deep undo paths were not exercised")
+	}
+}
+
+// TestNestedCheckpoints exercises Begin/Commit/Rollback nesting: an
+// inner rollback must restore the state at the inner Begin, and the
+// outer commit must keep the outer mutations.
+func TestNestedCheckpoints(t *testing.T) {
+	st, err := newFig1State(t, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := st.DumpText()
+
+	st.Begin()
+	if err := st.TightenEst(1, st.Est(1)+1); err != nil {
+		t.Fatal(err)
+	}
+	afterOuter := st.DumpText()
+	if afterOuter == base {
+		t.Fatal("outer decision changed nothing; test needs a real mutation")
+	}
+
+	st.Begin()
+	if !st.Speculating() {
+		t.Fatal("Speculating() false with two checkpoints open")
+	}
+	if err := st.TightenLst(2, st.Lst(2)-1); err != nil {
+		t.Fatal(err)
+	}
+	st.Rollback()
+	if got := st.DumpText(); got != afterOuter {
+		t.Fatalf("inner rollback:\ngot:\n%s\nwant:\n%s", got, afterOuter)
+	}
+
+	st.Commit()
+	if st.Speculating() {
+		t.Fatal("Speculating() true after the outermost Commit")
+	}
+	if got := st.DumpText(); got != afterOuter {
+		t.Fatalf("outer commit dropped mutations:\ngot:\n%s\nwant:\n%s", got, afterOuter)
+	}
+
+	// The trail is released: a fresh Begin/Rollback pair must undo back
+	// to the committed state, not to base.
+	st.Begin()
+	if err := st.TightenEst(2, st.Est(2)+1); err != nil && !IsContradiction(err) {
+		t.Fatal(err)
+	}
+	st.Rollback()
+	if got := st.DumpText(); got != afterOuter {
+		t.Fatalf("post-commit rollback:\ngot:\n%s\nwant:\n%s", got, afterOuter)
+	}
+}
+
+func TestCommitWithoutBeginPanics(t *testing.T) {
+	st, err := newFig1State(t, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Commit without Begin did not panic")
+		}
+	}()
+	st.Commit()
+}
+
+func TestRollbackWithoutBeginPanics(t *testing.T) {
+	st, err := newFig1State(t, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Rollback without Begin did not panic")
+		}
+	}()
+	st.Rollback()
+}
+
+func TestCloneDuringTrailPanics(t *testing.T) {
+	st, err := newFig1State(t, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Begin()
+	defer st.Rollback()
+	defer func() {
+		if recover() == nil {
+			t.Error("Clone during active trail did not panic")
+		}
+	}()
+	st.Clone()
+}
+
+// TestFilterCombZeroesVacatedSlots is the regression test for the
+// DiscardComb stale-tail bug: the in-place filter must zero the backing
+// slots it vacates, so no discarded combination value stays live in the
+// array (it would leak into any code that re-extends the slice within
+// capacity, and kept dead data reachable).
+func TestFilterCombZeroesVacatedSlots(t *testing.T) {
+	combs := []int{-2, -1, 0, 1, 2}
+	kept := filterComb(combs, 0)
+	if want := []int{-2, -1, 1, 2}; len(kept) != len(want) {
+		t.Fatalf("kept %v, want %v", kept, want)
+	} else {
+		for i := range want {
+			if kept[i] != want[i] {
+				t.Fatalf("kept %v, want %v", kept, want)
+			}
+		}
+	}
+	backing := kept[:cap(kept)]
+	for i := len(kept); i < 5; i++ {
+		if backing[i] != 0 {
+			t.Errorf("vacated slot %d holds stale value %d", i, backing[i])
+		}
+	}
+}
+
+// TestDiscardCombStaleTail runs the same check through the public
+// decision on a real state.
+func TestDiscardCombStaleTail(t *testing.T) {
+	st, err := newFig1State(t, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.pairs {
+		p := &st.pairs[i]
+		if p.Status != Open || len(p.Combs) < 2 {
+			continue
+		}
+		n := len(p.Combs)
+		comb := p.Combs[0]
+		if err := st.DiscardComb(p.U, p.V, comb); err != nil && !IsContradiction(err) {
+			t.Fatal(err)
+		}
+		// Propagation may shrink the pair further; every vacated backing
+		// slot up to the original length must be zero.
+		backing := p.Combs[:cap(p.Combs)]
+		for k := len(p.Combs); k < n && k < len(backing); k++ {
+			if backing[k] != 0 {
+				t.Errorf("pair %d slot %d holds stale combination %d", i, k, backing[k])
+			}
+		}
+		return
+	}
+	t.Skip("no open pair with 2+ combinations in the fixture")
+}

@@ -59,6 +59,8 @@ const (
 	KindCARSSim        = "cars-sim"        // baseline schedule fails the simulator
 	KindCARSOracle     = "cars-oracle"     // baseline beats the exhaustive optimum
 
+	KindTrailClone = "trail-clone" // trail-based speculation diverged from the Clone-based oracle
+
 	KindResilient         = "resilient"          // degradation ladder hard-failed or reported an inconsistent outcome
 	KindResilientValidate = "resilient-validate" // resilient schedule fails the validator
 	KindResilientOracle   = "resilient-oracle"   // resilient schedule beats the exhaustive optimum
@@ -98,6 +100,12 @@ type Options struct {
 	// and — when the pipeline reports tier "sg" — bit-identical to the
 	// serial core driver.
 	Resilient bool
+	// TrailClone also replays a deterministic random decision script
+	// against two deduction universes — one speculating through the
+	// trail (Probe/Begin/Rollback), one through throwaway Clones — and
+	// requires bit-identical fingerprints and error strings after every
+	// step (see CheckTrailClone).
+	TrailClone bool
 	// CorruptVC, when non-nil, is applied to the VC schedule between
 	// scheduling and cross-checking. It exists for fault injection: tests
 	// use it to simulate a scheduler bug and assert the harness catches
@@ -198,6 +206,13 @@ func Check(sb *ir.Superblock, opts Options) *Report {
 			rep.violate(KindSerialParallel, "failing AWCTTried %d serial vs %d parallel",
 				stats.AWCTTried, pstats.AWCTTried)
 		}
+	}
+
+	// (f) trail vs Clone speculation: independent of the schedule
+	// outcome, the new O(changes) undo must be observationally identical
+	// to the old full-state copy.
+	if opts.TrailClone {
+		checkTrailClone(rep)
 	}
 
 	// The baseline checks run regardless of the VC outcome: CARS always

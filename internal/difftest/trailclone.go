@@ -1,0 +1,231 @@
+package difftest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vcsched/internal/deduce"
+	"vcsched/internal/ir"
+	"vcsched/internal/sg"
+	"vcsched/internal/workload"
+)
+
+// trailCloneSteps is the length of the scripted decision sequence each
+// trail-clone check replays, and trailCloneCommitEvery says how often a
+// step is committed to both universes instead of only probed.
+const (
+	trailCloneSteps       = 24
+	trailCloneCommitEvery = 3
+)
+
+// CheckTrailClone runs only the trail-vs-Clone speculation cross-check
+// on the superblock (Check runs it too when Options.TrailClone is set;
+// this entry exists so large property-test campaigns can skip the
+// scheduler runs).
+//
+// The check maintains two universes that must stay bit-identical: a
+// *trail* universe whose speculative decisions go through
+// State.Probe (Begin/Rollback, the O(changes) undo this PR introduces)
+// and a *clone* universe whose speculative decisions run on a throwaway
+// State.Clone (the pre-existing semantics). A deterministic script of
+// random decisions is replayed against both; after every step the two
+// states' DumpText fingerprints and the decision's error strings must
+// match exactly. Every few steps a decision is committed to both
+// universes so the script walks through genuinely different states.
+func CheckTrailClone(sb *ir.Superblock, opts Options) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{SB: sb, Opts: opts, Pins: workload.PinsFor(sb, opts.Machine.Clusters, opts.PinSeed)}
+	checkTrailClone(rep)
+	return rep
+}
+
+func checkTrailClone(rep *Report) {
+	sb, m, pins := rep.SB, rep.Opts.Machine, rep.Pins
+	g := sg.Build(sb, m)
+
+	// Deadlines: the tightest slack over each exit's earliest start that
+	// both universes accept. Construction itself is part of the check —
+	// the two NewState calls must agree on feasibility, error for error.
+	est := sb.EStarts()
+	var trailSt, cloneSt *deduce.State
+	for _, slack := range []int{2, 4, 8} {
+		deadlines := make(map[int]int, len(sb.Exits()))
+		for _, x := range sb.Exits() {
+			deadlines[x] = est[x] + slack
+		}
+		mk := func() (*deduce.State, error) {
+			return deduce.NewState(sb, m, g, deadlines, deduce.Options{
+				Pins:   pins,
+				Budget: deduce.NewBudget(rep.Opts.MaxSteps),
+			})
+		}
+		st1, err1 := mk()
+		st2, err2 := mk()
+		if errString(err1) != errString(err2) {
+			rep.violate(KindTrailClone, "NewState slack %d: %q vs %q", slack, errString(err1), errString(err2))
+			return
+		}
+		if err1 == nil {
+			trailSt, cloneSt = st1, st2
+			break
+		}
+	}
+	if trailSt == nil {
+		return // infeasible at every slack, identically in both universes
+	}
+	if d1, d2 := trailSt.DumpText(), cloneSt.DumpText(); d1 != d2 {
+		rep.violate(KindTrailClone, "initial states differ:\n%s", firstDiffLine(d1, d2))
+		return
+	}
+
+	rng := rand.New(rand.NewSource(rep.Opts.PinSeed<<8 ^ int64(sb.N())))
+	for step := 0; step < trailCloneSteps; step++ {
+		name, op := randomDecision(rng, trailSt)
+
+		// Speculate: trail probe against throwaway clone.
+		perr := trailSt.Probe(op)
+		oracle := cloneSt.Clone()
+		oerr := op(oracle)
+		if errString(perr) != errString(oerr) {
+			rep.violate(KindTrailClone, "step %d %s: probe error %q (trail) vs %q (clone)",
+				step, name, errString(perr), errString(oerr))
+			return
+		}
+		if d1, d2 := trailSt.DumpText(), cloneSt.DumpText(); d1 != d2 {
+			rep.violate(KindTrailClone, "step %d %s: rollback left residue:\n%s",
+				step, name, firstDiffLine(d1, d2))
+			return
+		}
+
+		// Periodically commit, so later steps script over evolved states.
+		if step%trailCloneCommitEvery != trailCloneCommitEvery-1 {
+			continue
+		}
+		cerr1 := op(trailSt)
+		cerr2 := op(cloneSt)
+		if errString(cerr1) != errString(cerr2) {
+			rep.violate(KindTrailClone, "step %d %s: commit error %q (trail) vs %q (clone)",
+				step, name, errString(cerr1), errString(cerr2))
+			return
+		}
+		if d1, d2 := trailSt.DumpText(), cloneSt.DumpText(); d1 != d2 {
+			rep.violate(KindTrailClone, "step %d %s: committed states differ:\n%s",
+				step, name, firstDiffLine(d1, d2))
+			return
+		}
+		if cerr1 != nil {
+			return // contradiction committed identically; state is spent
+		}
+	}
+}
+
+// randomDecision picks one decision from the current state (the two
+// universes are verified identical before every call, so reading either
+// yields the same script). All parameters are captured by value: the
+// returned closure reads nothing the probe/commit sequence mutates.
+func randomDecision(rng *rand.Rand, st *deduce.State) (string, func(*deduce.State) error) {
+	switch rng.Intn(6) {
+	case 0:
+		node := rng.Intn(st.NumNodes())
+		cycle := st.Est(node) + rng.Intn(st.Slack(node)+1)
+		return fmt.Sprintf("FixCycle(%d,%d)", node, cycle),
+			func(s *deduce.State) error { return s.FixCycle(node, cycle) }
+	case 1:
+		node := rng.Intn(st.NumNodes())
+		e := st.Est(node) + 1 + rng.Intn(2)
+		return fmt.Sprintf("TightenEst(%d,%d)", node, e),
+			func(s *deduce.State) error { return s.TightenEst(node, e) }
+	case 2:
+		node := rng.Intn(st.NumNodes())
+		l := st.Lst(node) - 1 - rng.Intn(2)
+		return fmt.Sprintf("TightenLst(%d,%d)", node, l),
+			func(s *deduce.State) error { return s.TightenLst(node, l) }
+	case 3, 4:
+		var open []deduce.PairState
+		for _, p := range st.Pairs() {
+			if p.Status == deduce.Open && len(p.Combs) > 0 {
+				open = append(open, p)
+			}
+		}
+		if len(open) == 0 {
+			break
+		}
+		p := open[rng.Intn(len(open))]
+		comb := p.Combs[rng.Intn(len(p.Combs))]
+		if rng.Intn(3) == 0 {
+			return fmt.Sprintf("DropPair(%d,%d)", p.U, p.V),
+				func(s *deduce.State) error { return s.DropPair(p.U, p.V) }
+		}
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("ChooseComb(%d,%d,%d)", p.U, p.V, comb),
+				func(s *deduce.State) error { return s.ChooseComb(p.U, p.V, comb) }
+		}
+		return fmt.Sprintf("DiscardComb(%d,%d,%d)", p.U, p.V, comb),
+			func(s *deduce.State) error { return s.DiscardComb(p.U, p.V, comb) }
+	case 5:
+		if st.NOrig() >= 2 {
+			a := rng.Intn(st.NOrig())
+			b := rng.Intn(st.NOrig() - 1)
+			if b >= a {
+				b++
+			}
+			if rng.Intn(2) == 0 {
+				return fmt.Sprintf("FuseVC(%d,%d)", a, b),
+					func(s *deduce.State) error { return s.FuseVC(a, b) }
+			}
+			return fmt.Sprintf("SplitVC(%d,%d)", a, b),
+				func(s *deduce.State) error { return s.SplitVC(a, b) }
+		}
+	}
+	// Fallback when the drawn family is inapplicable: a no-op-ish probe
+	// that still runs full propagation.
+	node := rng.Intn(st.NumNodes())
+	e := st.Est(node)
+	return fmt.Sprintf("TightenEst(%d,%d)", node, e),
+		func(s *deduce.State) error { return s.TightenEst(node, e) }
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// firstDiffLine renders the first line pair where two fingerprints
+// diverge, keeping violation details readable for large states.
+func firstDiffLine(a, b string) string {
+	la, lb := splitLines(a), splitLines(b)
+	n := len(la)
+	if len(lb) > n {
+		n = len(lb)
+	}
+	for i := 0; i < n; i++ {
+		var x, y string
+		if i < len(la) {
+			x = la[i]
+		}
+		if i < len(lb) {
+			y = lb[i]
+		}
+		if x != y {
+			return fmt.Sprintf("line %d:\n  trail: %s\n  clone: %s", i+1, x, y)
+		}
+	}
+	return "(no line-level diff?)"
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package graphutil
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// ufFingerprint renders every observable of a UnionFind (roots, set
+// sizes, set count, element count) so trail undo can be checked for
+// exact restoration.
+func ufFingerprint(u *UnionFind) string {
+	s := fmt.Sprintf("len=%d sets=%d;", u.Len(), u.Sets())
+	for x := 0; x < u.Len(); x++ {
+		s += fmt.Sprintf(" %d:%d/%d", x, u.Find(x), u.SetSize(x))
+	}
+	return s
+}
+
+func TestUnionFindTrailUndoRestoresExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := NewUnionFind(10)
+	u.Union(0, 1)
+	u.Union(2, 3)
+	u.Union(1, 3)
+	want := ufFingerprint(u)
+
+	mark := u.TrailMark()
+	for i := 0; i < 40; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			u.Add()
+		default:
+			u.Union(rng.Intn(u.Len()), rng.Intn(u.Len()))
+		}
+	}
+	u.TrailUndo(mark)
+	u.TrailStop()
+	if got := ufFingerprint(u); got != want {
+		t.Errorf("after undo:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestUnionFindNestedMarks(t *testing.T) {
+	u := NewUnionFind(6)
+	m1 := u.TrailMark()
+	u.Union(0, 1)
+	m2 := u.TrailMark()
+	mid := ufFingerprint(u)
+	u.Union(2, 3)
+	u.Union(0, 3)
+	u.TrailUndo(m2)
+	if got := ufFingerprint(u); got != mid {
+		t.Errorf("inner undo:\n got %s\nwant %s", got, mid)
+	}
+	u.TrailUndo(m1)
+	u.TrailStop()
+	if u.Same(0, 1) || u.Sets() != 6 {
+		t.Errorf("outer undo left merges behind: %s", ufFingerprint(u))
+	}
+}
+
+func TestUnionFindCloneDuringTrailPanics(t *testing.T) {
+	u := NewUnionFind(3)
+	u.TrailMark()
+	defer u.TrailStop()
+	defer func() {
+		if recover() == nil {
+			t.Error("Clone during active trail did not panic")
+		}
+	}()
+	u.Clone()
+}
+
+// offFingerprint renders every observable of an OffsetUF: per-element
+// root and offset plus all pairwise deltas inside one set.
+func offFingerprint(o *OffsetUF) string {
+	s := fmt.Sprintf("len=%d;", o.Len())
+	for x := 0; x < o.Len(); x++ {
+		r, off := o.Find(x)
+		s += fmt.Sprintf(" %d:%d%+d", x, r, off)
+	}
+	return s
+}
+
+func TestOffsetUFTrailUndoRestoresExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	o := NewOffsetUF(8)
+	if err := o.Relate(0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Relate(2, 3, -1); err != nil {
+		t.Fatal(err)
+	}
+	want := offFingerprint(o)
+
+	mark := o.TrailMark()
+	for i := 0; i < 40; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			o.Add()
+		default:
+			// Conflicting relations are fine: they leave the structure
+			// unchanged by contract, so undo must still restore exactly.
+			_ = o.Relate(rng.Intn(o.Len()), rng.Intn(o.Len()), rng.Intn(5)-2)
+		}
+	}
+	o.TrailUndo(mark)
+	o.TrailStop()
+	if got := offFingerprint(o); got != want {
+		t.Errorf("after undo:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestOffsetUFVersionTracksMembership checks the contract callers key
+// caches on: the version moves on every membership change (Add, merging
+// Relate, trail undo) and stays put for reads and non-merging Relates.
+func TestOffsetUFVersionTracksMembership(t *testing.T) {
+	o := NewOffsetUF(4)
+	v0 := o.Version()
+	o.Find(3)
+	if o.Version() != v0 {
+		t.Error("Find bumped the version")
+	}
+	if err := o.Relate(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	v1 := o.Version()
+	if v1 == v0 {
+		t.Error("merging Relate did not bump the version")
+	}
+	if err := o.Relate(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if o.Version() != v1 {
+		t.Error("agreeing re-Relate bumped the version")
+	}
+	o.Add()
+	v2 := o.Version()
+	if v2 == v1 {
+		t.Error("Add did not bump the version")
+	}
+	mark := o.TrailMark()
+	if err := o.Relate(2, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	o.TrailUndo(mark)
+	o.TrailStop()
+	if o.Version() <= v2 {
+		t.Error("trail undo did not bump the version")
+	}
+}
+
+func TestOffsetUFCloneDuringTrailPanics(t *testing.T) {
+	o := NewOffsetUF(3)
+	o.TrailMark()
+	defer o.TrailStop()
+	defer func() {
+		if recover() == nil {
+			t.Error("Clone during active trail did not panic")
+		}
+	}()
+	o.Clone()
+}

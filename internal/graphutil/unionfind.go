@@ -7,12 +7,25 @@ package graphutil
 import "fmt"
 
 // UnionFind is a disjoint-set forest with path compression and union by
-// size.
+// size. It supports trail-scoped speculation: between TrailMark and
+// TrailUndo/TrailStop every structural change (Union, Add) is recorded
+// in an op log so it can be reverted in O(changes), and path compression
+// is suspended so that undo restores the exact pre-mark forest. Find
+// results (the representative) are identical with or without
+// compression, so speculative and committed execution observe the same
+// values.
 type UnionFind struct {
-	parent []int
-	size   []int
-	sets   int
+	parent   []int
+	size     []int
+	sets     int
+	trailing bool
+	ops      []ufOp
 }
+
+// ufOp is one reversible UnionFind mutation. ry < 0 marks an Add (undo
+// truncates); otherwise it is a Union that re-parented root ry under
+// root rx (undo detaches ry and returns its size to it).
+type ufOp struct{ ry, rx int }
 
 // NewUnionFind creates n singleton sets 0..n-1.
 func NewUnionFind(n int) *UnionFind {
@@ -36,11 +49,20 @@ func (u *UnionFind) Add() int {
 	u.parent = append(u.parent, i)
 	u.size = append(u.size, 1)
 	u.sets++
+	if u.trailing {
+		u.ops = append(u.ops, ufOp{ry: -1})
+	}
 	return i
 }
 
 // Find returns the representative of x's set.
 func (u *UnionFind) Find(x int) int {
+	if u.trailing {
+		for u.parent[x] != x {
+			x = u.parent[x]
+		}
+		return x
+	}
 	for u.parent[x] != x {
 		u.parent[x] = u.parent[u.parent[x]] // path halving
 		x = u.parent[x]
@@ -64,14 +86,60 @@ func (u *UnionFind) Union(x, y int) int {
 	u.parent[ry] = rx
 	u.size[rx] += u.size[ry]
 	u.sets--
+	if u.trailing {
+		u.ops = append(u.ops, ufOp{ry: ry, rx: rx})
+	}
 	return rx
 }
 
 // SetSize returns the size of x's set.
 func (u *UnionFind) SetSize(x int) int { return u.size[u.Find(x)] }
 
-// Clone returns a deep copy.
+// TrailMark enables trailing (if not already active) and returns a mark
+// for the current op-log position, suitable for TrailUndo.
+func (u *UnionFind) TrailMark() int {
+	u.trailing = true
+	return len(u.ops)
+}
+
+// TrailLen returns the current op-log position (the number of recorded
+// mutations); comparing it with an earlier mark tells whether anything
+// changed since.
+func (u *UnionFind) TrailLen() int { return len(u.ops) }
+
+// TrailUndo reverts every mutation recorded after mark, most recent
+// first, restoring the exact forest at TrailMark time.
+func (u *UnionFind) TrailUndo(mark int) {
+	for i := len(u.ops) - 1; i >= mark; i-- {
+		op := u.ops[i]
+		if op.ry < 0 { // Add
+			n := len(u.parent) - 1
+			u.parent = u.parent[:n]
+			u.size = u.size[:n]
+			u.sets--
+			continue
+		}
+		u.size[op.rx] -= u.size[op.ry]
+		u.parent[op.ry] = op.ry
+		u.sets++
+	}
+	u.ops = u.ops[:mark]
+}
+
+// TrailStop ends trailing: the op log is discarded (keeping its backing
+// array for reuse) and path compression resumes.
+func (u *UnionFind) TrailStop() {
+	u.trailing = false
+	u.ops = u.ops[:0]
+}
+
+// Clone returns a deep copy. It must not be called while a trail is
+// active: the copy would share no op log with the original, so undo
+// obligations would be silently lost.
 func (u *UnionFind) Clone() *UnionFind {
+	if u.trailing {
+		panic("graphutil: UnionFind.Clone during active trail")
+	}
 	return &UnionFind{
 		parent: append([]int(nil), u.parent...),
 		size:   append([]int(nil), u.size...),
@@ -95,15 +163,34 @@ func (u *UnionFind) Groups() map[int][]int {
 // Offset(y) in any assignment consistent with the recorded relations.
 // It models the paper's connected components: choosing a combination
 // fixes the cycle distance between two instructions.
+// Like UnionFind, it supports trail-scoped speculation via
+// TrailMark/TrailUndo/TrailStop; while trailing, path compression is
+// suspended (Find results are unaffected) and Relate/Add are logged for
+// O(changes) reversal.
 type OffsetUF struct {
-	parent []int
-	rank   []int
-	off    []int // offset to parent
+	parent   []int
+	rank     []int
+	off      []int // offset to parent
+	trailing bool
+	ops      []offOp
+	// version stamps set membership: bumped by every Add, merging
+	// Relate, and undoing TrailUndo (monotonic). Path compression does
+	// not change membership and leaves it alone, so callers can key
+	// caches of the partition on it.
+	version uint64
+}
+
+// offOp is one reversible OffsetUF mutation. ry < 0 marks an Add;
+// otherwise root ry was re-parented under root rx, bumping rx's rank if
+// rankBumped. Roots always carry offset 0, so undo resets off[ry] to 0.
+type offOp struct {
+	ry, rx     int
+	rankBumped bool
 }
 
 // NewOffsetUF creates n singletons with offset 0.
 func NewOffsetUF(n int) *OffsetUF {
-	o := &OffsetUF{parent: make([]int, n), rank: make([]int, n), off: make([]int, n)}
+	o := &OffsetUF{parent: make([]int, n), rank: make([]int, n), off: make([]int, n), version: 1}
 	for i := range o.parent {
 		o.parent[i] = i
 	}
@@ -119,11 +206,23 @@ func (o *OffsetUF) Add() int {
 	o.parent = append(o.parent, i)
 	o.rank = append(o.rank, 0)
 	o.off = append(o.off, 0)
+	o.version++
+	if o.trailing {
+		o.ops = append(o.ops, offOp{ry: -1})
+	}
 	return i
 }
 
 // Find returns the representative of x and x's offset to it.
 func (o *OffsetUF) Find(x int) (root, offset int) {
+	if o.trailing {
+		off := 0
+		for o.parent[x] != x {
+			off += o.off[x]
+			x = o.parent[x]
+		}
+		return x, off
+	}
 	if o.parent[x] == x {
 		return x, 0
 	}
@@ -170,22 +269,74 @@ func (o *OffsetUF) Relate(x, y, delta int) error {
 	}
 	o.parent[ry] = rx
 	o.off[ry] = -d // value(ry) − value(rx) = −d
-	if o.rank[rx] == o.rank[ry] {
+	bumped := o.rank[rx] == o.rank[ry]
+	if bumped {
 		o.rank[rx]++
 	}
+	o.version++
+	if o.trailing {
+		o.ops = append(o.ops, offOp{ry: ry, rx: rx, rankBumped: bumped})
+	}
 	return nil
+}
+
+// Version returns the membership version: it changes exactly when set
+// membership may have (Add, merging Relate, trail undo).
+func (o *OffsetUF) Version() uint64 { return o.version }
+
+// TrailMark enables trailing (if not already active) and returns a mark
+// for the current op-log position, suitable for TrailUndo.
+func (o *OffsetUF) TrailMark() int {
+	o.trailing = true
+	return len(o.ops)
+}
+
+// TrailUndo reverts every mutation recorded after mark, most recent
+// first, restoring the exact structure at TrailMark time.
+func (o *OffsetUF) TrailUndo(mark int) {
+	if len(o.ops) > mark {
+		o.version++
+	}
+	for i := len(o.ops) - 1; i >= mark; i-- {
+		op := o.ops[i]
+		if op.ry < 0 { // Add
+			n := len(o.parent) - 1
+			o.parent = o.parent[:n]
+			o.rank = o.rank[:n]
+			o.off = o.off[:n]
+			continue
+		}
+		o.parent[op.ry] = op.ry
+		o.off[op.ry] = 0
+		if op.rankBumped {
+			o.rank[op.rx]--
+		}
+	}
+	o.ops = o.ops[:mark]
+}
+
+// TrailStop ends trailing: the op log is discarded (keeping its backing
+// array for reuse) and path compression resumes.
+func (o *OffsetUF) TrailStop() {
+	o.trailing = false
+	o.ops = o.ops[:0]
 }
 
 // ErrConflict is returned by Relate when a new relation contradicts an
 // existing one.
 var ErrConflict = fmt.Errorf("graphutil: conflicting offset relation")
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. It must not be called while a trail is
+// active (see UnionFind.Clone).
 func (o *OffsetUF) Clone() *OffsetUF {
+	if o.trailing {
+		panic("graphutil: OffsetUF.Clone during active trail")
+	}
 	return &OffsetUF{
-		parent: append([]int(nil), o.parent...),
-		rank:   append([]int(nil), o.rank...),
-		off:    append([]int(nil), o.off...),
+		parent:  append([]int(nil), o.parent...),
+		rank:    append([]int(nil), o.rank...),
+		off:     append([]int(nil), o.off...),
+		version: o.version,
 	}
 }
 

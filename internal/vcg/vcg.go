@@ -31,6 +31,11 @@ var ErrContradiction = errors.New("vcg: contradiction")
 
 // Graph is a virtual cluster graph. Create one with New; the zero value
 // is not usable.
+//
+// It supports trail-scoped speculation: between TrailMark and
+// TrailUndo/TrailStop every mutation (fusion, incompatibility edge,
+// node addition) is recorded so it can be reverted in O(changes)
+// instead of requiring a Clone.
 type Graph struct {
 	uf  *graphutil.UnionFind
 	inc []map[int]bool // incompatibility adjacency, valid for representatives
@@ -38,13 +43,49 @@ type Graph struct {
 	// −1 when the graph has no anchors.
 	anchorBase int
 	numAnchors int
+	trailing   bool
+	ops        []vop
+
+	// version stamps the graph content: bumped by every mutation that
+	// can change the partition or the incompatibility sets, including
+	// trail undos (monotonic — an undo is a change, never a rewind).
+	// It keys the CliqueExceeds memo: the clique bound is a pure
+	// function of the content, so an unchanged version means the
+	// previous answer still holds. Propagation re-checks the clique
+	// veto after every rule pass while most passes never touch the
+	// VCG, which made the recomputation the hottest path in probing.
+	version    uint64
+	memoK      int
+	memoVer    uint64 // 0 = no memo (versions start at 1)
+	memoClique bool
+}
+
+// vop is one reversible incompatibility-adjacency mutation. Union
+// mutations live in the embedded UnionFind's own log; the two logs are
+// independent (they touch disjoint structures), so undo order between
+// them does not matter.
+type vop struct {
+	kind uint8
+	x, y int
+}
+
+const (
+	vopEdgeAdd uint8 = iota // edge (x,y) inserted; undo deletes both directions
+	vopEdgeDel              // edge (x,y) removed by Fuse; undo re-adds both directions
+	vopNodeAdd              // node appended; undo truncates inc
+)
+
+// Mark is a checkpoint in the graph's trail, from TrailMark.
+type Mark struct {
+	uf  int
+	ops int
 }
 
 // New creates a VCG over n instruction nodes (ids 0..n−1), each in its
 // own VC. If anchors > 0, that many anchor nodes are appended (ids
 // n..n+anchors−1) and made pairwise incompatible.
 func New(n, anchors int) *Graph {
-	g := &Graph{uf: graphutil.NewUnionFind(n), inc: make([]map[int]bool, n), anchorBase: -1}
+	g := &Graph{uf: graphutil.NewUnionFind(n), inc: make([]map[int]bool, n), anchorBase: -1, version: 1}
 	if anchors > 0 {
 		g.anchorBase = n
 		g.numAnchors = anchors
@@ -65,6 +106,10 @@ func New(n, anchors int) *Graph {
 func (g *Graph) addNode() int {
 	id := g.uf.Add()
 	g.inc = append(g.inc, nil)
+	g.version++
+	if g.trailing {
+		g.ops = append(g.ops, vop{kind: vopNodeAdd})
+	}
 	return id
 }
 
@@ -134,9 +179,13 @@ func (g *Graph) Fuse(a, b int) error {
 		return errContra("fuse of incompatible VCs")
 	}
 	r := g.uf.Union(ra, rb)
+	g.version++
 	other := ra + rb - r
 	for x := range g.inc[other] {
 		delete(g.inc[x], other)
+		if g.trailing {
+			g.ops = append(g.ops, vop{kind: vopEdgeDel, x: x, y: other})
+		}
 		g.setEdge(x, r)
 	}
 	g.inc[other] = nil
@@ -156,7 +205,7 @@ func (g *Graph) SetIncompatible(a, b int) error {
 }
 
 func (g *Graph) setEdge(x, y int) {
-	if x == y {
+	if x == y || g.inc[x][y] {
 		return
 	}
 	if g.inc[x] == nil {
@@ -167,6 +216,55 @@ func (g *Graph) setEdge(x, y int) {
 	}
 	g.inc[x][y] = true
 	g.inc[y][x] = true
+	g.version++
+	if g.trailing {
+		g.ops = append(g.ops, vop{kind: vopEdgeAdd, x: x, y: y})
+	}
+}
+
+// TrailMark enables trailing (if not already active) and returns a
+// checkpoint that TrailUndo can revert to.
+func (g *Graph) TrailMark() Mark {
+	g.trailing = true
+	return Mark{uf: g.uf.TrailMark(), ops: len(g.ops)}
+}
+
+// TrailUndo reverts every mutation recorded after m, restoring the
+// graph observed at TrailMark time. A map left empty (rather than nil)
+// by undo is indistinguishable from nil to every accessor.
+func (g *Graph) TrailUndo(m Mark) {
+	if len(g.ops) > m.ops || g.uf.TrailLen() > m.uf {
+		g.version++
+	}
+	for i := len(g.ops) - 1; i >= m.ops; i-- {
+		op := g.ops[i]
+		switch op.kind {
+		case vopEdgeAdd:
+			delete(g.inc[op.x], op.y)
+			delete(g.inc[op.y], op.x)
+		case vopEdgeDel:
+			if g.inc[op.x] == nil {
+				g.inc[op.x] = make(map[int]bool)
+			}
+			if g.inc[op.y] == nil {
+				g.inc[op.y] = make(map[int]bool)
+			}
+			g.inc[op.x][op.y] = true
+			g.inc[op.y][op.x] = true
+		case vopNodeAdd:
+			g.inc = g.inc[:len(g.inc)-1]
+		}
+	}
+	g.ops = g.ops[:m.ops]
+	g.uf.TrailUndo(m.uf)
+}
+
+// TrailStop ends trailing: both op logs are discarded (keeping backing
+// arrays for reuse) and union-find path compression resumes.
+func (g *Graph) TrailStop() {
+	g.trailing = false
+	g.ops = g.ops[:0]
+	g.uf.TrailStop()
 }
 
 func errContra(msg string) error {
@@ -195,8 +293,8 @@ func (g *Graph) PinnedPC(a int) (int, bool) {
 
 // VCs returns the current VC representatives, sorted.
 func (g *Graph) VCs() []int {
-	seen := make(map[int]bool)
-	var reps []int
+	seen := make([]bool, g.uf.Len())
+	reps := make([]int, 0, g.uf.Len())
 	for i := 0; i < g.uf.Len(); i++ {
 		r := g.uf.Find(i)
 		if !seen[r] {
@@ -242,7 +340,7 @@ func (g *Graph) IncompatibleVCs(a int) []int {
 // index → representative.
 func (g *Graph) ColoringGraph() (*coloring.Graph, []int) {
 	reps := g.VCs()
-	idx := make(map[int]int, len(reps))
+	idx := make([]int, g.uf.Len())
 	for i, r := range reps {
 		idx[r] = i
 	}
@@ -266,18 +364,35 @@ func (g *Graph) Mappable(k int) bool {
 
 // CliqueExceeds reports whether a clique of more than k VCs exists (by
 // the greedy lower bound), which proves no k-cluster mapping exists.
+// The answer is memoized against the graph's content version: repeated
+// checks with no intervening mutation (the common case — the deduction
+// process re-checks after every rule pass) are O(1).
 func (g *Graph) CliqueExceeds(k int) bool {
+	if g.memoVer == g.version && g.memoK == k {
+		return g.memoClique
+	}
 	cg, _ := g.ColoringGraph()
-	return cg.MaxCliqueLB() > k
+	r := cg.MaxCliqueLB() > k
+	g.memoVer, g.memoK, g.memoClique = g.version, k, r
+	return r
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. It must not be called while a
+// trail is active: the copy would carry none of the original's undo
+// obligations.
 func (g *Graph) Clone() *Graph {
+	if g.trailing {
+		panic("vcg: Clone during active trail")
+	}
 	cp := &Graph{
 		uf:         g.uf.Clone(),
 		inc:        make([]map[int]bool, len(g.inc)),
 		anchorBase: g.anchorBase,
 		numAnchors: g.numAnchors,
+		version:    g.version,
+		memoK:      g.memoK,
+		memoVer:    g.memoVer,
+		memoClique: g.memoClique,
 	}
 	for i, m := range g.inc {
 		if m == nil {
