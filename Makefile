@@ -1,14 +1,21 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-short bench-figures fuzz-smoke faults
+# VERSION stamps every binary under cmd/ (and the JSON documents
+# benchjson emits) via -ldflags; override on the command line to cut a
+# tagged build: `make build VERSION=v0.5.0`.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+GO_LDFLAGS := -ldflags '-X vcsched/internal/version.Version=$(VERSION)'
+
+.PHONY: check build vet test race bench bench-short bench-figures fuzz-smoke faults service-smoke
 
 # check is the tier-1 gate (see ROADMAP.md): vet, build, the full test
-# suite under the race detector, and the fault-injection suite.
-# Everything must be green before a change lands.
-check: vet build race faults
+# suite under the race detector, the fault-injection suite, and the
+# scheduling-service smoke run. Everything must be green before a
+# change lands.
+check: vet build race faults service-smoke
 
 build:
-	$(GO) build ./...
+	$(GO) build $(GO_LDFLAGS) ./...
 
 vet:
 	$(GO) vet ./...
@@ -25,12 +32,12 @@ race:
 # bench-short is the single-run CI form (record-only, no gate).
 bench:
 	$(GO) test -bench='BenchmarkShave|BenchmarkProbeCommit|BenchmarkScheduleBlock' \
-		-benchmem -count=5 -run '^$$' ./internal/deduce | $(GO) run ./cmd/benchjson > BENCH_deduce.json
+		-benchmem -count=5 -run '^$$' ./internal/deduce | $(GO) run $(GO_LDFLAGS) ./cmd/benchjson > BENCH_deduce.json
 	cat BENCH_deduce.json
 
 bench-short:
 	$(GO) test -bench='BenchmarkShave|BenchmarkProbeCommit|BenchmarkScheduleBlock' \
-		-benchmem -count=1 -run '^$$' ./internal/deduce | $(GO) run ./cmd/benchjson > BENCH_deduce.json
+		-benchmem -count=1 -run '^$$' ./internal/deduce | $(GO) run $(GO_LDFLAGS) ./cmd/benchjson > BENCH_deduce.json
 	cat BENCH_deduce.json
 
 # bench-figures runs the paper-figure reproduction benchmarks at the
@@ -49,6 +56,14 @@ faults:
 		./internal/core ./internal/difftest ./internal/bench
 	VCSCHED_FAULTS='core.stage=panic:0:5,deduce.shave=contra:0:4' \
 		$(GO) run ./cmd/vcsched -example -resilient -report -print=false
+
+# service-smoke drives the scheduling service end to end: build
+# vcschedd and vcload under the race detector, start the daemon on an
+# ephemeral port, replay the checked-in reproducer corpus (plus
+# generated blocks) through vcload, and require zero hard failures and
+# a clean SIGTERM drain.
+service-smoke:
+	VERSION=$(VERSION) GO=$(GO) ./scripts/service_smoke.sh
 
 # fuzz-smoke is the short-budget fuzzing gate: a small differential
 # campaign (internal/difftest via cmd/vcfuzz) plus 10 seconds of each

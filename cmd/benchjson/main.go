@@ -10,11 +10,14 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+
+	"vcsched/internal/version"
 )
 
 // result is one aggregated benchmark.
@@ -35,6 +38,13 @@ type acc struct {
 }
 
 func main() {
+	showVersion := flag.Bool("version", false, "print the version and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println("benchjson", version.String())
+		return
+	}
+
 	accs := map[string]*acc{}
 	var order []string
 	sc := bufio.NewScanner(os.Stdin)
@@ -64,9 +74,12 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The version stamp ties a BENCH_*.json document to the build that
+	// produced it (the Makefile stamps it via -ldflags).
 	out := struct {
+		Version    string   `json:"version"`
 		Benchmarks []result `json:"benchmarks"`
-	}{}
+	}{Version: version.String()}
 	sort.Strings(order)
 	for _, name := range order {
 		a := accs[name]

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"vcsched/internal/bench"
+	"vcsched/internal/version"
 )
 
 func main() {
@@ -28,7 +29,12 @@ func main() {
 	t2 := flag.Duration("t2", 1*time.Second, "scaled '1 minute' threshold")
 	t3 := flag.Duration("t3", 3*time.Second, "scaled '4 minute' threshold")
 	verbose := flag.Bool("v", false, "progress output")
+	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("experiments", version.String())
+		return
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {

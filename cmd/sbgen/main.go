@@ -13,6 +13,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"vcsched/internal/version"
 	"vcsched/internal/workload"
 )
 
@@ -21,7 +22,12 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "corpus scale factor")
 	input := flag.Int("input", 0, "profile input (0 = ref, 1 = alternative)")
 	appName := flag.String("app", "", "generate only this benchmark")
+	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("sbgen", version.String())
+		return
+	}
 
 	profiles := workload.Benchmarks()
 	if *appName != "" {

@@ -25,6 +25,7 @@ import (
 
 	"vcsched/internal/difftest"
 	"vcsched/internal/machine"
+	"vcsched/internal/version"
 )
 
 func main() {
@@ -40,7 +41,12 @@ func main() {
 	maxViol := flag.Int("maxviolations", 0, "stop after this many violating blocks (0 = run the full budget)")
 	replay := flag.String("replay", "", "replay one reproducer file instead of fuzzing")
 	verbose := flag.Bool("v", false, "log every violation and progress line")
+	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("vcfuzz", version.String())
+		return
+	}
 
 	if *replay != "" {
 		os.Exit(replayFile(*replay))

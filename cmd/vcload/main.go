@@ -1,0 +1,315 @@
+// Command vcload is the load generator for the vcschedd daemon: it
+// replays a corpus of .sb files (and/or generated superblocks) against
+// POST /v1/schedule at a target request rate, re-submitting a
+// configurable fraction of duplicates to exercise the result cache and
+// singleflight coalescing, and reports latency percentiles, cache hit
+// rate, shed rate and the error-taxonomy histogram.
+//
+//	go run ./cmd/vcload -addr 127.0.0.1:8457 \
+//	    -corpus internal/difftest/testdata/repros -gen 20 -n 200 -dup 0.5
+//
+// vcload exits non-zero when any request hard-failed (or could not be
+// delivered), so harnesses can use it as a pass/fail smoke check.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"vcsched/internal/difftest"
+	"vcsched/internal/service"
+	"vcsched/internal/version"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8457", "vcschedd address (host:port)")
+	corpus := flag.String("corpus", "", "directory of .sb files to replay (each file is one source)")
+	gen := flag.Int("gen", 0, "additionally generate this many superblocks (difftest generator)")
+	genSeed := flag.Int64("gen-seed", 7, "generator seed")
+	maxInstrs := flag.Int("maxinstrs", 24, "generator size cap")
+	machineKey := flag.String("machine", "", "machine key to request (\"\" = daemon default)")
+	pinSeed := flag.Int64("seed", 0, "pin seed to request (0 = daemon default)")
+	steps := flag.Int("steps", 0, "deduction step budget to request (0 = daemon default)")
+	n := flag.Int("n", 100, "total requests to send")
+	rps := flag.Float64("rps", 0, "target request rate (0 = as fast as the -c workers go)")
+	dup := flag.Float64("dup", 0.5, "fraction of requests that re-submit an earlier source")
+	deadline := flag.Duration("deadline", 0, "per-request deadline to ask for (0 = daemon default)")
+	conc := flag.Int("c", 4, "in-flight request concurrency")
+	verbose := flag.Bool("v", false, "log every response")
+	showVersion := flag.Bool("version", false, "print the version and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println("vcload", version.String())
+		return
+	}
+
+	sources, err := loadSources(*corpus, *gen, *genSeed, *maxInstrs)
+	if err != nil {
+		fatal(err)
+	}
+	if len(sources) == 0 {
+		fatal(fmt.Errorf("no load: give -corpus and/or -gen"))
+	}
+	if *n < 1 {
+		fatal(fmt.Errorf("-n must be at least 1"))
+	}
+	if *conc < 1 {
+		*conc = 1
+	}
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 5 * time.Minute}
+	if err := waitHealthy(client, base, 10*time.Second); err != nil {
+		fatal(err)
+	}
+
+	// The dispatcher picks each request's source up front (so the
+	// duplicate pattern is deterministic for a given seed) and paces to
+	// the target rate; -c workers deliver.
+	rng := rand.New(rand.NewSource(*genSeed))
+	jobs := make(chan string)
+	go func() {
+		defer close(jobs)
+		var tick *time.Ticker
+		if *rps > 0 {
+			tick = time.NewTicker(time.Duration(float64(time.Second) / *rps))
+			defer tick.Stop()
+		}
+		for i := 0; i < *n; i++ {
+			var src string
+			if i > 0 && rng.Float64() < *dup {
+				src = sources[rng.Intn(min(i, len(sources)))]
+			} else {
+				src = sources[i%len(sources)]
+			}
+			if tick != nil {
+				<-tick.C
+			}
+			jobs <- src
+		}
+	}()
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		agg       tally
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for src := range jobs {
+				start := time.Now()
+				resp, err := post(client, base, service.WireRequest{
+					Blocks:    []string{src},
+					Machine:   *machineKey,
+					PinSeed:   *pinSeed,
+					MaxSteps:  *steps,
+					TimeoutMS: deadlineMS(*deadline),
+				})
+				lat := time.Since(start)
+				mu.Lock()
+				latencies = append(latencies, lat)
+				agg.add(resp, err, *verbose, lat)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	report(os.Stdout, latencies, &agg)
+	if agg.transport > 0 || agg.hardFailures > 0 {
+		fmt.Fprintf(os.Stderr, "vcload: %d hard failures, %d transport errors (taxonomy: %s)\n",
+			agg.hardFailures, agg.transport, strings.Join(agg.taxonomyNames(), ", "))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vcload:", err)
+	os.Exit(1)
+}
+
+// loadSources collects the request pool: every *.sb file under dir
+// (sorted, so runs are reproducible) plus gen generated blocks.
+func loadSources(dir string, gen int, seed int64, maxInstrs int) ([]string, error) {
+	var sources []string
+	if dir != "" {
+		paths, err := filepath.Glob(filepath.Join(dir, "*.sb"))
+		if err != nil {
+			return nil, err
+		}
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("no .sb files in %s", dir)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				return nil, err
+			}
+			sources = append(sources, string(b))
+		}
+	}
+	g := difftest.NewGen(seed, maxInstrs)
+	for i := 0; i < gen; i++ {
+		sources = append(sources, g.Next().String())
+	}
+	return sources, nil
+}
+
+// waitHealthy polls /v1/healthz so vcload can be started alongside the
+// daemon without an external readiness dance.
+func waitHealthy(client *http.Client, base string, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	for {
+		resp, err := client.Get(base + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err == nil {
+				return fmt.Errorf("daemon at %s not healthy within %v", base, within)
+			}
+			return fmt.Errorf("daemon at %s not reachable within %v: %w", base, within, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func post(client *http.Client, base string, wreq service.WireRequest) (*service.WireResponse, error) {
+	body, err := json.Marshal(wreq)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := client.Post(base+"/v1/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	// 422 still carries a well-formed response body (the all-hard-failed
+	// verdict); other non-2xx statuses are transport-level failures.
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
+		return nil, fmt.Errorf("status %s", resp.Status)
+	}
+	var wresp service.WireResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wresp); err != nil {
+		return nil, err
+	}
+	return &wresp, nil
+}
+
+func deadlineMS(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return int64(d / time.Millisecond)
+}
+
+// tally accumulates per-response counters.
+type tally struct {
+	requests     int
+	blocks       int
+	ok           int
+	cacheHits    int
+	coalesced    int
+	shed         int
+	hardFailures int
+	transport    int
+	taxonomy     map[string]int
+}
+
+func (t *tally) add(resp *service.WireResponse, err error, verbose bool, lat time.Duration) {
+	t.requests++
+	if err != nil {
+		t.transport++
+		fmt.Fprintln(os.Stderr, "vcload:", err)
+		return
+	}
+	for _, r := range resp.Results {
+		t.blocks++
+		if t.taxonomy == nil {
+			t.taxonomy = map[string]int{}
+		}
+		t.taxonomy[r.Taxonomy]++
+		switch {
+		case r.HardFailure:
+			t.hardFailures++
+		case r.Shed:
+			t.shed++
+		case r.Error == "":
+			t.ok++
+		}
+		if r.CacheHit {
+			t.cacheHits++
+		}
+		if r.Coalesced {
+			t.coalesced++
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "%-24s %8.2fms tier=%-8s taxonomy=%-12s hit=%t coalesced=%t shed=%t\n",
+				r.Block, float64(lat)/float64(time.Millisecond), r.Tier, r.Taxonomy, r.CacheHit, r.Coalesced, r.Shed)
+		}
+	}
+}
+
+func (t *tally) taxonomyNames() []string {
+	var names []string
+	for name, n := range t.taxonomy {
+		if n > 0 && name != "ok" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		names = append(names, "none")
+	}
+	return names
+}
+
+func report(w *os.File, latencies []time.Duration, t *tally) {
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		if len(latencies) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(latencies)-1))
+		return latencies[i]
+	}
+	rate := func(n int) float64 {
+		if t.blocks == 0 {
+			return 0
+		}
+		return 100 * float64(n) / float64(t.blocks)
+	}
+	fmt.Fprintf(w, "vcload %s: %d requests, %d blocks\n", version.String(), t.requests, t.blocks)
+	fmt.Fprintf(w, "  ok %d (%.1f%%)  hard-failures %d  shed %d (%.1f%%)  transport-errors %d\n",
+		t.ok, rate(t.ok), t.hardFailures, t.shed, rate(t.shed), t.transport)
+	fmt.Fprintf(w, "  cache-hits %d (%.1f%%)  coalesced %d (%.1f%%)\n",
+		t.cacheHits, rate(t.cacheHits), t.coalesced, rate(t.coalesced))
+	fmt.Fprintf(w, "  latency p50 %v  p90 %v  p99 %v  max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	var names []string
+	for name := range t.taxonomy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "  taxonomy %-14s %d\n", name, t.taxonomy[name])
+	}
+}

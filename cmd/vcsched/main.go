@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"vcsched/internal/cars"
@@ -22,6 +24,7 @@ import (
 	"vcsched/internal/resilient"
 	"vcsched/internal/sched"
 	"vcsched/internal/sg"
+	"vcsched/internal/version"
 	"vcsched/internal/workload"
 )
 
@@ -37,7 +40,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "live-in/live-out pin seed")
 	resil := flag.Bool("resilient", false, "run the VC side through the degradation ladder (SG → retry → CARS → naive); every block ends with a valid schedule")
 	report := flag.Bool("report", false, "with -resilient, print the per-block outcome record (tier, retries, error chain per attempt)")
+	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println("vcsched", version.String())
+		return
+	}
 
 	m, err := pickMachine(*machName)
 	if err != nil {
@@ -89,30 +97,89 @@ func main() {
 		saveTo = f
 	}
 
+	var b batch
 	for _, sb := range blocks {
 		pins := workload.PinsFor(sb, m.Clusters, *seed)
 		fmt.Printf("== %s (%d instructions) on %s\n", sb.Name, sb.N(), m)
+		var outcomes []error
 		if *algo == "vc" || *algo == "both" {
+			var err error
 			if *resil {
-				runResilient(sb, m, pins, *timeout, *parallel, *showSched, *report, saveTo)
+				err = runResilient(sb, m, pins, *timeout, *parallel, *showSched, *report, saveTo)
 			} else {
-				runVC(sb, m, pins, *timeout, *parallel, *showSched, saveTo)
+				err = runVC(sb, m, pins, *timeout, *parallel, *showSched, saveTo)
 			}
+			outcomes = append(outcomes, err)
 		}
 		if *algo == "cars" || *algo == "both" {
-			runCARS(sb, m, pins, *showSched)
+			outcomes = append(outcomes, runCARS(sb, m, pins, *showSched))
 		}
+		b.record(outcomes)
+	}
+	if allHard, taxonomies := b.verdict(); allHard {
+		fmt.Fprintf(os.Stderr, "vcsched: every block hard-failed (%d of %d; taxonomy: %s)\n",
+			b.hard, b.blocks, strings.Join(taxonomies, ", "))
+		os.Exit(1)
 	}
 }
 
-func runVC(sb *ir.Superblock, m *machine.Config, pins sched.Pins, timeout time.Duration, parallel int, show bool, saveTo io.Writer) {
+// batch tracks per-block outcomes across the run so the process can
+// report a batch verdict: a block hard-fails when no selected scheduler
+// produced a schedule for it, and when every block hard-fails the
+// process exits non-zero naming the error-taxonomy classes seen (the
+// CLI analogue of vcschedd answering 422).
+type batch struct {
+	blocks   int
+	hard     int
+	failures int
+	taxonomy map[string]bool
+}
+
+// record notes one block's per-scheduler outcomes, one entry per
+// scheduler run (nil = it produced a schedule). The block hard-fails
+// only when at least one scheduler ran and every one errored.
+func (b *batch) record(outcomes []error) {
+	b.blocks++
+	failed := 0
+	for _, err := range outcomes {
+		if err != nil {
+			failed++
+		}
+	}
+	b.failures += failed
+	if len(outcomes) == 0 || failed < len(outcomes) {
+		return
+	}
+	b.hard++
+	if b.taxonomy == nil {
+		b.taxonomy = map[string]bool{}
+	}
+	for _, err := range outcomes {
+		b.taxonomy[resilient.Taxonomy(err)] = true
+	}
+}
+
+// verdict reports whether every block in the batch hard-failed, with
+// the sorted distinct taxonomy classes of the failures.
+func (b *batch) verdict() (allHard bool, taxonomies []string) {
+	if b.blocks == 0 || b.hard < b.blocks {
+		return false, nil
+	}
+	for name := range b.taxonomy {
+		taxonomies = append(taxonomies, name)
+	}
+	sort.Strings(taxonomies)
+	return true, taxonomies
+}
+
+func runVC(sb *ir.Superblock, m *machine.Config, pins sched.Pins, timeout time.Duration, parallel int, show bool, saveTo io.Writer) error {
 	start := time.Now()
 	s, stats, err := core.Schedule(sb, m, core.Options{Pins: pins, Timeout: timeout, Parallelism: parallel})
 	el := time.Since(start).Round(time.Microsecond)
 	if err != nil {
 		fmt.Printf("  VC:   failed after %v: %v (%d attempts, %d cancelled)\n",
 			el, err, stats.AttemptsLaunched, stats.AttemptsCancelled)
-		return
+		return err
 	}
 	fmt.Printf("  VC:   AWCT %.3f (lower bound %.3f, %d AWCT values tried, %d comms, %v)\n",
 		s.AWCT(), stats.MinAWCT, stats.AWCTTried, s.NumComms(), el)
@@ -129,15 +196,16 @@ func runVC(sb *ir.Superblock, m *machine.Config, pins sched.Pins, timeout time.D
 			fatal(err)
 		}
 	}
+	return nil
 }
 
-func runResilient(sb *ir.Superblock, m *machine.Config, pins sched.Pins, timeout time.Duration, parallel int, show, report bool, saveTo io.Writer) {
+func runResilient(sb *ir.Superblock, m *machine.Config, pins sched.Pins, timeout time.Duration, parallel int, show, report bool, saveTo io.Writer) error {
 	s, out, err := resilient.Schedule(sb, m, resilient.Options{
 		Core: core.Options{Pins: pins, Timeout: timeout, Parallelism: parallel},
 	})
 	if err != nil {
 		fmt.Printf("  VC:   every tier failed after %v: %v\n", out.Elapsed.Round(time.Microsecond), err)
-		return
+		return err
 	}
 	fmt.Printf("  VC:   AWCT %.3f via tier %s (%d comms, %v)\n",
 		out.AWCT, out.Tier, s.NumComms(), out.Elapsed.Round(time.Microsecond))
@@ -152,20 +220,22 @@ func runResilient(sb *ir.Superblock, m *machine.Config, pins sched.Pins, timeout
 			fatal(err)
 		}
 	}
+	return nil
 }
 
-func runCARS(sb *ir.Superblock, m *machine.Config, pins sched.Pins, show bool) {
+func runCARS(sb *ir.Superblock, m *machine.Config, pins sched.Pins, show bool) error {
 	start := time.Now()
 	s, err := cars.Schedule(sb, m, pins)
 	el := time.Since(start).Round(time.Microsecond)
 	if err != nil {
 		fmt.Printf("  CARS: failed: %v\n", err)
-		return
+		return err
 	}
 	fmt.Printf("  CARS: AWCT %.3f (%d comms, %v)\n", s.AWCT(), s.NumComms(), el)
 	if show {
 		indent(os.Stdout, s.Format())
 	}
+	return nil
 }
 
 func pickMachine(name string) (*machine.Config, error) {

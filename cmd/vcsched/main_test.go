@@ -1,0 +1,65 @@
+package main
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"vcsched/internal/core"
+)
+
+func TestBatchVerdict(t *testing.T) {
+	timeout := core.ErrTimeout
+	exhausted := core.ErrExhausted
+
+	cases := []struct {
+		name     string
+		outcomes [][]error
+		allHard  bool
+		taxonomy []string
+	}{
+		{
+			name:     "all scheduled",
+			outcomes: [][]error{{nil}, {nil, nil}},
+		},
+		{
+			name:     "one scheduler survives the block",
+			outcomes: [][]error{{timeout, nil}},
+		},
+		{
+			name:     "some blocks survive",
+			outcomes: [][]error{{timeout}, {nil}},
+		},
+		{
+			name:     "every block hard-fails",
+			outcomes: [][]error{{timeout}, {exhausted, timeout}},
+			allHard:  true,
+			taxonomy: []string{"exhausted", "timeout"},
+		},
+		{
+			name:     "wrapped errors classify",
+			outcomes: [][]error{{errors.Join(errors.New("tier sg"), timeout)}},
+			allHard:  true,
+			taxonomy: []string{"timeout"},
+		},
+		{
+			name:     "no blocks is not a hard failure",
+			outcomes: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var b batch
+			for _, o := range tc.outcomes {
+				b.record(o)
+			}
+			allHard, taxonomy := b.verdict()
+			if allHard != tc.allHard {
+				t.Fatalf("allHard = %t, want %t", allHard, tc.allHard)
+			}
+			if !reflect.DeepEqual(taxonomy, tc.taxonomy) {
+				t.Fatalf("taxonomy = %v, want %v", taxonomy, tc.taxonomy)
+			}
+		})
+	}
+}

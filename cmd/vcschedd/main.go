@@ -1,0 +1,264 @@
+// Command vcschedd is the long-running scheduling daemon: an HTTP/JSON
+// front end over internal/service. It amortizes the SG/DP search
+// across traffic with a content-addressed result cache, coalesces
+// concurrent duplicate submissions, sheds load when the bounded
+// admission queue fills, and drains gracefully on SIGTERM.
+//
+//	go run ./cmd/vcschedd -addr 127.0.0.1:8457
+//
+// API:
+//
+//	POST /v1/schedule   schedule one or more .sb sources (see
+//	                    service.WireRequest); answers 200, or 422 when
+//	                    every block in the batch hard-failed (the
+//	                    response names the error-taxonomy classes), or
+//	                    400 on malformed input
+//	GET  /v1/healthz    "ok" (503 "draining" during drain)
+//	GET  /v1/statsz     counter snapshot, deterministic field order
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"vcsched/internal/core"
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+	"vcsched/internal/resilient"
+	"vcsched/internal/service"
+	"vcsched/internal/version"
+)
+
+// defaults carries the per-request fallbacks requests may omit.
+type defaults struct {
+	machineKey string
+	pinSeed    int64
+	maxSteps   int
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8457", "listen address (port 0 = pick a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for harnesses)")
+	machineKey := flag.String("machine", "2c1l", "default machine for requests that name none")
+	seed := flag.Int64("seed", 1, "default live-in/live-out pin seed")
+	steps := flag.Int("steps", 20000, "default deduction step budget per scheduling attempt (0 = core default)")
+	workers := flag.Int("workers", 0, "worker pool size (0 = from -parallel)")
+	parallel := flag.Int("parallel", 4, "base parallelism the pool is sized from when -workers is 0")
+	queueDepth := flag.Int("queue", 0, "admission queue bound (0 = 4x workers); a full queue sheds")
+	cacheEntries := flag.Int("cache", 0, "result cache entries (0 = 4096, negative = disable)")
+	deadline := flag.Duration("deadline", 5*time.Second, "default per-request deadline")
+	maxDeadline := flag.Duration("max-deadline", 60*time.Second, "cap on requested deadlines")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "how long SIGTERM waits for in-flight work")
+	showVersion := flag.Bool("version", false, "print the version and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println("vcschedd", version.String())
+		return
+	}
+	if _, err := machine.ByKey(*machineKey); err != nil {
+		fatal(err)
+	}
+
+	svc := service.New(service.Config{
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheEntries:    *cacheEntries,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		Ladder:          ladderConfig(*steps, *parallel),
+	})
+	mux := newMux(svc, defaults{machineKey: *machineKey, pinSeed: *seed, maxSteps: *steps})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "vcschedd %s listening on %s\n", version.String(), bound)
+
+	srv := &http.Server{Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "vcschedd: %v: draining\n", s)
+	case err := <-errc:
+		fatal(err)
+	}
+
+	// Drain: stop accepting connections, finish in-flight HTTP
+	// exchanges (Shutdown), then drain the service's queue and worker
+	// pool (Close). The watchdog turns a wedged drain into a non-zero
+	// exit instead of a hang.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "vcschedd: shutdown:", err)
+		}
+		svc.Close()
+	}()
+	select {
+	case <-done:
+		fmt.Fprintln(os.Stderr, "vcschedd: drained")
+	case <-time.After(*drainTimeout + 5*time.Second):
+		fmt.Fprintln(os.Stderr, "vcschedd: drain timed out")
+		os.Exit(1)
+	}
+}
+
+// ladderConfig builds the degradation-ladder template the service's
+// workers run: default tier-2 retries/decay, the given step budget as
+// the base search bound. Parallelism sizes the pool (each search then
+// runs the serial driver — identical results, see internal/service).
+func ladderConfig(steps, parallel int) resilient.Options {
+	return resilient.Options{Core: core.Options{MaxSteps: steps, Parallelism: parallel}}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vcschedd:", err)
+	os.Exit(1)
+}
+
+// newMux builds the daemon's handler; split from main so the HTTP
+// surface is testable with httptest.
+func newMux(svc *service.Service, d defaults) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/schedule", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var wreq service.WireRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
+		if err := dec.Decode(&wreq); err != nil {
+			http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+			return
+		}
+		reqs, err := buildRequests(&wreq, d)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		results := svc.SubmitBatch(reqs)
+		resp := buildResponse(results)
+		status := http.StatusOK
+		if resp.AllHardFailed {
+			// The daemon-side analogue of cmd/vcsched exiting non-zero
+			// when every block in a batch hard-fails: a non-2xx status
+			// plus the taxonomy class names.
+			status = http.StatusUnprocessableEntity
+			fmt.Fprintf(os.Stderr, "vcschedd: batch of %d: every block hard-failed (taxonomy: %s)\n",
+				len(results), strings.Join(resp.Taxonomies, ", "))
+		}
+		writeJSON(w, status, resp)
+	})
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if svc.Stats().Draining {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/v1/statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	return mux
+}
+
+// buildRequests expands a wire request into one service request per
+// superblock across all .sb sources.
+func buildRequests(wreq *service.WireRequest, d defaults) ([]*service.Request, error) {
+	key := wreq.Machine
+	if key == "" {
+		key = d.machineKey
+	}
+	m, err := machine.ByKey(key)
+	if err != nil {
+		return nil, err
+	}
+	seed := wreq.PinSeed
+	if seed == 0 {
+		seed = d.pinSeed
+	}
+	steps := wreq.MaxSteps
+	if steps == 0 {
+		steps = d.maxSteps
+	}
+	var reqs []*service.Request
+	for i, src := range wreq.Blocks {
+		blocks, err := ir.ReadAll(strings.NewReader(src))
+		if err != nil {
+			return nil, fmt.Errorf("blocks[%d]: %w", i, err)
+		}
+		for _, sb := range blocks {
+			req := &service.Request{
+				SB:       sb,
+				Machine:  m,
+				PinSeed:  seed,
+				Deadline: time.Duration(wreq.TimeoutMS) * time.Millisecond,
+				Core:     core.Options{MaxSteps: steps},
+			}
+			if err := req.Validate(); err != nil {
+				return nil, err
+			}
+			reqs = append(reqs, req)
+		}
+	}
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("no superblocks in request")
+	}
+	return reqs, nil
+}
+
+// buildResponse converts results and computes the batch verdict.
+func buildResponse(results []service.Result) service.WireResponse {
+	resp := service.WireResponse{Results: make([]service.WireResult, len(results))}
+	allHard := len(results) > 0
+	tax := map[string]bool{}
+	for i, r := range results {
+		resp.Results[i] = r.ToWire()
+		if r.HardFailure {
+			tax[r.Taxonomy] = true
+		} else {
+			allHard = false
+		}
+	}
+	if allHard {
+		resp.AllHardFailed = true
+		for name := range tax {
+			resp.Taxonomies = append(resp.Taxonomies, name)
+		}
+		sort.Strings(resp.Taxonomies)
+	}
+	return resp
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

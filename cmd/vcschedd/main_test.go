@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"vcsched/internal/core"
+	"vcsched/internal/faultpoint"
+	"vcsched/internal/ir"
+	"vcsched/internal/resilient"
+	"vcsched/internal/service"
+	"vcsched/internal/version"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *service.Service) {
+	t.Helper()
+	svc := service.New(service.Config{
+		Workers:         2,
+		DefaultDeadline: 30 * time.Second,
+		Ladder:          resilient.Options{Core: core.Options{MaxSteps: 20000}},
+	})
+	srv := httptest.NewServer(newMux(svc, defaults{machineKey: "2c1l", pinSeed: 1, maxSteps: 20000}))
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Close()
+	})
+	return srv, svc
+}
+
+func postSchedule(t *testing.T, srv *httptest.Server, wreq service.WireRequest) (int, service.WireResponse) {
+	t.Helper()
+	body, err := json.Marshal(wreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var wresp service.WireResponse
+	if err := json.NewDecoder(resp.Body).Decode(&wresp); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return resp.StatusCode, wresp
+}
+
+func TestScheduleSingleBatchAndCache(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	status, resp := postSchedule(t, srv, service.WireRequest{Blocks: []string{ir.PaperFigure1().String()}})
+	if status != http.StatusOK {
+		t.Fatalf("single: status %d", status)
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("single: %d results", len(resp.Results))
+	}
+	cold := resp.Results[0]
+	if cold.Error != "" || cold.Schedule == "" || cold.Taxonomy != "ok" {
+		t.Fatalf("single: bad result %+v", cold)
+	}
+	if cold.CacheHit {
+		t.Fatal("single: first submission reported a cache hit")
+	}
+
+	// The same block again is a cache hit with byte-identical payload.
+	status, resp = postSchedule(t, srv, service.WireRequest{Blocks: []string{ir.PaperFigure1().String()}})
+	if status != http.StatusOK {
+		t.Fatalf("warm: status %d", status)
+	}
+	warm := resp.Results[0]
+	if !warm.CacheHit {
+		t.Fatal("warm: second submission missed the cache")
+	}
+	if warm.Schedule != cold.Schedule || warm.ExitCycles != cold.ExitCycles || warm.Tier != cold.Tier {
+		t.Fatal("warm: cached response not byte-identical to cold run")
+	}
+
+	// A batch keeps request order; a multi-block source expands.
+	status, resp = postSchedule(t, srv, service.WireRequest{
+		Blocks: []string{ir.Diamond().String(), ir.PaperFigure1().String()},
+	})
+	if status != http.StatusOK {
+		t.Fatalf("batch: status %d", status)
+	}
+	if len(resp.Results) != 2 {
+		t.Fatalf("batch: %d results", len(resp.Results))
+	}
+	if resp.Results[0].Block != ir.Diamond().Name || resp.Results[1].Block != ir.PaperFigure1().Name {
+		t.Fatalf("batch: results out of order: %s, %s", resp.Results[0].Block, resp.Results[1].Block)
+	}
+	if resp.AllHardFailed {
+		t.Fatal("batch: spurious all-hard-failed verdict")
+	}
+}
+
+func TestScheduleAllHardFailedAnswers422(t *testing.T) {
+	faultpoint.Reset()
+	t.Cleanup(faultpoint.Reset)
+	srv, _ := newTestServer(t)
+
+	// Every worker execution panics: the whole batch hard-fails, and the
+	// daemon must say so with a non-2xx status and the taxonomy names.
+	faultpoint.Arm("service.worker", faultpoint.Fault{Kind: faultpoint.KindPanic})
+	status, resp := postSchedule(t, srv, service.WireRequest{
+		Blocks: []string{ir.PaperFigure1().String(), ir.Diamond().String()},
+	})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", status)
+	}
+	if !resp.AllHardFailed {
+		t.Fatal("AllHardFailed not set")
+	}
+	if len(resp.Taxonomies) != 1 || resp.Taxonomies[0] != "panic" {
+		t.Fatalf("taxonomies %v, want [panic]", resp.Taxonomies)
+	}
+	for _, r := range resp.Results {
+		if !r.HardFailure || r.Schedule != "" {
+			t.Fatalf("result not a hard failure: %+v", r)
+		}
+	}
+
+	// One surviving block flips the verdict back to 200.
+	faultpoint.Reset()
+	status, resp = postSchedule(t, srv, service.WireRequest{Blocks: []string{ir.Diamond().String()}})
+	if status != http.StatusOK || resp.AllHardFailed {
+		t.Fatalf("recovery: status %d allHardFailed %t", status, resp.AllHardFailed)
+	}
+}
+
+func TestScheduleRejectsMalformedInput(t *testing.T) {
+	srv, _ := newTestServer(t)
+
+	resp, err := http.Get(srv.URL + "/v1/schedule")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d, want 405", resp.StatusCode)
+	}
+
+	for name, body := range map[string]string{
+		"bad json":     "{",
+		"no blocks":    `{"blocks":[]}`,
+		"bad machine":  `{"blocks":["x"],"machine":"no-such-machine"}`,
+		"malformed sb": `{"blocks":["not a superblock"]}`,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/schedule", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestHealthzFlipsToDrainingOnClose(t *testing.T) {
+	srv, svc := newTestServer(t)
+
+	resp, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+
+	svc.Close()
+	resp, err = http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestStatszDeterministicBytes(t *testing.T) {
+	srv, _ := newTestServer(t)
+	postSchedule(t, srv, service.WireRequest{Blocks: []string{ir.PaperFigure1().String()}})
+
+	get := func() string {
+		resp, err := http.Get(srv.URL + "/v1/statsz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("statsz: status %d", resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	a, b := get(), get()
+	if a != b {
+		t.Fatalf("two statsz snapshots of an idle service differ:\n%s\n%s", a, b)
+	}
+
+	// Field order is struct order, so the snapshot is diffable; the
+	// stamped version leads.
+	var st service.Stats
+	if err := json.Unmarshal([]byte(a), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != version.String() {
+		t.Fatalf("statsz version %q, want %q", st.Version, version.String())
+	}
+	if st.Requests < 1 || st.Scheduled < 1 {
+		t.Fatalf("statsz counters did not move: %+v", st)
+	}
+	order := []string{`"version"`, `"workers"`, `"queue_depth"`, `"requests"`, `"cache_hits"`, `"tier_sg"`}
+	last := -1
+	for _, key := range order {
+		i := strings.Index(a, key)
+		if i <= last {
+			t.Fatalf("statsz field %s out of order in:\n%s", key, a)
+		}
+		last = i
+	}
+}

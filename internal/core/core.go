@@ -107,6 +107,14 @@ type Options struct {
 	Trace func(format string, args ...any)
 }
 
+// Normalized returns the options with every default filled in and
+// every clamp applied — the exact configuration Schedule runs with.
+// Layers that key work off an options vector (the scheduling service
+// fingerprints requests with it) normalize first, so a request leaving
+// a knob at zero and one spelling out the documented default share one
+// identity. Pins and Trace are passed through untouched.
+func (o Options) Normalized() Options { return o.withDefaults() }
+
 func (o Options) withDefaults() Options {
 	if o.MaxSteps == 0 {
 		o.MaxSteps = 400000 // < 0 stays: unlimited

@@ -144,9 +144,47 @@ func Reset() {
 	armed.Store(false)
 }
 
+// knownPoints lists every fault point compiled into the codebase. The
+// VCSCHED_FAULTS spec grammar only accepts these names: a typo'd point
+// would otherwise arm nothing and silently run the fault suite
+// fault-free. Programmatic Arm stays unrestricted so tests can use
+// scratch points.
+var knownPoints = map[string]bool{
+	"deduce.propagate":   true,
+	"deduce.shave":       true,
+	"core.stage":         true,
+	"core.budget":        true,
+	"coloring.maxclique": true,
+	"coloring.colorable": true,
+	"cars.schedule":      true,
+	"service.admit":      true,
+	"service.worker":     true,
+}
+
+// KnownPoints returns the compiled-in fault point names, sorted (for
+// diagnostics and the error message on an unknown spec point).
+func KnownPoints() []string {
+	out := make([]string, 0, len(knownPoints))
+	for p := range knownPoints {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // ArmSpec parses and arms a comma-separated spec string (see the
-// package comment for the grammar).
+// package comment for the grammar). The spec is validated as a whole
+// before anything is armed — point names must be compiled-in points,
+// the skip/every/n numbers must be non-negative integers, and a point
+// may appear at most once per spec — so a rejected spec leaves the
+// registry untouched.
 func ArmSpec(spec string) error {
+	type armed struct {
+		point string
+		fault Fault
+	}
+	var parsed []armed
+	seen := map[string]bool{}
 	for _, part := range strings.Split(spec, ",") {
 		part = strings.TrimSpace(part)
 		if part == "" {
@@ -156,6 +194,13 @@ func ArmSpec(spec string) error {
 		if !ok || point == "" {
 			return fmt.Errorf("faultpoint: bad spec entry %q (want point=kind[:skip[:every[:n]]])", part)
 		}
+		if !knownPoints[point] {
+			return fmt.Errorf("faultpoint: unknown point %q (known: %s)", point, strings.Join(KnownPoints(), ", "))
+		}
+		if seen[point] {
+			return fmt.Errorf("faultpoint: point %q armed twice in %q", point, spec)
+		}
+		seen[point] = true
 		fields := strings.Split(rhs, ":")
 		k, err := kindOf(fields[0])
 		if err != nil {
@@ -168,12 +213,15 @@ func ArmSpec(spec string) error {
 		}
 		for i, s := range fields[1:] {
 			v, err := strconv.Atoi(s)
-			if err != nil {
-				return fmt.Errorf("faultpoint: bad number %q in %q", s, part)
+			if err != nil || v < 0 {
+				return fmt.Errorf("faultpoint: bad number %q in %q (want a non-negative integer)", s, part)
 			}
 			*nums[i] = v
 		}
-		Arm(point, f)
+		parsed = append(parsed, armed{point, f})
+	}
+	for _, a := range parsed {
+		Arm(a.point, a.fault)
 	}
 	return nil
 }

@@ -1,6 +1,10 @@
 package faultpoint
 
-import "testing"
+import (
+	"sort"
+	"strings"
+	"testing"
+)
 
 func TestDisarmedFireIsFree(t *testing.T) {
 	Reset()
@@ -54,26 +58,78 @@ func TestPanicKindPanicsWithPanicValue(t *testing.T) {
 func TestArmSpec(t *testing.T) {
 	Reset()
 	defer Reset()
-	if err := ArmSpec("a=contra, b=starve:1:2:500 ,c=sleep:0:0:20"); err != nil {
+	if err := ArmSpec("deduce.propagate=contra, core.budget=starve:1:2:500 ,service.worker=sleep:0:0:20"); err != nil {
 		t.Fatal(err)
 	}
 	if got := Points(); len(got) != 3 {
 		t.Fatalf("Points = %v, want 3 entries", got)
 	}
-	f, ok := Fire("c")
+	f, ok := Fire("service.worker")
 	if !ok || f.Kind != KindSleep || f.N != 20 {
-		t.Fatalf("c fired %v %v, want sleep n=20", f, ok)
+		t.Fatalf("service.worker fired %v %v, want sleep n=20", f, ok)
 	}
-	if _, ok := Fire("b"); ok {
-		t.Fatal("b fired on first hit despite skip=1")
+	if _, ok := Fire("core.budget"); ok {
+		t.Fatal("core.budget fired on first hit despite skip=1")
 	}
-	f, ok = Fire("b")
+	f, ok = Fire("core.budget")
 	if !ok || f.Kind != KindStarve || f.N != 500 {
-		t.Fatalf("b second hit fired %v %v, want starve n=500", f, ok)
+		t.Fatalf("core.budget second hit fired %v %v, want starve n=500", f, ok)
 	}
-	for _, bad := range []string{"nokind", "a=frob", "a=contra:x", "a=contra:1:2:3:4"} {
-		if err := ArmSpec(bad); err == nil {
-			t.Fatalf("ArmSpec(%q) accepted", bad)
+}
+
+// TestArmSpecErrors exercises the spec-grammar error cases: unknown
+// points, malformed kinds and numbers, too many fields, and a point
+// armed twice in one spec. Every rejected spec must leave the registry
+// untouched — nothing partially armed.
+func TestArmSpecErrors(t *testing.T) {
+	Reset()
+	defer Reset()
+	bad := []struct {
+		spec, wantSub string
+	}{
+		{"nokind", "bad spec entry"},
+		{"=contra", "bad spec entry"},
+		{"deduce.shave", "bad spec entry"},
+		{"deduce.typo=contra", "unknown point"},
+		{"service.workers=panic", "unknown point"},
+		{"core.stage=frob", "unknown kind"},
+		{"core.stage=contra:x", "bad number"},
+		{"core.stage=contra:-1", "bad number"},
+		{"core.stage=starve:0:0:-5", "bad number"},
+		{"core.stage=contra:1:2:3:4", "too many fields"},
+		{"core.stage=contra,core.stage=panic", "armed twice"},
+		// The first entry is valid; the whole spec must still be
+		// rejected atomically because of the second.
+		{"deduce.propagate=contra,deduce.nope=panic", "unknown point"},
+	}
+	for _, tc := range bad {
+		err := ArmSpec(tc.spec)
+		if err == nil {
+			t.Fatalf("ArmSpec(%q) accepted", tc.spec)
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("ArmSpec(%q) = %v, want mention of %q", tc.spec, err, tc.wantSub)
+		}
+		if Enabled() || len(Points()) != 0 {
+			t.Fatalf("ArmSpec(%q) left points armed: %v", tc.spec, Points())
+		}
+	}
+}
+
+func TestKnownPointsSortedAndComplete(t *testing.T) {
+	pts := KnownPoints()
+	if !sort.StringsAreSorted(pts) {
+		t.Fatalf("KnownPoints not sorted: %v", pts)
+	}
+	for _, want := range []string{"service.admit", "service.worker", "core.stage", "deduce.propagate"} {
+		found := false
+		for _, p := range pts {
+			if p == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("KnownPoints missing %q: %v", want, pts)
 		}
 	}
 }

@@ -1,0 +1,53 @@
+package service
+
+import "container/list"
+
+// lru is a fingerprint-keyed result cache with least-recently-used
+// eviction. It is not safe for concurrent use on its own; the Service
+// guards it with its mutex, which also makes the cache-insert /
+// singleflight-remove handoff atomic.
+type lru struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res Result
+}
+
+func newLRU(capacity int) *lru {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lru) len() int { return c.ll.Len() }
+
+// get returns the cached result and refreshes its recency.
+func (c *lru) get(key string) (Result, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return Result{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+// add inserts (or refreshes) an entry, evicting from the cold end
+// while over capacity.
+func (c *lru) add(key string, res Result) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		cold := c.ll.Back()
+		c.ll.Remove(cold)
+		delete(c.items, cold.Value.(*lruEntry).key)
+	}
+}

@@ -1,0 +1,51 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"vcsched/internal/faultpoint"
+)
+
+// injectAdmitFault consults the "service.admit" fault point on every
+// submission's front half. A contra or starve kind forces the request
+// to shed (overload and forced refusal look the same to the client); a
+// sleep kind stalls this submission (exercising deadline expiry in the
+// queue); a panic kind panics inside Fire and is recovered by admit
+// into a refused request.
+func injectAdmitFault() error {
+	f, ok := faultpoint.Fire("service.admit")
+	if !ok {
+		return nil
+	}
+	switch f.Kind {
+	case faultpoint.KindContra, faultpoint.KindStarve:
+		return fmt.Errorf("injected shed (faultpoint service.admit)")
+	case faultpoint.KindSleep:
+		time.Sleep(time.Duration(f.N) * time.Millisecond)
+	}
+	return nil
+}
+
+// injectWorkerFault consults the "service.worker" fault point as a
+// worker picks a job up. A panic kind panics inside Fire (recovered by
+// Service.run — the worker survives and the request fails); contra and
+// starve become an error result for this execution. Every faulted
+// execution is non-cacheable by construction — the fault describes the
+// execution, not the request's content — so a later retry of the same
+// fingerprint recomputes and returns the correct bytes.
+func injectWorkerFault() error {
+	f, ok := faultpoint.Fire("service.worker")
+	if !ok {
+		return nil
+	}
+	switch f.Kind {
+	case faultpoint.KindContra:
+		return fmt.Errorf("injected worker failure (faultpoint service.worker, contra)")
+	case faultpoint.KindStarve:
+		return fmt.Errorf("injected worker starvation (faultpoint service.worker, starve)")
+	case faultpoint.KindSleep:
+		time.Sleep(time.Duration(f.N) * time.Millisecond)
+	}
+	return nil
+}

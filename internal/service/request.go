@@ -1,0 +1,53 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"vcsched/internal/core"
+	"vcsched/internal/ir"
+	"vcsched/internal/machine"
+)
+
+// Request is one block to schedule. The service derives pins from
+// PinSeed (exactly like cmd/vcsched does), maps Deadline onto the
+// scheduler's wall-clock budget, and forces the per-search knobs it
+// owns (Pins, Timeout, Parallelism, Trace); every other field of Core
+// is the caller's.
+type Request struct {
+	// SB is the superblock to schedule. The service never mutates it;
+	// fingerprinting works on a canonicalized copy.
+	SB *ir.Superblock
+	// Machine is the target. Keyed configurations (machine.ByKey)
+	// fingerprint by key; anonymous ones by their full parameter dump.
+	Machine *machine.Config
+	// PinSeed selects the live-in/live-out pin assignment
+	// (workload.PinsFor), matching cmd/vcsched -seed.
+	PinSeed int64
+	// Deadline is the per-request wall-clock budget, covering queue
+	// wait and scheduling (0 = the service default, capped at the
+	// service maximum). The remaining budget when a worker picks the
+	// request up becomes core.Options.Timeout, which core maps onto
+	// deduce.Budget.SetDeadline.
+	Deadline time.Duration
+	// Core carries the search knobs (MaxSteps, ShaveRounds, …).
+	Core core.Options
+}
+
+// Validate rejects requests the pipeline cannot serve before they
+// consume a queue slot.
+func (r *Request) Validate() error {
+	if r.SB == nil {
+		return fmt.Errorf("service: request has no superblock")
+	}
+	if r.Machine == nil {
+		return fmt.Errorf("service: request has no machine")
+	}
+	if err := r.SB.Validate(); err != nil {
+		return fmt.Errorf("service: invalid superblock %q: %w", r.SB.Name, err)
+	}
+	if err := r.Machine.Validate(); err != nil {
+		return fmt.Errorf("service: invalid machine: %w", err)
+	}
+	return nil
+}

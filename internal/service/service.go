@@ -1,0 +1,501 @@
+// Package service turns the one-shot scheduling stack into a
+// long-running scheduling service: callers submit superblocks and get
+// schedules back, and the service amortizes the expensive SG/DP search
+// across repeated and concurrent traffic the way dynamic cluster
+// schedulers amortize task placement.
+//
+// The request path is a pipeline:
+//
+//	fingerprint → result cache → singleflight → admission → worker → ladder
+//
+//  1. Every request is reduced to a content-addressed fingerprint
+//     (see Fingerprint): a hash of the canonical superblock bytes, the
+//     machine configuration, the pin seed and the normalized options
+//     vector. Two requests with the same fingerprint are guaranteed to
+//     deserve byte-identical responses.
+//  2. The fingerprint indexes an LRU result cache. A hit returns the
+//     cached response — byte-identical to the cold run that produced
+//     it — without touching a worker.
+//  3. Concurrent duplicates are coalesced (singleflight): the first
+//     miss becomes the leader and computes; followers arriving while
+//     the leader is in flight wait for its result instead of queueing
+//     duplicate work.
+//  4. Admission control: leaders enter a bounded queue. When the queue
+//     is full the request is shed immediately with an explicit shed
+//     response — the service degrades by refusing work, never by
+//     growing its queue without bound.
+//  5. A fixed pool of workers (sized from core.Options.Parallelism)
+//     drains the queue. Each worker runs the block through the
+//     internal/resilient degradation ladder, so a poisoned request
+//     degrades per the error taxonomy instead of killing the daemon,
+//     and maps the request's remaining deadline onto core.Options.
+//     Timeout — which core wires into deduce.Budget.SetDeadline, so
+//     the deadline interrupts propagation runs deep inside the DP.
+//
+// Close drains gracefully: new requests are refused with a draining
+// response, queued and in-flight work completes, then the workers
+// exit.
+package service
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"vcsched/internal/core"
+	"vcsched/internal/resilient"
+	"vcsched/internal/sched"
+	"vcsched/internal/version"
+	"vcsched/internal/workload"
+)
+
+// Config sizes the service. The zero value selects sensible defaults.
+type Config struct {
+	// Workers is the worker pool size. 0 derives it from the base
+	// core options' Parallelism (the knob that already expresses "how
+	// many concurrent searches this host should run"); values below 1
+	// are clamped to 1. Inside a worker every search runs the serial
+	// driver — the parallel portfolio commit is bit-identical to the
+	// serial one (see internal/core/portfolio.go), so moving the
+	// parallelism from "workers inside one search" to "searches in
+	// flight" changes throughput, never results.
+	Workers int
+	// QueueDepth bounds the admission queue (0 = 4×Workers; values
+	// below 1 are clamped to 1). A full queue sheds.
+	QueueDepth int
+	// CacheEntries bounds the result cache (0 = default 4096;
+	// negative disables caching).
+	CacheEntries int
+	// DefaultDeadline applies to requests that name no deadline
+	// (0 = 5s).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps requested deadlines (0 = 60s).
+	MaxDeadline time.Duration
+	// Ladder is the degradation-ladder configuration template. Its
+	// Core field is the base options vector; per-request knobs
+	// (MaxSteps, PinSeed, …) override it, and the service forces
+	// Pins/Timeout/Parallelism/Trace per request.
+	Ladder resilient.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = c.Ladder.Core.Normalized().Parallelism
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 4 * c.Workers
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = 1
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 5 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 60 * time.Second
+	}
+	return c
+}
+
+// Result is one block's response. For a cache hit or a coalesced
+// follower the Schedule/ExitCycles/Tier/AWCT fields are byte-for-byte
+// the ones the cold run produced; CacheHit/Coalesced/Shed describe how
+// this particular response was served and are never cached.
+type Result struct {
+	Block       string  // superblock name
+	Fingerprint string  // content address of the request
+	Tier        string  // ladder tier that produced the schedule
+	AWCT        float64 // of the accepted schedule
+	ExitCycles  string  // sched.FormatExitCycles of the schedule
+	Schedule    string  // canonical sched.WriteText serialization
+	Err         string  // non-empty when no schedule was produced
+	Taxonomy    string  // error-taxonomy class; "ok" on success, "shed"/"draining" on refusal
+	HardFailure bool    // every ladder tier failed
+	CacheHit    bool    // served from the result cache
+	Coalesced   bool    // joined an in-flight duplicate's computation
+	Shed        bool    // refused by admission control (or drain)
+}
+
+// OK reports whether the result carries a schedule.
+func (r *Result) OK() bool { return r.Err == "" && !r.Shed }
+
+// Stats is a point-in-time counter snapshot. It marshals with
+// deterministic field ordering (struct order), so two encodings of the
+// same snapshot are byte-identical — /v1/statsz is diffable.
+type Stats struct {
+	Version       string `json:"version"`
+	Workers       int    `json:"workers"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueLen      int    `json:"queue_len"`
+	Draining      bool   `json:"draining"`
+	Requests      int64  `json:"requests"`
+	CacheHits     int64  `json:"cache_hits"`
+	CacheMisses   int64  `json:"cache_misses"`
+	CacheEntries  int    `json:"cache_entries"`
+	Coalesced     int64  `json:"coalesced"`
+	Shed          int64  `json:"shed"`
+	QueueTimeouts int64  `json:"queue_timeouts"`
+	Scheduled     int64  `json:"scheduled"`
+	HardFailures  int64  `json:"hard_failures"`
+	TierSG        int64  `json:"tier_sg"`
+	TierRetry     int64  `json:"tier_sg_retry"`
+	TierCARS      int64  `json:"tier_cars"`
+	TierNaive     int64  `json:"tier_naive"`
+}
+
+// call is one in-flight computation; followers coalesce on it.
+type call struct {
+	done chan struct{}
+	res  Result
+}
+
+// job is one admitted request waiting for (or on) a worker.
+type job struct {
+	req      *Request
+	fp       string
+	deadline time.Time
+	call     *call
+}
+
+// Service is the scheduling service. Create with New, stop with Close.
+type Service struct {
+	cfg     Config
+	queue   chan *job
+	workers sync.WaitGroup
+
+	mu       sync.Mutex
+	cache    *lru // nil when caching is disabled
+	flight   map[string]*call
+	draining bool
+	stats    Stats
+}
+
+// New starts a service: the worker pool is running on return.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:    cfg,
+		queue:  make(chan *job, cfg.QueueDepth),
+		flight: make(map[string]*call),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = newLRU(cfg.CacheEntries)
+	}
+	s.workers.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Stats returns a counter snapshot.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Version = version.String()
+	st.Workers = s.cfg.Workers
+	st.QueueDepth = s.cfg.QueueDepth
+	st.QueueLen = len(s.queue)
+	st.Draining = s.draining
+	if s.cache != nil {
+		st.CacheEntries = s.cache.len()
+	}
+	return st
+}
+
+// Close drains the service: admission stops (new submissions get a
+// draining response), queued and in-flight jobs run to completion, and
+// the workers exit. Close is idempotent; concurrent callers all return
+// after the drain finishes.
+func (s *Service) Close() {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	s.mu.Unlock()
+	if !already {
+		close(s.queue)
+	}
+	s.workers.Wait()
+}
+
+// Submit schedules one block, blocking until a result is available:
+// from the cache, from a coalesced in-flight duplicate, or from a
+// worker. Shed and draining refusals return immediately. Submit is
+// safe for arbitrary concurrent use.
+func (s *Service) Submit(req *Request) Result {
+	res, c, deadline := s.admit(req)
+	if c == nil {
+		return res
+	}
+	// A follower waits at most its own deadline: coalescing must not
+	// silently extend a short-deadline request to its leader's budget.
+	if res.Coalesced {
+		var timer *time.Timer
+		var expired <-chan time.Time
+		if wait := time.Until(deadline); wait > 0 {
+			timer = time.NewTimer(wait)
+			expired = timer.C
+		}
+		select {
+		case <-c.done:
+			if timer != nil {
+				timer.Stop()
+			}
+		case <-expired:
+			s.mu.Lock()
+			s.stats.QueueTimeouts++
+			s.mu.Unlock()
+			return Result{
+				Block:       req.SB.Name,
+				Fingerprint: res.Fingerprint,
+				Err:         "deadline expired waiting for the in-flight duplicate",
+				Taxonomy:    "timeout",
+				Coalesced:   true,
+			}
+		}
+		out := c.res
+		out.CacheHit = false
+		out.Coalesced = true
+		return out
+	}
+	<-c.done
+	return c.res
+}
+
+// SubmitBatch schedules every block concurrently and returns results
+// in request order. Duplicates inside one batch coalesce like any
+// other concurrent duplicates.
+func (s *Service) SubmitBatch(reqs []*Request) []Result {
+	out := make([]Result, len(reqs))
+	var wg sync.WaitGroup
+	wg.Add(len(reqs))
+	for i, r := range reqs {
+		go func(i int, r *Request) {
+			defer wg.Done()
+			out[i] = s.Submit(r)
+		}(i, r)
+	}
+	wg.Wait()
+	return out
+}
+
+// admit runs the front half of the pipeline: fingerprint, cache,
+// singleflight, fault point, bounded queue. It returns either a final
+// result (call == nil: hit, shed, draining, admit failure) or the call
+// to wait on; res.Coalesced distinguishes followers from the leader.
+func (s *Service) admit(req *Request) (res Result, c *call, deadline time.Time) {
+	// An injected service.admit panic (or a real one in the front half)
+	// must refuse one request, not kill the accept loop. The panic can
+	// only strike before the locked section, whose own deferred Unlock
+	// runs first, so re-locking here is safe.
+	defer func() {
+		if r := recover(); r != nil {
+			c = nil
+			res = Result{
+				Block:    req.SB.Name,
+				Err:      fmt.Sprintf("panic during admission: %v", r),
+				Taxonomy: "panic",
+			}
+			s.mu.Lock()
+			s.stats.Requests++
+			s.stats.HardFailures++
+			s.mu.Unlock()
+		}
+	}()
+	fp := Fingerprint(req)
+	deadline = time.Now().Add(s.clampDeadline(req.Deadline))
+
+	// The service.admit fault point fires outside the lock: a sleep
+	// kind must stall this submission, not the whole service.
+	forcedShed := injectAdmitFault()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Requests++
+	if s.draining {
+		s.stats.Shed++
+		return Result{Block: req.SB.Name, Fingerprint: fp, Err: "service draining", Taxonomy: "draining", Shed: true}, nil, deadline
+	}
+	if s.cache != nil {
+		if cached, ok := s.cache.get(fp); ok {
+			s.stats.CacheHits++
+			cached.CacheHit = true
+			return cached, nil, deadline
+		}
+	}
+	if inflight, ok := s.flight[fp]; ok {
+		s.stats.Coalesced++
+		return Result{Fingerprint: fp, Coalesced: true}, inflight, deadline
+	}
+	if forcedShed != nil {
+		s.stats.Shed++
+		return Result{Block: req.SB.Name, Fingerprint: fp, Err: forcedShed.Error(), Taxonomy: "shed", Shed: true}, nil, deadline
+	}
+	leader := &call{done: make(chan struct{})}
+	j := &job{req: req, fp: fp, deadline: deadline, call: leader}
+	select {
+	case s.queue <- j:
+		s.flight[fp] = leader
+		s.stats.CacheMisses++
+		return Result{Fingerprint: fp}, leader, deadline
+	default:
+		s.stats.Shed++
+		return Result{Block: req.SB.Name, Fingerprint: fp, Err: "admission queue full", Taxonomy: "shed", Shed: true}, nil, deadline
+	}
+}
+
+func (s *Service) clampDeadline(d time.Duration) time.Duration {
+	if d <= 0 {
+		d = s.cfg.DefaultDeadline
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return d
+}
+
+func (s *Service) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		res, cacheable := s.run(j)
+		s.finish(j, res, cacheable)
+	}
+}
+
+// finish publishes a job's result: cache (when eligible), close the
+// singleflight entry, bump counters. The flight entry is removed under
+// the same lock that inserts the cache entry, so a submission arriving
+// in between sees the cache hit rather than missing the result.
+func (s *Service) finish(j *job, res Result, cacheable bool) {
+	s.mu.Lock()
+	if cacheable && s.cache != nil {
+		s.cache.add(j.fp, res)
+	}
+	delete(s.flight, j.fp)
+	switch {
+	case res.HardFailure:
+		s.stats.HardFailures++
+	case res.Err != "":
+		if res.Taxonomy == "timeout" {
+			s.stats.QueueTimeouts++
+		}
+	default:
+		s.stats.Scheduled++
+		switch res.Tier {
+		case resilient.TierSG.String():
+			s.stats.TierSG++
+		case resilient.TierRetry.String():
+			s.stats.TierRetry++
+		case resilient.TierCARS.String():
+			s.stats.TierCARS++
+		case resilient.TierNaive.String():
+			s.stats.TierNaive++
+		}
+	}
+	s.mu.Unlock()
+	j.call.res = res
+	close(j.call.done)
+}
+
+// run executes one job on the calling worker: deadline bookkeeping,
+// the service.worker fault point, then the resilient ladder. A panic
+// anywhere — injected or real — is recovered into an error result, so
+// a poisoned request degrades instead of killing the pool.
+//
+// The returned cacheable flag is false for every non-success and for
+// successes whose descent was shaped by the wall clock (any ladder
+// attempt died of core.ErrTimeout): such results depend on load and
+// deadline, not on the request's content, and caching them would break
+// the warm-equals-cold byte-identity guarantee.
+func (s *Service) run(j *job) (res Result, cacheable bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{
+				Block:       j.req.SB.Name,
+				Fingerprint: j.fp,
+				Err:         fmt.Sprintf("panic in worker: %v", r),
+				Taxonomy:    "panic",
+				HardFailure: true,
+			}
+			cacheable = false
+		}
+	}()
+
+	remaining := time.Until(j.deadline)
+	if remaining <= 0 {
+		return Result{
+			Block:       j.req.SB.Name,
+			Fingerprint: j.fp,
+			Err:         "deadline expired in the admission queue",
+			Taxonomy:    "timeout",
+		}, false
+	}
+	if err := injectWorkerFault(); err != nil {
+		return Result{
+			Block:       j.req.SB.Name,
+			Fingerprint: j.fp,
+			Err:         err.Error(),
+			Taxonomy:    "internal",
+		}, false
+	}
+
+	opts := s.cfg.Ladder
+	opts.Core = j.req.Core
+	opts.Core.Pins = workload.PinsFor(j.req.SB, j.req.Machine.Clusters, j.req.PinSeed)
+	opts.Core.Timeout = remaining // → deduce.Budget.SetDeadline inside core
+	opts.Core.Parallelism = 1     // parallelism lives in the pool; results are identical
+	opts.Core.Trace = nil
+
+	schedule, out, err := resilient.Schedule(j.req.SB, j.req.Machine, opts)
+	if err != nil {
+		return Result{
+			Block:       j.req.SB.Name,
+			Fingerprint: j.fp,
+			Tier:        out.Tier.String(),
+			Err:         err.Error(),
+			Taxonomy:    resilient.Taxonomy(err),
+			HardFailure: true,
+		}, false
+	}
+
+	var text strings.Builder
+	if werr := schedule.WriteText(&text); werr != nil {
+		return Result{
+			Block:       j.req.SB.Name,
+			Fingerprint: j.fp,
+			Err:         fmt.Sprintf("serializing schedule: %v", werr),
+			Taxonomy:    "internal",
+			HardFailure: true,
+		}, false
+	}
+	res = Result{
+		Block:       j.req.SB.Name,
+		Fingerprint: j.fp,
+		Tier:        out.Tier.String(),
+		AWCT:        out.AWCT,
+		ExitCycles:  sched.FormatExitCycles(schedule.ExitCycles()),
+		Schedule:    text.String(),
+		Taxonomy:    "ok",
+	}
+	return res, !timeoutShaped(out)
+}
+
+// timeoutShaped reports whether any ladder attempt died of the wall
+// clock. Deterministic demotions (exhaustion, contradictions, panics)
+// replay identically on a cold re-run; a timeout does not.
+func timeoutShaped(out *resilient.Outcome) bool {
+	for _, a := range out.Attempts {
+		if a.Err != "" && strings.Contains(a.Err, core.ErrTimeout.Error()) {
+			return true
+		}
+	}
+	return false
+}

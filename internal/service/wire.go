@@ -1,0 +1,60 @@
+package service
+
+// Wire types for the vcschedd HTTP/JSON API, shared by the daemon and
+// the vcload load generator so the two cannot drift.
+
+// WireRequest is the body of POST /v1/schedule. Blocks holds one or
+// more .sb sources; each source may itself contain several
+// superblocks, and every superblock becomes one scheduling request
+// (so a single-block submission and a batch use the same shape).
+type WireRequest struct {
+	Blocks    []string `json:"blocks"`
+	Machine   string   `json:"machine"`              // machine.ByKey key; "" = daemon default
+	PinSeed   int64    `json:"pin_seed,omitempty"`   // live-in/live-out pin seed
+	TimeoutMS int64    `json:"timeout_ms,omitempty"` // per-block deadline; 0 = daemon default
+	MaxSteps  int      `json:"max_steps,omitempty"`  // deduction step budget; 0 = default
+}
+
+// WireResult mirrors Result field-for-field on the wire.
+type WireResult struct {
+	Block       string  `json:"block"`
+	Fingerprint string  `json:"fingerprint,omitempty"`
+	Tier        string  `json:"tier,omitempty"`
+	AWCT        float64 `json:"awct,omitempty"`
+	ExitCycles  string  `json:"exit_cycles,omitempty"`
+	Schedule    string  `json:"schedule,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	Taxonomy    string  `json:"taxonomy,omitempty"`
+	HardFailure bool    `json:"hard_failure,omitempty"`
+	CacheHit    bool    `json:"cache_hit,omitempty"`
+	Coalesced   bool    `json:"coalesced,omitempty"`
+	Shed        bool    `json:"shed,omitempty"`
+}
+
+// WireResponse is the body of a /v1/schedule response. When every
+// block in the batch hard-failed the daemon sets AllHardFailed, lists
+// the distinct taxonomy classes seen, and answers 422 instead of 200
+// (the daemon-side analogue of cmd/vcsched exiting non-zero).
+type WireResponse struct {
+	Results       []WireResult `json:"results"`
+	AllHardFailed bool         `json:"all_hard_failed,omitempty"`
+	Taxonomies    []string     `json:"taxonomies,omitempty"`
+}
+
+// ToWire converts a Result for transport.
+func (r Result) ToWire() WireResult {
+	return WireResult{
+		Block:       r.Block,
+		Fingerprint: r.Fingerprint,
+		Tier:        r.Tier,
+		AWCT:        r.AWCT,
+		ExitCycles:  r.ExitCycles,
+		Schedule:    r.Schedule,
+		Error:       r.Err,
+		Taxonomy:    r.Taxonomy,
+		HardFailure: r.HardFailure,
+		CacheHit:    r.CacheHit,
+		Coalesced:   r.Coalesced,
+		Shed:        r.Shed,
+	}
+}

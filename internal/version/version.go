@@ -1,0 +1,17 @@
+// Package version carries the build-stamped version string shared by
+// every binary under cmd/. The Makefile stamps it via
+//
+//	-ldflags '-X vcsched/internal/version.Version=<git describe>'
+//
+// so released binaries report the commit they were built from; an
+// unstamped build (plain `go build`, `go run`, `go test`) reports
+// "dev". The string is surfaced by the -version flag of every command,
+// the vcschedd /v1/statsz document, and the BENCH_*.json files written
+// by cmd/benchjson.
+package version
+
+// Version is the stamped build version; overridden at link time.
+var Version = "dev"
+
+// String returns the stamped version.
+func String() string { return Version }
