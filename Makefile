@@ -6,7 +6,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 GO_LDFLAGS := -ldflags '-X vcsched/internal/version.Version=$(VERSION)'
 
-.PHONY: check build vet test race bench bench-short bench-figures fuzz-smoke faults service-smoke
+.PHONY: check build vet test race bench bench-short bench-gate bench-figures fuzz-smoke faults service-smoke
 
 # check is the tier-1 gate (see ROADMAP.md): vet, build, the full test
 # suite under the race detector, the fault-injection suite, and the
@@ -27,18 +27,28 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the deduction-engine microbenchmarks (Shave, single
-# probe, end-to-end block schedule) 5 times and records the averaged
-# numbers in BENCH_deduce.json; EXPERIMENTS.md tracks before/after.
-# bench-short is the single-run CI form (record-only, no gate).
+# probe, end-to-end block schedule) 5 times, records the averaged
+# numbers in BENCH_deduce.json (EXPERIMENTS.md tracks before/after),
+# and gates the result against the checked-in BENCH_baseline.json:
+# allocs/op is deterministic so its band is tight (+10%); ns/op gets a
+# wide band that still catches order-of-magnitude cliffs on noisy
+# shared runners. bench-short is the single-run CI form; same gate.
+# After an intentional improvement, refresh the baseline with
+# `cp BENCH_deduce.json BENCH_baseline.json` and commit it.
 bench:
 	$(GO) test -bench='BenchmarkShave|BenchmarkProbeCommit|BenchmarkScheduleBlock' \
 		-benchmem -count=5 -run '^$$' ./internal/deduce | $(GO) run $(GO_LDFLAGS) ./cmd/benchjson > BENCH_deduce.json
 	cat BENCH_deduce.json
+	$(MAKE) bench-gate
 
 bench-short:
 	$(GO) test -bench='BenchmarkShave|BenchmarkProbeCommit|BenchmarkScheduleBlock' \
 		-benchmem -count=1 -run '^$$' ./internal/deduce | $(GO) run $(GO_LDFLAGS) ./cmd/benchjson > BENCH_deduce.json
 	cat BENCH_deduce.json
+	$(MAKE) bench-gate
+
+bench-gate:
+	$(GO) run $(GO_LDFLAGS) ./cmd/benchgate -baseline BENCH_baseline.json -current BENCH_deduce.json
 
 # bench-figures runs the paper-figure reproduction benchmarks at the
 # repository root (the pre-existing `bench` target).

@@ -1,0 +1,141 @@
+// Command benchgate compares a freshly recorded benchmark document
+// (benchjson output, e.g. BENCH_deduce.json) against a checked-in
+// baseline (BENCH_baseline.json) and exits non-zero when any benchmark
+// regressed beyond its tolerance band.
+//
+// The two metrics have very different noise profiles, so they get
+// separate bands:
+//
+//   - allocs/op is deterministic for this codebase (the allocation
+//     count of a fixed workload does not depend on machine load), so
+//     the default band is tight. A regression here means code started
+//     allocating on the hot path again — exactly what the arena/bitset
+//     state exists to prevent.
+//   - ns/op on shared CI runners is noisy, so its default band is wide;
+//     it only catches order-of-magnitude cliffs, not percent-level
+//     drift. Tighten it locally via -ns-tol for real measurements.
+//
+// A benchmark present in the baseline but missing from the current
+// document fails the gate (lost coverage); one present only in the
+// current document passes with a note (update the baseline to start
+// gating it).
+//
+//	benchgate -baseline BENCH_baseline.json -current BENCH_deduce.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"vcsched/internal/version"
+)
+
+// benchDoc mirrors benchjson's output document.
+type benchDoc struct {
+	Version    string  `json:"version"`
+	Benchmarks []bench `json:"benchmarks"`
+}
+
+type bench struct {
+	Name     string  `json:"name"`
+	Runs     int     `json:"runs"`
+	N        int64   `json:"n"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      float64 `json:"b_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline document")
+	currentPath := flag.String("current", "BENCH_deduce.json", "freshly recorded document")
+	allocsTol := flag.Float64("allocs-tol", 0.10, "allowed fractional allocs/op increase over baseline")
+	nsTol := flag.Float64("ns-tol", 1.50, "allowed fractional ns/op increase over baseline")
+	showVersion := flag.Bool("version", false, "print the version and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println("benchgate", version.String())
+		return
+	}
+
+	baseline, err := readDoc(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	current, err := readDoc(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+
+	violations, notes := gate(baseline, current, *allocsTol, *nsTol)
+	for _, n := range notes {
+		fmt.Println("benchgate:", n)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL:", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d benchmarks within tolerance (allocs +%.0f%%, ns +%.0f%%)\n",
+		len(baseline.Benchmarks), 100**allocsTol, 100**nsTol)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}
+
+func readDoc(path string) (*benchDoc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &doc, nil
+}
+
+// gate compares every baseline benchmark against the current document
+// and returns the tolerance violations plus informational notes.
+func gate(baseline, current *benchDoc, allocsTol, nsTol float64) (violations, notes []string) {
+	cur := make(map[string]bench, len(current.Benchmarks))
+	for _, b := range current.Benchmarks {
+		cur[b.Name] = b
+	}
+	seen := make(map[string]bool, len(baseline.Benchmarks))
+	for _, base := range baseline.Benchmarks {
+		seen[base.Name] = true
+		got, ok := cur[base.Name]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: present in baseline but not in current run (lost coverage)", base.Name))
+			continue
+		}
+		if base.AllocsOp >= 0 && got.AllocsOp >= 0 {
+			if limit := base.AllocsOp * (1 + allocsTol); got.AllocsOp > limit {
+				violations = append(violations,
+					fmt.Sprintf("%s: allocs/op %.1f exceeds baseline %.1f by more than %.0f%% (limit %.1f)",
+						base.Name, got.AllocsOp, base.AllocsOp, 100*allocsTol, limit))
+			}
+		}
+		if limit := base.NsOp * (1 + nsTol); got.NsOp > limit {
+			violations = append(violations,
+				fmt.Sprintf("%s: ns/op %.1f exceeds baseline %.1f by more than %.0f%% (limit %.1f)",
+					base.Name, got.NsOp, base.NsOp, 100*nsTol, limit))
+		}
+	}
+	for _, b := range current.Benchmarks {
+		if !seen[b.Name] {
+			notes = append(notes,
+				fmt.Sprintf("%s: not in baseline, not gated (add it to BENCH_baseline.json)", b.Name))
+		}
+	}
+	return violations, notes
+}

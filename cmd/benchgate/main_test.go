@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func doc(benches ...bench) *benchDoc { return &benchDoc{Benchmarks: benches} }
+
+func TestGateWithinTolerancePasses(t *testing.T) {
+	base := doc(bench{Name: "BenchmarkShave/099.go", NsOp: 100000, AllocsOp: 500})
+	cur := doc(bench{Name: "BenchmarkShave/099.go", NsOp: 180000, AllocsOp: 540})
+	violations, notes := gate(base, cur, 0.10, 1.50)
+	if len(violations) != 0 || len(notes) != 0 {
+		t.Fatalf("violations %v notes %v, want none", violations, notes)
+	}
+}
+
+func TestGateAllocRegressionFails(t *testing.T) {
+	base := doc(bench{Name: "BenchmarkShave/099.go", NsOp: 100000, AllocsOp: 500})
+	cur := doc(bench{Name: "BenchmarkShave/099.go", NsOp: 100000, AllocsOp: 551})
+	violations, _ := gate(base, cur, 0.10, 1.50)
+	if len(violations) != 1 || !strings.Contains(violations[0], "allocs/op") {
+		t.Fatalf("violations %v, want one allocs/op violation", violations)
+	}
+}
+
+func TestGateTimeRegressionFails(t *testing.T) {
+	base := doc(bench{Name: "BenchmarkShave/099.go", NsOp: 100000, AllocsOp: 500})
+	cur := doc(bench{Name: "BenchmarkShave/099.go", NsOp: 260000, AllocsOp: 500})
+	violations, _ := gate(base, cur, 0.10, 1.50)
+	if len(violations) != 1 || !strings.Contains(violations[0], "ns/op") {
+		t.Fatalf("violations %v, want one ns/op violation", violations)
+	}
+}
+
+func TestGateMissingBenchmarkFails(t *testing.T) {
+	base := doc(
+		bench{Name: "BenchmarkShave/099.go", NsOp: 100000, AllocsOp: 500},
+		bench{Name: "BenchmarkShave/130.li", NsOp: 20000, AllocsOp: 100},
+	)
+	cur := doc(bench{Name: "BenchmarkShave/099.go", NsOp: 100000, AllocsOp: 500})
+	violations, _ := gate(base, cur, 0.10, 1.50)
+	if len(violations) != 1 || !strings.Contains(violations[0], "lost coverage") {
+		t.Fatalf("violations %v, want one lost-coverage violation", violations)
+	}
+}
+
+func TestGateExtraBenchmarkIsANote(t *testing.T) {
+	base := doc(bench{Name: "BenchmarkShave/099.go", NsOp: 100000, AllocsOp: 500})
+	cur := doc(
+		bench{Name: "BenchmarkShave/099.go", NsOp: 100000, AllocsOp: 500},
+		bench{Name: "BenchmarkNew/one", NsOp: 1, AllocsOp: 1},
+	)
+	violations, notes := gate(base, cur, 0.10, 1.50)
+	if len(violations) != 0 {
+		t.Fatalf("violations %v, want none", violations)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "not gated") {
+		t.Fatalf("notes %v, want one not-gated note", notes)
+	}
+}
+
+// Benchmarks recorded without -benchmem carry allocs_op = -1; the gate
+// must skip the alloc comparison rather than treat -1 as a bound.
+func TestGateSkipsAllocCheckWithoutMemStats(t *testing.T) {
+	base := doc(bench{Name: "BenchmarkShave/099.go", NsOp: 100000, AllocsOp: -1})
+	cur := doc(bench{Name: "BenchmarkShave/099.go", NsOp: 100000, AllocsOp: 500})
+	violations, _ := gate(base, cur, 0.10, 1.50)
+	if len(violations) != 0 {
+		t.Fatalf("violations %v, want none", violations)
+	}
+}

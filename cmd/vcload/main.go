@@ -17,6 +17,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -41,6 +43,7 @@ func main() {
 	pinSeed := flag.Int64("seed", 0, "pin seed to request (0 = daemon default)")
 	steps := flag.Int("steps", 0, "deduction step budget to request (0 = daemon default)")
 	n := flag.Int("n", 100, "total requests to send")
+	batch := flag.Int("batch", 1, "blocks per request (multi-block requests exercise batch accounting)")
 	rps := flag.Float64("rps", 0, "target request rate (0 = as fast as the -c workers go)")
 	dup := flag.Float64("dup", 0.5, "fraction of requests that re-submit an earlier source")
 	deadline := flag.Duration("deadline", 0, "per-request deadline to ask for (0 = daemon default)")
@@ -66,6 +69,9 @@ func main() {
 	if *conc < 1 {
 		*conc = 1
 	}
+	if *batch < 1 {
+		*batch = 1
+	}
 
 	base := "http://" + *addr
 	client := &http.Client{Timeout: 5 * time.Minute}
@@ -77,7 +83,7 @@ func main() {
 	// duplicate pattern is deterministic for a given seed) and paces to
 	// the target rate; -c workers deliver.
 	rng := rand.New(rand.NewSource(*genSeed))
-	jobs := make(chan string)
+	jobs := make(chan []string)
 	go func() {
 		defer close(jobs)
 		var tick *time.Ticker
@@ -85,17 +91,21 @@ func main() {
 			tick = time.NewTicker(time.Duration(float64(time.Second) / *rps))
 			defer tick.Stop()
 		}
+		picks := 0
 		for i := 0; i < *n; i++ {
-			var src string
-			if i > 0 && rng.Float64() < *dup {
-				src = sources[rng.Intn(min(i, len(sources)))]
-			} else {
-				src = sources[i%len(sources)]
+			blocks := make([]string, *batch)
+			for b := range blocks {
+				if picks > 0 && rng.Float64() < *dup {
+					blocks[b] = sources[rng.Intn(min(picks, len(sources)))]
+				} else {
+					blocks[b] = sources[picks%len(sources)]
+				}
+				picks++
 			}
 			if tick != nil {
 				<-tick.C
 			}
-			jobs <- src
+			jobs <- blocks
 		}
 	}()
 
@@ -109,10 +119,10 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for src := range jobs {
+			for blocks := range jobs {
 				start := time.Now()
 				resp, err := post(client, base, service.WireRequest{
-					Blocks:    []string{src},
+					Blocks:    blocks,
 					Machine:   *machineKey,
 					PinSeed:   *pinSeed,
 					MaxSteps:  *steps,
@@ -121,7 +131,7 @@ func main() {
 				lat := time.Since(start)
 				mu.Lock()
 				latencies = append(latencies, lat)
-				agg.add(resp, err, *verbose, lat)
+				agg.add(len(blocks), resp, err, *verbose, lat)
 				mu.Unlock()
 			}
 		}()
@@ -220,23 +230,30 @@ func deadlineMS(d time.Duration) int64 {
 	return int64(d / time.Millisecond)
 }
 
-// tally accumulates per-response counters.
+// tally accumulates counters in two units. Per-request: requests,
+// transport. Per-block: everything else — a batch request carries many
+// blocks, each with its own verdict, and a transport-failed request
+// loses every block it carried (transportBlocks), not one.
 type tally struct {
-	requests     int
-	blocks       int
-	ok           int
-	cacheHits    int
-	coalesced    int
-	shed         int
-	hardFailures int
-	transport    int
-	taxonomy     map[string]int
+	requests        int
+	blocksSent      int // blocks attempted, including ones lost to transport errors
+	blocks          int // blocks that came back with a per-block verdict
+	ok              int
+	cacheHits       int
+	coalesced       int
+	shed            int
+	hardFailures    int
+	transport       int // failed requests
+	transportBlocks int // blocks those failed requests carried
+	taxonomy        map[string]int
 }
 
-func (t *tally) add(resp *service.WireResponse, err error, verbose bool, lat time.Duration) {
+func (t *tally) add(sent int, resp *service.WireResponse, err error, verbose bool, lat time.Duration) {
 	t.requests++
+	t.blocksSent += sent
 	if err != nil {
 		t.transport++
+		t.transportBlocks += sent
 		fmt.Fprintln(os.Stderr, "vcload:", err)
 		return
 	}
@@ -281,24 +298,40 @@ func (t *tally) taxonomyNames() []string {
 	return names
 }
 
-func report(w *os.File, latencies []time.Duration, t *tally) {
+// percentile returns the ceil nearest-rank percentile of a sorted
+// sample: the smallest observation such that at least a fraction p of
+// the sample is <= it. Floor-based indexing (p*(n-1)) under-reports the
+// tail — p99 of 10 samples picked the 9th value instead of the max.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	i := int(math.Ceil(p*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return sorted[i]
+}
+
+func report(w io.Writer, latencies []time.Duration, t *tally) {
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(p float64) time.Duration {
-		if len(latencies) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(latencies)-1))
-		return latencies[i]
-	}
+	pct := func(p float64) time.Duration { return percentile(latencies, p) }
+	// Per-block rates divide by blocks *sent*: a transport-failed batch
+	// request loses every block it carried, and dividing by only the
+	// blocks that came back would overstate ok/shed rates under failures.
 	rate := func(n int) float64 {
-		if t.blocks == 0 {
+		if t.blocksSent == 0 {
 			return 0
 		}
-		return 100 * float64(n) / float64(t.blocks)
+		return 100 * float64(n) / float64(t.blocksSent)
 	}
-	fmt.Fprintf(w, "vcload %s: %d requests, %d blocks\n", version.String(), t.requests, t.blocks)
-	fmt.Fprintf(w, "  ok %d (%.1f%%)  hard-failures %d  shed %d (%.1f%%)  transport-errors %d\n",
-		t.ok, rate(t.ok), t.hardFailures, t.shed, rate(t.shed), t.transport)
+	fmt.Fprintf(w, "vcload %s: %d requests, %d/%d blocks answered\n", version.String(), t.requests, t.blocks, t.blocksSent)
+	fmt.Fprintf(w, "  ok %d (%.1f%%)  hard-failures %d  shed %d (%.1f%%)  transport-errors %d (%d blocks lost, %.1f%%)\n",
+		t.ok, rate(t.ok), t.hardFailures, t.shed, rate(t.shed), t.transport, t.transportBlocks, rate(t.transportBlocks))
 	fmt.Fprintf(w, "  cache-hits %d (%.1f%%)  coalesced %d (%.1f%%)\n",
 		t.cacheHits, rate(t.cacheHits), t.coalesced, rate(t.coalesced))
 	fmt.Fprintf(w, "  latency p50 %v  p90 %v  p99 %v  max %v\n",

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"vcsched/internal/service"
+)
+
+// seq returns [1ms, 2ms, ..., n ms], already sorted.
+func seq(n int) []time.Duration {
+	s := make([]time.Duration, n)
+	for i := range s {
+		s[i] = time.Duration(i+1) * time.Millisecond
+	}
+	return s
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		n    int
+		p    float64
+		want time.Duration
+	}{
+		// A single sample is every percentile.
+		{1, 0.0, ms(1)},
+		{1, 0.50, ms(1)},
+		{1, 0.99, ms(1)},
+		{1, 1.0, ms(1)},
+		// 10 samples: the p99 must be the max — the old floor indexing
+		// (int(0.99*9) = 8) reported the 9th value.
+		{10, 0.50, ms(5)},
+		{10, 0.90, ms(9)},
+		{10, 0.99, ms(10)},
+		{10, 1.0, ms(10)},
+		// 100 samples: p99 is the 99th value, smallest with >= 99 at or
+		// below it; p50 the 50th.
+		{100, 0.50, ms(50)},
+		{100, 0.90, ms(90)},
+		{100, 0.99, ms(99)},
+		{100, 1.0, ms(100)},
+	}
+	for _, c := range cases {
+		if got := percentile(seq(c.n), c.p); got != c.want {
+			t.Errorf("percentile(n=%d, p=%v) = %v, want %v", c.n, c.p, got, c.want)
+		}
+	}
+	if got := percentile(nil, 0.99); got != 0 {
+		t.Errorf("percentile of empty sample = %v, want 0", got)
+	}
+}
+
+func TestTallyBatchUnits(t *testing.T) {
+	var agg tally
+	// One 4-block batch: 2 ok (one a cache hit), 1 shed, 1 hard failure.
+	agg.add(4, &service.WireResponse{Results: []service.WireResult{
+		{Taxonomy: "ok", CacheHit: true},
+		{Taxonomy: "ok"},
+		{Taxonomy: "shed", Shed: true},
+		{Taxonomy: "contradiction", HardFailure: true},
+	}}, nil, false, time.Millisecond)
+	// One 4-block batch lost entirely to a transport error.
+	agg.add(4, nil, io.ErrUnexpectedEOF, false, time.Millisecond)
+
+	if agg.requests != 2 || agg.blocksSent != 8 || agg.blocks != 4 {
+		t.Fatalf("requests=%d blocksSent=%d blocks=%d, want 2/8/4", agg.requests, agg.blocksSent, agg.blocks)
+	}
+	if agg.ok != 2 || agg.shed != 1 || agg.hardFailures != 1 || agg.cacheHits != 1 {
+		t.Fatalf("ok=%d shed=%d hard=%d hits=%d, want 2/1/1/1", agg.ok, agg.shed, agg.hardFailures, agg.cacheHits)
+	}
+	if agg.transport != 1 || agg.transportBlocks != 4 {
+		t.Fatalf("transport=%d transportBlocks=%d, want 1/4", agg.transport, agg.transportBlocks)
+	}
+
+	var b strings.Builder
+	report(&b, seq(8), &agg)
+	out := b.String()
+	// 8 blocks sent is the denominator everywhere: ok 2/8 = 25%, shed
+	// 1/8 = 12.5%, transport loss 4/8 = 50%. The old per-returned-block
+	// denominator (4) would have doubled every rate.
+	for _, want := range []string{
+		"2 requests, 4/8 blocks answered",
+		"ok 2 (25.0%)",
+		"shed 1 (12.5%)",
+		"transport-errors 1 (4 blocks lost, 50.0%)",
+		"cache-hits 1 (12.5%)",
+		"latency p50 4ms  p90 8ms  p99 8ms  max 8ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -223,6 +223,12 @@ type scheduler struct {
 	tail     []int  // longest completion tail from each node (see bump)
 	variant  int    // perturbs candidate order across retries of one AWCT
 	curStage string // pipeline stage currently running (panic context)
+
+	// arena backs every state this scheduler builds. States are built
+	// strictly sequentially per scheduler (probe, then attempt after
+	// attempt), so one arena amortizes all their allocations; portfolio
+	// workers get private arenas (runAttempt).
+	arena *deduce.Arena
 }
 
 // Schedule runs the full algorithm on one superblock. On ErrTimeout or
@@ -334,11 +340,12 @@ func (s *scheduler) exhaustErr() error {
 func newScheduler(sb *ir.Superblock, m *machine.Config, opts Options) *scheduler {
 	opts = opts.withDefaults()
 	s := &scheduler{
-		sb:   sb,
-		m:    m,
-		g:    sg.Build(sb, m),
-		opts: opts,
-		dist: sb.LongestDist(),
+		sb:    sb,
+		m:     m,
+		g:     sg.Build(sb, m),
+		opts:  opts,
+		dist:  sb.LongestDist(),
+		arena: deduce.NewArena(),
 	}
 	s.tail = make([]int, sb.N())
 	for u := 0; u < sb.N(); u++ {
@@ -492,7 +499,7 @@ func (s *scheduler) probe(deadlines map[int]int) error {
 }
 
 func (s *scheduler) stateOpts(pinExits bool) deduce.Options {
-	return deduce.Options{Pins: s.opts.Pins, Budget: s.budget, PinExits: pinExits}
+	return deduce.Options{Pins: s.opts.Pins, Budget: s.budget, PinExits: pinExits, Arena: s.arena}
 }
 
 // bumpCandidates returns the exits that can move one cycle without

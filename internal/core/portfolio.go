@@ -93,6 +93,9 @@ func (s *scheduler) runAttempt(jb pfJob) pfResult {
 	w := *s
 	w.variant = s.opts.VariantOffset + jb.variant
 	w.cancel = jb.cancel
+	// Each worker needs a private arena: the copied scheduler would
+	// otherwise share s.arena across concurrent goroutines.
+	w.arena = deduce.NewArena()
 	steps := s.opts.MaxSteps
 	if steps < 0 {
 		steps = 0 // unlimited

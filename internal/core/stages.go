@@ -97,9 +97,9 @@ func (s *scheduler) stageCombinations(st *deduce.State) error {
 		conservative := s.variant%3 == 2
 		var cands []candidate
 		for _, pi := range open[:limit] {
-			p := st.Pairs()[pi]
+			p := st.PairAt(pi)
 			u, v := p.U, p.V
-			combs := append([]int(nil), p.Combs...)
+			combs := p.Combs // PairAt materializes a fresh slice
 			if s.variant%2 == 1 {
 				reverse(combs)
 			}

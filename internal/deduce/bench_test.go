@@ -44,10 +44,13 @@ func BenchmarkShave(b *testing.B) {
 			g := sg.Build(sb, m)
 			deadlines := benchDeadlines(sb)
 			pins := workload.PinsFor(sb, m.Clusters, 1)
+			// States are sequential here, exactly like the core driver's
+			// probe/attempt sequence, so they share one arena.
+			ar := deduce.NewArena()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				st, err := deduce.NewState(sb, m, g, deadlines, deduce.Options{Pins: pins})
+				st, err := deduce.NewState(sb, m, g, deadlines, deduce.Options{Pins: pins, Arena: ar})
 				if err != nil {
 					b.Fatal(err)
 				}

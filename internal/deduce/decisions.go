@@ -1,7 +1,5 @@
 package deduce
 
-import "vcsched/internal/sg"
-
 // The methods in this file are the decisions of Section 3: each applies
 // one action to the state and immediately runs the deduction process so
 // the caller observes all mandatory consequences (or a contradiction).
@@ -9,8 +7,8 @@ import "vcsched/internal/sg"
 // ChooseComb selects combination comb for pair (a,b): the two
 // instructions join one connected component at that cycle distance.
 func (st *State) ChooseComb(a, b, comb int) error {
-	i, ok := st.pairIdx[sg.MakePair(a, b)]
-	if !ok {
+	i := st.pairIndex(a, b)
+	if i < 0 {
 		return contraf("no SG pair (%d,%d)", a, b)
 	}
 	p := &st.pairs[i]
@@ -18,17 +16,17 @@ func (st *State) ChooseComb(a, b, comb int) error {
 	if a > b {
 		comb = -comb
 	}
-	switch p.Status {
+	switch p.status {
 	case Chosen:
-		if p.Comb != comb {
-			return contraf("pair (%d,%d) already chose %d", p.U, p.V, p.Comb)
+		if int(p.comb) != comb {
+			return contraf("pair (%d,%d) already chose %d", p.u, p.v, p.comb)
 		}
 		return nil
 	case Dropped:
-		return contraf("pair (%d,%d) already dropped", p.U, p.V)
+		return contraf("pair (%d,%d) already dropped", p.u, p.v)
 	}
-	if !containsInt(p.Combs, comb) {
-		return contraf("pair (%d,%d): combination %d already discarded", p.U, p.V, comb)
+	if !st.combHas(i, comb) {
+		return contraf("pair (%d,%d): combination %d already discarded", p.u, p.v, comb)
 	}
 	if err := st.commitComb(i, comb); err != nil {
 		return err
@@ -36,64 +34,45 @@ func (st *State) ChooseComb(a, b, comb int) error {
 	return st.Propagate()
 }
 
-// DiscardComb removes one combination from a pair.
+// DiscardComb removes one combination from a pair: a single bit clear
+// in the pair's combination set.
 func (st *State) DiscardComb(a, b, comb int) error {
-	i, ok := st.pairIdx[sg.MakePair(a, b)]
-	if !ok {
+	i := st.pairIndex(a, b)
+	if i < 0 {
 		return contraf("no SG pair (%d,%d)", a, b)
 	}
 	p := &st.pairs[i]
 	if a > b {
 		comb = -comb
 	}
-	if p.Status == Chosen {
-		if p.Comb == comb {
-			return contraf("pair (%d,%d): discarding the chosen combination %d", p.U, p.V, comb)
+	if p.status == Chosen {
+		if int(p.comb) == comb {
+			return contraf("pair (%d,%d): discarding the chosen combination %d", p.u, p.v, comb)
 		}
 		return nil
 	}
-	if containsInt(p.Combs, comb) {
+	st.combClear(i, comb)
+	if p.status != Dropped && st.combCount(i) == 0 {
 		st.trailPair(i)
-		p.Combs = filterComb(p.Combs, comb)
-	}
-	if len(p.Combs) == 0 && p.Status != Dropped {
-		st.trailPair(i)
-		p.Status = Dropped
+		p.status = Dropped
 	}
 	return st.Propagate()
-}
-
-// filterComb removes comb from combs in place and zeroes the vacated
-// tail slots so the backing array holds no stale combination values
-// (they kept dead data live and would poison any code that re-extends
-// the slice within capacity).
-func filterComb(combs []int, comb int) []int {
-	kept := combs[:0]
-	for _, c := range combs {
-		if c != comb {
-			kept = append(kept, c)
-		}
-	}
-	for i := len(kept); i < len(combs); i++ {
-		combs[i] = 0
-	}
-	return kept
 }
 
 // DropPair discards every remaining combination of a pair: the two
 // instructions will not overlap.
 func (st *State) DropPair(a, b int) error {
-	i, ok := st.pairIdx[sg.MakePair(a, b)]
-	if !ok {
+	i := st.pairIndex(a, b)
+	if i < 0 {
 		return contraf("no SG pair (%d,%d)", a, b)
 	}
 	p := &st.pairs[i]
-	if p.Status == Chosen {
-		return contraf("pair (%d,%d): cannot drop, combination %d chosen", p.U, p.V, p.Comb)
+	if p.status == Chosen {
+		return contraf("pair (%d,%d): cannot drop, combination %d chosen", p.u, p.v, p.comb)
 	}
 	st.trailPair(i)
-	p.Status = Dropped
-	p.Combs = nil
+	p.status = Dropped
+	st.combClearAll(i)
 	return st.Propagate()
 }
 

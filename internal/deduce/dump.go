@@ -26,8 +26,10 @@ func (st *State) DumpText() string {
 	}
 	for i := range st.pairs {
 		p := &st.pairs[i]
+		combs := st.appendCombs(st.ar.combBuf[:0], i)
+		st.ar.combBuf = combs
 		fmt.Fprintf(&b, "pair %d (%d,%d) status %d comb %d combs %v\n",
-			i, p.U, p.V, p.Status, p.Comb, p.Combs)
+			i, p.u, p.v, p.status, p.comb, combs)
 	}
 	for i := range st.est {
 		root, off := st.cc.Find(i)

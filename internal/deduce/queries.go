@@ -40,34 +40,115 @@ func (m Metrics) Better(o Metrics) bool {
 	return m.OutEdges*max(o.VCs, 1) < o.OutEdges*max(m.VCs, 1)
 }
 
-// Metrics computes the comparison metrics of the current state.
+// Metrics computes the comparison metrics of the current state. It runs
+// after every candidate probe, so both counts below work over arena
+// scratch (a seen-bitmap plus a touched-list to undo it) instead of
+// per-call maps.
 func (st *State) Metrics() (Metrics, error) {
 	m := Metrics{Comms: len(st.comms)}
 	for node := 0; node < len(st.est); node++ {
 		m.SumSlack += st.lst[node] - st.est[node]
 	}
-	pairs, err := st.outEdgePairs()
+	oe, err := st.outEdgeCount()
 	if err != nil {
 		return Metrics{}, err
 	}
-	m.OutEdges = len(pairs)
+	m.OutEdges = oe
 	m.VCs = st.instrVCCount()
 	return m, nil
 }
 
 // instrVCCount counts VCs containing at least one instruction node
-// (anchors alone do not count).
+// (anchors alone do not count). The seen-bitmap invariant: all-false
+// between calls (the touched list clears exactly the set entries).
 func (st *State) instrVCCount() int {
-	seen := make(map[int]bool)
+	n := st.vc.Len()
+	seen := claim(&st.ar.repSeen, n, n)
+	touched := st.ar.repTouched[:0]
+	count := 0
 	for i := 0; i < st.nOrig; i++ {
-		seen[st.vc.Rep(st.vcID(i))] = true
+		r := st.vc.Rep(st.vcID(i))
+		if !seen[r] {
+			seen[r] = true
+			touched = append(touched, r)
+			count++
+		}
 	}
-	return len(seen)
+	for _, r := range touched {
+		seen[r] = false
+	}
+	st.ar.repTouched = touched[:0]
+	return count
+}
+
+// outEdgeCount counts the distinct unordered pairs of VC representatives
+// that are distinct, not incompatible, and joined by at least one value
+// flow — len() of the former outEdgePairs map, without building it.
+// Pair keys dedup through a bitset over rep-id pairs; the touched word
+// list restores the all-zero invariant on every return path.
+func (st *State) outEdgeCount() (int, error) {
+	n := st.vc.Len()
+	words := (n*n + 63) >> 6
+	seen := claim(&st.ar.keySeen, words, words)
+	touched := st.ar.keyTouched[:0]
+	count := 0
+	cleanup := func() {
+		for _, w := range touched {
+			seen[w] = 0
+		}
+		st.ar.keyTouched = touched[:0]
+	}
+	add := func(node, consumer int) {
+		a := st.vc.Rep(node)
+		b := st.vc.Rep(consumer)
+		if a == b || st.vc.Incompatible(a, b) {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		key := a*n + b
+		w := key >> 6
+		bit := uint64(1) << uint(key&63)
+		if seen[w]&bit == 0 {
+			if seen[w] == 0 {
+				touched = append(touched, w)
+			}
+			seen[w] |= bit
+			count++
+		}
+	}
+	for v := 0; v < st.nOrig; v++ {
+		for _, c := range st.SB.DataConsumers(v) {
+			add(v, st.vcID(c))
+		}
+	}
+	for li := range st.SB.LiveIns {
+		node, err := st.valueVCNode(-(li + 1))
+		if err != nil {
+			cleanup()
+			return 0, err
+		}
+		for _, c := range st.SB.LiveIns[li].Consumers {
+			add(node, st.vcID(c))
+		}
+	}
+	for oi, u := range st.SB.LiveOuts {
+		anchor, err := st.vc.Anchor(st.pins.LiveOut[oi])
+		if err != nil {
+			cleanup()
+			return 0, internalf("live-out %d: %v", u, err)
+		}
+		add(anchor, st.vcID(u))
+	}
+	cleanup()
+	return count, nil
 }
 
 // outEdgePairs collects, per unordered pair of VC representatives that
 // are distinct and not incompatible, the number of value flows crossing
-// them (the stage-3 outedges and the matching-graph weights).
+// them (the stage-3 outedges and the matching-graph weights). Cold path:
+// only the mapping stage needs the multiset, so it keeps the map form.
 func (st *State) outEdgePairs() (map[[2]int]int, error) {
 	out := make(map[[2]int]int)
 	add := func(value, consumer int) error {
@@ -127,7 +208,7 @@ func (st *State) OutEdges() (map[[2]int]int, error) { return st.outEdgePairs() }
 func (st *State) OpenPairs() []int {
 	var idx []int
 	for i := range st.pairs {
-		if st.pairs[i].Status == Open {
+		if st.pairs[i].status == Open {
 			idx = append(idx, i)
 		}
 	}
@@ -140,8 +221,8 @@ func (st *State) OpenPairs() []int {
 // pairSlack measures the freedom of a pair: the combined window slack of
 // its instructions plus its remaining combination count.
 func (st *State) pairSlack(i int) int {
-	p := st.pairs[i]
-	return st.Slack(p.U) + st.Slack(p.V) + len(p.Combs)
+	p := &st.pairs[i]
+	return st.Slack(int(p.u)) + st.Slack(int(p.v)) + st.combCount(i)
 }
 
 // UnpinnedInstrs returns the original instructions not yet fixed to a
@@ -168,7 +249,7 @@ func (st *State) unpinned(lo, hi int) []int {
 // AllPairsResolved reports whether every SG pair is Chosen or Dropped.
 func (st *State) AllPairsResolved() bool {
 	for i := range st.pairs {
-		if st.pairs[i].Status == Open {
+		if st.pairs[i].status == Open {
 			return false
 		}
 	}

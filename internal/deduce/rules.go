@@ -1,7 +1,7 @@
 package deduce
 
 import (
-	"sort"
+	"slices"
 
 	"vcsched/internal/ir"
 	"vcsched/internal/sg"
@@ -82,37 +82,68 @@ func (st *State) propagateBounds() (bool, error) {
 	return changed, nil
 }
 
-// ccGroupsMap returns the connected-component membership of the
-// original instructions plus the roots in sorted order, rebuilt only
-// when the union-find's membership version moved (the cache survives
-// bound-only propagation passes, which are the overwhelming majority).
-// Rules iterate the sorted roots, never the map, so which component
-// detects a contradiction first is a pure function of the state.
-func (st *State) ccGroupsMap() (map[int][]int, []int) {
-	if v := st.cc.Version(); st.ccGroupsVer != v {
-		groups := make(map[int][]int, st.nOrig)
-		roots := make([]int, 0, st.nOrig)
-		for node := 0; node < st.nOrig; node++ {
-			root, _ := st.cc.Find(node)
-			if len(groups[root]) == 0 {
-				roots = append(roots, root)
-			}
-			groups[root] = append(groups[root], node)
-		}
-		sort.Ints(roots)
-		st.ccGroups, st.ccRoots, st.ccGroupsVer = groups, roots, v
+// ccGroupsRebuild refreshes the connected-component membership CSR
+// (st.ccRoots / st.ccStart / st.ccMembers over arena buffers), rebuilt
+// only when the union-find's membership version moved — the cache
+// survives bound-only propagation passes, which are the overwhelming
+// majority. Roots are sorted and members ascend, so which component a
+// rule visits first is a pure function of the state, never of map
+// iteration order. Roots can be copy nodes (>= nOrig), so the scratch
+// tables are sized by the full node count.
+func (st *State) ccGroupsRebuild() {
+	v := st.cc.Version()
+	if st.ccGroupsVer == v {
+		return
 	}
-	return st.ccGroups, st.ccRoots
+	ar := st.ar
+	n := st.cc.Len()
+	seen := claim(&ar.ccSeen, n, n)
+	clear(seen)
+	roots := claim(&ar.ccRoots, 0, st.nOrig)
+	for node := 0; node < st.nOrig; node++ {
+		root, _ := st.cc.Find(node)
+		if !seen[root] {
+			seen[root] = true
+			roots = append(roots, root)
+		}
+	}
+	slices.Sort(roots)
+	r := len(roots)
+	slot := claim(&ar.ccSlot, n, n)
+	for s, root := range roots {
+		slot[root] = int32(s)
+	}
+	start := claim(&ar.ccStart, r+1, st.nOrig+1)
+	clear(start)
+	for node := 0; node < st.nOrig; node++ {
+		root, _ := st.cc.Find(node)
+		start[slot[root]+1]++
+	}
+	for i := 1; i <= r; i++ {
+		start[i] += start[i-1]
+	}
+	cursor := claim(&ar.ccCursor, r, st.nOrig)
+	for i := range cursor {
+		cursor[i] = int32(start[i])
+	}
+	members := claim(&ar.ccMembers, st.nOrig, st.nOrig)
+	for node := 0; node < st.nOrig; node++ {
+		root, _ := st.cc.Find(node)
+		s := slot[root]
+		members[cursor[s]] = node
+		cursor[s]++
+	}
+	st.ccRoots, st.ccStart, st.ccMembers, st.ccGroupsVer = roots, start, members, v
 }
 
 // ccBounds aligns the bounds of connected-component members: with
 // Cyc(x) = Cyc(root) + off(x), the component-wide feasible root window
 // is the intersection of every member's window shifted by its offset.
 func (st *State) ccBounds() (bool, error) {
-	groups, roots := st.ccGroupsMap()
+	st.ccGroupsRebuild()
 	changed := false
-	for _, root := range roots {
-		members := groups[root]
+	for gi, root := range st.ccRoots {
+		members := st.ccMembers[st.ccStart[gi]:st.ccStart[gi+1]]
 		if len(members) < 2 {
 			continue
 		}
@@ -153,87 +184,72 @@ func (st *State) ruleCCCoherence() (bool, error) {
 	changed := false
 	for i := range st.pairs {
 		p := &st.pairs[i]
-		if p.Status != Open {
+		if p.status != Open {
 			continue
 		}
-		delta, same := st.cc.Delta(p.U, p.V)
+		delta, same := st.cc.Delta(int(p.u), int(p.v))
 		if !same {
 			continue
 		}
-		lo, hi := sg.CombRange(st.lat[p.U], st.lat[p.V])
+		lo, hi := sg.CombRange(st.lat[p.u], st.lat[p.v])
 		if delta < lo || delta > hi {
 			st.trailPair(i)
-			p.Status = Dropped
-			p.Combs = nil
+			p.status = Dropped
+			st.combClearAll(i)
 			changed = true
 			continue
 		}
-		if !containsInt(p.Combs, delta) {
-			return changed, contraf("pair (%d,%d): implied combination %d already discarded", p.U, p.V, delta)
+		if !st.combHas(i, delta) {
+			return changed, contraf("pair (%d,%d): implied combination %d already discarded", p.u, p.v, delta)
 		}
 		st.trailPair(i)
-		p.Status = Chosen
-		p.Comb = delta
-		p.Combs = []int{delta}
+		p.status = Chosen
+		p.comb = int32(delta)
+		st.combSetOnly(i, delta)
 		changed = true
 	}
 	return changed, nil
 }
 
 // rulePrunePairs is rule U2 plus deduction rule D1: combinations whose
-// offset cannot be realized inside the current windows are discarded;
-// if the pair is forced to overlap, a single surviving combination is
-// mandatory (chosen), and zero surviving combinations contradict.
+// offset cannot be realized inside the current windows are discarded —
+// feasibility is a contiguous offset range, so the discard is one AND
+// per bitset word (combPruneWindow); if the pair is forced to overlap,
+// a single surviving combination is mandatory (chosen), and zero
+// surviving combinations contradict.
 func (st *State) rulePrunePairs() (bool, error) {
 	changed := false
 	for i := range st.pairs {
 		p := &st.pairs[i]
-		if p.Status == Dropped {
-			if st.mustOverlap(p.U, p.V) {
-				return changed, contraf("pair (%d,%d) dropped but forced to overlap", p.U, p.V)
+		if p.status == Dropped {
+			if st.mustOverlap(int(p.u), int(p.v)) {
+				return changed, contraf("pair (%d,%d) dropped but forced to overlap", p.u, p.v)
 			}
 			continue
 		}
-		// Scan first, filter only when something goes: the no-discard
-		// case (the common one) must not record a trail entry.
-		drop := 0
-		for _, c := range p.Combs {
-			if !sg.CombFeasibleAt(c, st.est[p.U], st.lst[p.U], st.est[p.V], st.lst[p.V]) {
-				drop++
-			}
-		}
-		if drop > 0 {
-			st.trailPair(i)
-			kept := p.Combs[:0]
-			for _, c := range p.Combs {
-				if sg.CombFeasibleAt(c, st.est[p.U], st.lst[p.U], st.est[p.V], st.lst[p.V]) {
-					kept = append(kept, c)
-				}
-			}
-			for j := len(kept); j < len(p.Combs); j++ {
-				p.Combs[j] = 0 // no stale values in the vacated tail
-			}
-			p.Combs = kept
+		if st.combPruneWindow(i) > 0 {
 			changed = true
 		}
-		if p.Status == Chosen {
-			if len(p.Combs) == 0 {
-				return changed, contraf("pair (%d,%d): chosen combination %d became infeasible", p.U, p.V, p.Comb)
+		n := st.combCount(i)
+		if p.status == Chosen {
+			if n == 0 {
+				return changed, contraf("pair (%d,%d): chosen combination %d became infeasible", p.u, p.v, p.comb)
 			}
 			continue
 		}
-		if len(p.Combs) == 0 {
+		if n == 0 {
 			st.trailPair(i)
-			p.Status = Dropped
+			p.status = Dropped
 			changed = true
-			if st.mustOverlap(p.U, p.V) {
-				return changed, contraf("pair (%d,%d): no combination left but overlap forced", p.U, p.V)
+			if st.mustOverlap(int(p.u), int(p.v)) {
+				return changed, contraf("pair (%d,%d): no combination left but overlap forced", p.u, p.v)
 			}
 			continue
 		}
-		if st.mustOverlap(p.U, p.V) && len(p.Combs) == 1 {
+		if n == 1 && st.mustOverlap(int(p.u), int(p.v)) {
 			// D1: mandatory choice.
-			if err := st.commitComb(i, p.Combs[0]); err != nil {
+			c, _ := st.combFirst(i)
+			if err := st.commitComb(i, c); err != nil {
 				return changed, err
 			}
 			changed = true
@@ -251,13 +267,24 @@ func (st *State) mustOverlap(u, v int) bool {
 func (st *State) commitComb(i, comb int) error {
 	st.trailPair(i)
 	p := &st.pairs[i]
-	p.Status = Chosen
-	p.Comb = comb
-	p.Combs = []int{comb}
-	if err := st.cc.Relate(p.U, p.V, comb); err != nil {
-		return contraf("pair (%d,%d): offset %d conflicts with connected components", p.U, p.V, comb)
+	p.status = Chosen
+	p.comb = int32(comb)
+	st.combSetOnly(i, comb)
+	if err := st.cc.Relate(int(p.u), int(p.v), comb); err != nil {
+		return contraf("pair (%d,%d): offset %d conflicts with connected components", p.u, p.v, comb)
 	}
 	return nil
+}
+
+// sortTriples stable-sorts the resource scratch rows by (key, class),
+// preserving the collection order inside each group.
+func sortTriples(trips []resTriple) {
+	slices.SortStableFunc(trips, func(a, b resTriple) int {
+		if a.key != b.key {
+			return a.key - b.key
+		}
+		return int(a.class) - int(b.class)
+	})
 }
 
 // ruleCCResources analyses resource usage inside connected components
@@ -266,44 +293,51 @@ func (st *State) commitComb(i, comb int) error {
 // machine, and with single-unit clusters same-class co-issuers must
 // spread across clusters (rule D3 / paper Rule 2).
 func (st *State) ruleCCResources() (bool, error) {
-	groups, roots := st.ccGroupsMap()
+	st.ccGroupsRebuild()
 	changed := false
-	for _, root := range roots {
-		members := groups[root]
+	for gi := range st.ccRoots {
+		members := st.ccMembers[st.ccStart[gi]:st.ccStart[gi+1]]
 		if len(members) < 2 {
 			continue
 		}
-		type key struct {
-			off   int
-			class ir.Class
-		}
-		byCycle := make(map[key][]int)
-		keys := make([]key, 0, len(members))
+		trips := st.ar.trips[:0]
 		for _, m := range members {
 			_, off := st.cc.Find(m)
-			k := key{off, st.class[m]}
-			if len(byCycle[k]) == 0 {
-				keys = append(keys, k)
-			}
-			byCycle[k] = append(byCycle[k], m)
+			trips = append(trips, resTriple{key: off, class: st.class[m], node: m})
 		}
-		sort.Slice(keys, func(i, j int) bool {
-			if keys[i].off != keys[j].off {
-				return keys[i].off < keys[j].off
+		st.ar.trips = trips
+		sortTriples(trips)
+		ch, err := st.spreadTripleRuns(trips)
+		if err != nil {
+			return changed, err
+		}
+		changed = changed || ch
+	}
+	return changed, nil
+}
+
+// spreadTripleRuns walks the sorted (key, class) runs of the resource
+// scratch and spreads every certain co-issue group of two or more.
+func (st *State) spreadTripleRuns(trips []resTriple) (bool, error) {
+	changed := false
+	for s := 0; s < len(trips); {
+		e := s + 1
+		for e < len(trips) && trips[e].key == trips[s].key && trips[e].class == trips[s].class {
+			e++
+		}
+		if e-s >= 2 {
+			nodes := st.ar.groupNodes[:0]
+			for k := s; k < e; k++ {
+				nodes = append(nodes, trips[k].node)
 			}
-			return keys[i].class < keys[j].class
-		})
-		for _, k := range keys {
-			nodes := byCycle[k]
-			if len(nodes) < 2 {
-				continue
-			}
-			ch, err := st.spreadAcrossClusters(nodes, k.class)
+			st.ar.groupNodes = nodes
+			ch, err := st.spreadAcrossClusters(nodes, trips[s].class)
 			if err != nil {
 				return changed, err
 			}
 			changed = changed || ch
 		}
+		s = e
 	}
 	return changed, nil
 }
@@ -311,13 +345,8 @@ func (st *State) ruleCCResources() (bool, error) {
 // rulePinnedResources applies the same co-issue analysis to nodes pinned
 // to absolute cycles, and checks bus capacity among pinned copies.
 func (st *State) rulePinnedResources() (bool, error) {
-	type key struct {
-		cycle int
-		class ir.Class
-	}
-	byCycle := make(map[key][]int)
-	var keys []key
-	var pinnedCopies []int
+	trips := st.ar.trips[:0]
+	pinnedCopies := st.ar.pinnedCopies[:0]
 	for node := 0; node < len(st.est); node++ {
 		if !st.Pinned(node) {
 			continue
@@ -326,39 +355,27 @@ func (st *State) rulePinnedResources() (bool, error) {
 			pinnedCopies = append(pinnedCopies, node)
 			continue
 		}
-		k := key{st.est[node], st.class[node]}
-		if len(byCycle[k]) == 0 {
-			keys = append(keys, k)
-		}
-		byCycle[k] = append(byCycle[k], node)
+		trips = append(trips, resTriple{key: st.est[node], class: st.class[node], node: node})
 	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].cycle != keys[j].cycle {
-			return keys[i].cycle < keys[j].cycle
-		}
-		return keys[i].class < keys[j].class
-	})
-	changed := false
-	for _, k := range keys {
-		nodes := byCycle[k]
-		if len(nodes) < 2 {
-			continue
-		}
-		ch, err := st.spreadAcrossClusters(nodes, k.class)
-		if err != nil {
-			return changed, err
-		}
-		changed = changed || ch
+	st.ar.trips, st.ar.pinnedCopies = trips, pinnedCopies
+	sortTriples(trips)
+	changed, err := st.spreadTripleRuns(trips)
+	if err != nil {
+		return changed, err
 	}
 	// Bus capacity among pinned copies: each occupies BusOccupancy
-	// cycles.
-	occ := st.M.BusOccupancy()
-	use := make(map[int]int)
-	for _, node := range pinnedCopies {
-		for t := st.est[node]; t < st.est[node]+occ; t++ {
-			use[t]++
-			if use[t] > st.M.Buses {
-				return changed, contraf("cycle %d: %d pinned copies exceed %d bus(es)", t, use[t], st.M.Buses)
+	// cycles. Copies never start after End − BusLatency, so End + occ
+	// bounds every occupied cycle.
+	if len(pinnedCopies) > 0 {
+		occ := st.M.BusOccupancy()
+		use := claim(&st.ar.busUse, st.End+occ+2, st.End+occ+2)
+		clear(use)
+		for _, node := range pinnedCopies {
+			for t := st.est[node]; t < st.est[node]+occ; t++ {
+				use[t]++
+				if use[t] > st.M.Buses {
+					return changed, contraf("cycle %d: %d pinned copies exceed %d bus(es)", t, use[t], st.M.Buses)
+				}
 			}
 		}
 	}
@@ -404,22 +421,21 @@ func (st *State) spreadAcrossClusters(nodes []int, class ir.Class) (bool, error)
 // fused flow needs nothing.
 func (st *State) ruleClusterEdges() (bool, error) {
 	changed := false
-	visit := func(value, consumer int) error {
-		ch, err := st.handleFlow(value, consumer)
-		changed = changed || ch
-		return err
-	}
 	for _, e := range st.SB.Edges {
 		if e.Kind != ir.Data {
 			continue
 		}
-		if err := visit(e.From, e.To); err != nil {
+		ch, err := st.handleFlow(e.From, e.To)
+		changed = changed || ch
+		if err != nil {
 			return changed, err
 		}
 	}
 	for li := range st.SB.LiveIns {
 		for _, c := range st.SB.LiveIns[li].Consumers {
-			if err := visit(-(li + 1), c); err != nil {
+			ch, err := st.handleFlow(-(li + 1), c)
+			changed = changed || ch
+			if err != nil {
 				return changed, err
 			}
 		}
@@ -504,7 +520,7 @@ func (st *State) handleLiveOut(u, pc int) (bool, error) {
 // ensureComm materializes the (single, broadcast) communication for a
 // value. Returns the copy's state node.
 func (st *State) ensureComm(value int) (node int, changed bool, err error) {
-	if n, ok := st.commByValue[value]; ok {
+	if n := st.commFor(value); n >= 0 {
 		return st.comms[n].Node, false, nil
 	}
 	if st.M.Buses < 1 {
@@ -523,7 +539,7 @@ func (st *State) ensureComm(value int) (node int, changed bool, err error) {
 	if err != nil {
 		return 0, false, err
 	}
-	st.commByValue[value] = len(st.comms)
+	st.commIdx[st.commSlot(value)] = int32(len(st.comms))
 	st.comms = append(st.comms, commRec{Node: node, Value: value})
 	st.trailMark(tCommAdd)
 	// The copy executes in the value's home cluster.
@@ -544,14 +560,12 @@ func (st *State) ensureComm(value int) (node int, changed bool, err error) {
 // consumers.
 func (st *State) ruleCPLC() (bool, error) {
 	changed := false
-	values := make([]int, 0, st.nOrig+len(st.SB.LiveIns))
-	for v := 0; v < st.nOrig; v++ {
-		values = append(values, v)
-	}
-	for li := range st.SB.LiveIns {
-		values = append(values, -(li + 1))
-	}
-	for _, v := range values {
+	nVals := st.nOrig + len(st.SB.LiveIns)
+	for vi := 0; vi < nVals; vi++ {
+		v := vi
+		if vi >= st.nOrig {
+			v = -(vi - st.nOrig + 1)
+		}
 		consumers := st.consumersOf(v)
 		if len(consumers) < 2 {
 			continue
@@ -586,7 +600,7 @@ func (st *State) ruleCPLC() (bool, error) {
 func (st *State) rulePPLC() (bool, error) {
 	changed := false
 	for c := 0; c < st.nOrig; c++ {
-		values := st.valuesConsumedBy(c)
+		values := st.idx.consVals[st.idx.consStart[c]:st.idx.consStart[c+1]]
 		if len(values) < 2 {
 			continue
 		}
@@ -613,9 +627,7 @@ func (st *State) rulePPLC() (bool, error) {
 							c, v1, v2, arrive, st.lst[c])
 					}
 				}
-				key := [3]int{c, min(v1, v2), max(v1, v2)}
-				if !st.plcSeen[key] {
-					st.plcSeen[key] = true
+				if !st.plcSeenHas(c, min(v1, v2), max(v1, v2)) {
 					st.plcs = append(st.plcs, plcRec{Consumer: c, Alts: [2]int{v1, v2}})
 					st.trailMark(tPLCAdd)
 					changed = true
@@ -626,24 +638,17 @@ func (st *State) rulePPLC() (bool, error) {
 	return changed, nil
 }
 
-// valuesConsumedBy lists the values instruction c reads: data-edge
-// producers plus live-ins.
-func (st *State) valuesConsumedBy(c int) []int {
-	var out []int
-	for _, ei := range st.SB.InEdges(c) {
-		e := st.SB.Edges[ei]
-		if e.Kind == ir.Data {
-			out = append(out, e.From)
+// plcSeenHas reports whether a PLC for consumer c over the (normalized
+// lo <= hi) alternative pair is already recorded. The list stays small
+// (one entry per incompatible producer pair), so a linear scan beats
+// the former map.
+func (st *State) plcSeenHas(c, lo, hi int) bool {
+	for _, p := range st.plcs {
+		if p.Consumer == c && min(p.Alts[0], p.Alts[1]) == lo && max(p.Alts[0], p.Alts[1]) == hi {
+			return true
 		}
 	}
-	for li := range st.SB.LiveIns {
-		for _, cc := range st.SB.LiveIns[li].Consumers {
-			if cc == c {
-				out = append(out, -(li + 1))
-			}
-		}
-	}
-	return out
+	return false
 }
 
 // packingSizeLimit bounds the O(n³) window-packing analysis; beyond this
@@ -659,7 +664,10 @@ const packingSizeLimit = 80
 // with pending PLC reservations.
 func (st *State) ruleWindowPacking() (bool, error) {
 	changed := false
-	var byClass [ir.NumClasses][]int
+	byClass := &st.ar.byClass
+	for c := range byClass {
+		byClass[c] = byClass[c][:0]
+	}
 	for node := 0; node < len(st.est); node++ {
 		byClass[st.class[node]] = append(byClass[st.class[node]], node)
 	}
@@ -677,7 +685,7 @@ func (st *State) ruleWindowPacking() (bool, error) {
 		if cap < 1 {
 			return changed, contraf("instructions of class %s on a machine without %s units", class, class)
 		}
-		ivs := make([]interval, 0, len(nodes))
+		ivs := st.ar.ivs[:0]
 		for _, n := range nodes {
 			ivs = append(ivs, interval{node: n, lo: st.est[n], hi: st.lst[n] + dur - 1})
 		}
@@ -686,17 +694,19 @@ func (st *State) ruleWindowPacking() (bool, error) {
 			// cover every PLC it is an alternative of, so only PLCs with
 			// pairwise-disjoint alternative sets are certain to need
 			// distinct copies (a sound lower bound on future demand).
-			seen := make(map[int]bool)
+			seenAlts := st.ar.plcAlts[:0]
 			for _, p := range st.plcs {
-				if st.plcCovered(p) || seen[p.Alts[0]] || seen[p.Alts[1]] {
+				if st.plcCovered(p) || containsInt(seenAlts, p.Alts[0]) || containsInt(seenAlts, p.Alts[1]) {
 					continue
 				}
-				seen[p.Alts[0]], seen[p.Alts[1]] = true, true
+				seenAlts = append(seenAlts, p.Alts[0], p.Alts[1])
 				lo := min(st.valueReadyEst(p.Alts[0]), st.valueReadyEst(p.Alts[1]))
 				hi := st.lst[p.Consumer] - st.M.BusLatency + dur - 1
 				ivs = append(ivs, interval{node: -1, lo: lo, hi: hi})
 			}
+			st.ar.plcAlts = seenAlts
 		}
+		st.ar.ivs = ivs
 		ch, err := st.packIntervals(ivs, cap, dur)
 		if err != nil {
 			return changed, err
@@ -712,16 +722,17 @@ type interval struct {
 }
 
 func (st *State) packIntervals(ivs []interval, cap, dur int) (bool, error) {
-	los := make([]int, 0, len(ivs))
-	his := make([]int, 0, len(ivs))
+	los := st.ar.los[:0]
+	his := st.ar.his[:0]
 	for _, iv := range ivs {
 		los = append(los, iv.lo)
 		his = append(his, iv.hi)
 	}
-	sort.Ints(los)
-	sort.Ints(his)
+	slices.Sort(los)
+	slices.Sort(his)
 	los = dedupInts(los)
 	his = dedupInts(his)
+	st.ar.los, st.ar.his = los, his
 	changed := false
 	for _, a := range los {
 		for _, b := range his {

@@ -20,6 +20,12 @@
 //     partially linked communications (PLCs) reserving bus bandwidth for
 //     alternatives that are not yet resolved.
 //
+// The hot structures are flat arrays over a per-request Arena: pairs
+// are indexed densely with combination sets as fixed-width bitsets
+// (combset.go), pair/communication lookups are dense slices instead of
+// maps, and the cc-groups cache is a CSR over arena buffers. See
+// DESIGN.md ("Flat state layout").
+//
 // All rule families are documented in DESIGN.md (U1–U4, D1–D9).
 package deduce
 
@@ -147,10 +153,13 @@ const (
 	Dropped
 )
 
-// PairState tracks one SG pair during scheduling.
+// PairState is the materialized view of one SG pair, as returned by
+// Pair/PairAt/Pairs. Internally pairs live as flat records with bitset
+// combination sets (combset.go); this snapshot is independent of the
+// state and safe to keep across mutations.
 type PairState struct {
 	sg.Pair
-	Combs  []int // remaining (not yet discarded) combinations
+	Combs  []int // remaining (not yet discarded) combinations, ascending
 	Status PairStatus
 	Comb   int // the chosen combination, valid when Status == Chosen
 }
@@ -194,21 +203,23 @@ type State struct {
 	est   []int
 	lst   []int
 
-	pairs   []PairState
-	pairIdx map[sg.Pair]int
+	// pairs is the dense pair table; combWords holds idx.combW bitset
+	// words per pair (see combset.go). idx carries the immutable
+	// pair/consumer lookup tables shared across states of one block.
+	pairs     []pairRec
+	combWords []uint64
+	idx       *sgIndex
 
 	cc *graphutil.OffsetUF
 	vc *vcg.Graph
 
-	arcs   []arc
-	arcSet map[[2]int]int // (from,to) → index of tightest arc
-	outA   [][]int
-	inA    [][]int
+	arcs []arc
+	outA [][]int
+	inA  [][]int
 
-	comms       []commRec
-	commByValue map[int]int
-	plcs        []plcRec
-	plcSeen     map[[3]int]bool
+	comms   []commRec
+	commIdx []int32 // value slot (commSlot) → comms index, −1 = none
+	plcs    []plcRec
 
 	pins sched.Pins
 
@@ -218,13 +229,19 @@ type State struct {
 	// is open); see trail.go.
 	tr *trail
 
-	// ccGroups caches the original-instruction membership of each
-	// multi-node connected component, keyed by the union-find's
-	// membership version (0 = no cache; versions start at 1). Rules
-	// rebuild it only when a union, node addition, or trail undo
-	// actually changed the partition.
-	ccGroups    map[int][]int
-	ccRoots     []int // sorted roots of ccGroups, same cache generation
+	// ar owns this state's backing buffers and rule scratch; see
+	// arena.go for the lifetime contract.
+	ar *Arena
+
+	// cc-groups cache: the original-instruction membership of each
+	// connected component as a CSR (sorted roots; members of root
+	// ccRoots[i] are ccMembers[ccStart[i]:ccStart[i+1]], ascending),
+	// keyed by the union-find's membership version (0 = no cache;
+	// versions start at 1). Rules rebuild it only when a union, node
+	// addition, or trail undo actually changed the partition.
+	ccRoots     []int
+	ccStart     []int
+	ccMembers   []int
 	ccGroupsVer uint64
 }
 
@@ -236,6 +253,11 @@ type Options struct {
 	// AWCT enumeration); when false, exits keep the window [estart,
 	// deadline] (used by the minAWCT enhancement probes).
 	PinExits bool
+	// Arena provides reusable backing storage. Nil gives the state a
+	// private arena; sharing one across *sequential* states amortizes
+	// every allocation (see Arena). States alive at the same time must
+	// not share an arena.
+	Arena *Arena
 }
 
 // NewState builds the initial scheduling state for the given exit
@@ -250,32 +272,30 @@ func NewState(sb *ir.Superblock, m *machine.Config, g *sg.Graph, deadlines map[i
 	// Size hints from the superblock and SG: at most one communication
 	// is materialized per value (every instruction result plus every
 	// live-in), each adding one node, a producer arc and consumer arcs.
-	// Sizing the maps and node arrays up front means steady-state
-	// scheduling does zero map growth.
+	// Claiming the node arrays at full capacity up front means
+	// steady-state scheduling does zero growth.
 	maxComms := n + len(sb.LiveIns)
 	maxNodes := n + maxComms
-	st := &State{
-		SB:          sb,
-		M:           m,
-		SGr:         g,
-		Deadlines:   deadlines,
-		nOrig:       n,
-		class:       make([]ir.Class, n, maxNodes),
-		lat:         make([]int, n, maxNodes),
-		pairs:       make([]PairState, 0, g.NumEdges()),
-		pairIdx:     make(map[sg.Pair]int, g.NumEdges()),
-		cc:          graphutil.NewOffsetUF(n),
-		vc:          vcg.New(n, m.Clusters),
-		arcs:        make([]arc, 0, len(sb.Edges)+4*maxComms),
-		arcSet:      make(map[[2]int]int, len(sb.Edges)+4*maxComms),
-		outA:        make([][]int, n, maxNodes),
-		inA:         make([][]int, n, maxNodes),
-		comms:       make([]commRec, 0, maxComms),
-		commByValue: make(map[int]int, maxComms),
-		plcSeen:     make(map[[3]int]bool, g.NumEdges()),
-		pins:        opts.Pins,
-		budget:      opts.Budget,
+	ar := opts.Arena
+	if ar == nil {
+		ar = NewArena()
 	}
+	idx := ar.index(sb, g)
+	st := &State{
+		SB:        sb,
+		M:         m,
+		SGr:       g,
+		Deadlines: deadlines,
+		nOrig:     n,
+		idx:       idx,
+		ar:        ar,
+		pins:      opts.Pins,
+		budget:    opts.Budget,
+	}
+	st.class = claim(&ar.class, n, maxNodes)
+	st.lat = claim(&ar.lat, n, maxNodes)
+	st.est = claim(&ar.est, n, maxNodes)
+	st.lst = claim(&ar.lst, n, maxNodes)
 	for i, in := range sb.Instrs {
 		st.class[i] = in.Class
 		st.lat[i] = in.Latency
@@ -283,8 +303,8 @@ func NewState(sb *ir.Superblock, m *machine.Config, g *sg.Graph, deadlines map[i
 	last := sb.Exits()[len(sb.Exits())-1]
 	st.End = deadlines[last] + sb.Instrs[last].Latency
 
-	st.est = append(make([]int, 0, maxNodes), sb.EStarts()...)
-	st.lst = append(make([]int, 0, maxNodes), sb.LStarts(deadlines)...)
+	copy(st.est, sb.EStarts())
+	copy(st.lst, sb.LStarts(deadlines))
 	for _, x := range sb.Exits() {
 		d := deadlines[x]
 		if st.est[x] > d {
@@ -303,13 +323,57 @@ func NewState(sb *ir.Superblock, m *machine.Config, g *sg.Graph, deadlines map[i
 			return nil, contraf("instruction %d window empty: [%d,%d]", i, st.est[i], st.lst[i])
 		}
 	}
+
+	arcCap := len(sb.Edges) + 4*maxComms
+	st.arcs = claim(&ar.arcs, 0, arcCap)
+	st.outA = claimAdj(&ar.outA, n, maxNodes)
+	st.inA = claimAdj(&ar.inA, n, maxNodes)
 	for _, e := range sb.Edges {
 		st.addArc(e.From, e.To, e.Latency)
 	}
-	for _, e := range g.Edges {
-		st.pairIdx[e.Pair] = len(st.pairs)
-		st.pairs = append(st.pairs, PairState{Pair: e.Pair, Combs: append([]int(nil), e.Combs...)})
+
+	np := g.NumEdges()
+	st.pairs = claim(&ar.pairs, np, np)
+	st.combWords = claim(&ar.combWords, np*idx.combW, np*idx.combW)
+	clear(st.combWords)
+	for i, e := range g.Edges {
+		base := e.Combs[0]
+		st.pairs[i] = pairRec{
+			u:     int32(e.U),
+			v:     int32(e.V),
+			base:  int32(base),
+			nbits: int32(e.Combs[len(e.Combs)-1] - base + 1),
+		}
+		for _, c := range e.Combs {
+			b := c - base
+			st.combWords[i*idx.combW+(b>>6)] |= 1 << uint(b&63)
+		}
 	}
+
+	st.comms = claim(&ar.comms, 0, maxComms)
+	st.commIdx = claim(&ar.commIdx, maxComms, maxComms)
+	for i := range st.commIdx {
+		st.commIdx[i] = -1
+	}
+	st.plcs = claim(&ar.plcs, 0, np)
+
+	if ar.cc == nil {
+		ar.cc = graphutil.NewOffsetUF(n)
+	} else {
+		ar.cc.Reset(n)
+	}
+	st.cc = ar.cc
+	if ar.vc == nil {
+		ar.vc = vcg.NewWithCap(n, m.Clusters, maxNodes+m.Clusters)
+	} else {
+		ar.vc.Reset(n, m.Clusters, maxNodes+m.Clusters)
+	}
+	st.vc = ar.vc
+
+	st.ccRoots = claim(&ar.ccRoots, 0, n)
+	st.ccStart = claim(&ar.ccStart, 0, n+1)
+	st.ccMembers = claim(&ar.ccMembers, 0, n)
+
 	// Live-in consumers and live-out producers relate to anchors from
 	// the start; the rules pick the relations up during propagation.
 	if err := st.Propagate(); err != nil {
@@ -376,17 +440,38 @@ func (st *State) Class(node int) ir.Class { return st.class[node] }
 // FuseVC/SplitVC so consequences propagate).
 func (st *State) VC() *vcg.Graph { return st.vc }
 
-// Pair returns the state of pair (a,b), if it is an SG pair.
-func (st *State) Pair(a, b int) (PairState, bool) {
-	i, ok := st.pairIdx[sg.MakePair(a, b)]
-	if !ok {
-		return PairState{}, false
+// NumPairs returns the number of SG pairs.
+func (st *State) NumPairs() int { return len(st.pairs) }
+
+// PairAt materializes the state of the pair with dense index i.
+func (st *State) PairAt(i int) PairState {
+	p := &st.pairs[i]
+	return PairState{
+		Pair:   sg.Pair{U: int(p.u), V: int(p.v)},
+		Combs:  st.appendCombs(nil, i),
+		Status: p.status,
+		Comb:   int(p.comb),
 	}
-	return st.pairs[i], true
 }
 
-// Pairs returns the pair table (shared slice: callers must not mutate).
-func (st *State) Pairs() []PairState { return st.pairs }
+// Pair returns the state of pair (a,b), if it is an SG pair.
+func (st *State) Pair(a, b int) (PairState, bool) {
+	i := st.pairIndex(a, b)
+	if i < 0 {
+		return PairState{}, false
+	}
+	return st.PairAt(i), true
+}
+
+// Pairs materializes the whole pair table. It allocates one snapshot
+// per pair; hot paths use NumPairs/PairAt or the internal accessors.
+func (st *State) Pairs() []PairState {
+	out := make([]PairState, len(st.pairs))
+	for i := range st.pairs {
+		out[i] = st.PairAt(i)
+	}
+	return out
+}
 
 // Comms returns the materialized communications as (node, value) pairs.
 func (st *State) Comms() [][2]int {
@@ -411,7 +496,7 @@ func (st *State) PendingPLCs() int {
 
 func (st *State) plcCovered(p plcRec) bool {
 	for _, alt := range p.Alts {
-		if _, ok := st.commByValue[alt]; ok {
+		if st.commFor(alt) >= 0 {
 			return true
 		}
 	}
@@ -419,20 +504,22 @@ func (st *State) plcCovered(p plcRec) bool {
 }
 
 // addArc inserts a precedence arc, keeping only the tightest latency per
-// (from,to). Returns true if the arc is new or tightened.
+// (from,to). Returns true if the arc is new or tightened. Duplicate
+// detection scans from's out-list: it holds at most one entry per
+// target by construction, and out-degrees are small.
 func (st *State) addArc(from, to, lat int) bool {
-	key := [2]int{from, to}
-	if i, ok := st.arcSet[key]; ok {
-		if st.arcs[i].Lat >= lat {
-			return false
+	for _, ai := range st.outA[from] {
+		if st.arcs[ai].To == to {
+			if st.arcs[ai].Lat >= lat {
+				return false
+			}
+			if st.tr != nil {
+				st.tr.entries = append(st.tr.entries, trailEntry{kind: tArcLat, a: ai, b: st.arcs[ai].Lat})
+			}
+			st.arcs[ai].Lat = lat
+			return true
 		}
-		if st.tr != nil {
-			st.tr.entries = append(st.tr.entries, trailEntry{kind: tArcLat, a: i, b: st.arcs[i].Lat})
-		}
-		st.arcs[i].Lat = lat
-		return true
 	}
-	st.arcSet[key] = len(st.arcs)
 	st.arcs = append(st.arcs, arc{from, to, lat})
 	st.outA[from] = append(st.outA[from], len(st.arcs)-1)
 	st.inA[to] = append(st.inA[to], len(st.arcs)-1)
@@ -454,8 +541,8 @@ func (st *State) addNode(class ir.Class, lat, est, lst int) (int, error) {
 	st.lat = append(st.lat, lat)
 	st.est = append(st.est, est)
 	st.lst = append(st.lst, lst)
-	st.outA = append(st.outA, nil)
-	st.inA = append(st.inA, nil)
+	st.outA = appendAdj(st.outA)
+	st.inA = appendAdj(st.inA)
 	st.cc.Add()
 	st.vc.AddNode()
 	st.trailMark(tNodeAdd)
@@ -464,62 +551,49 @@ func (st *State) addNode(class ir.Class, lat, est, lst int) (int, error) {
 
 // Clone deep-copies the state (sharing the immutable superblock, machine
 // and SG). The clone shares the budget, so studying candidates spends
-// from the same allowance. Clone is for long-lived forks (the parallel
-// portfolio's workers, the differential oracle); short-lived candidate
-// probes use Probe/Begin/Rollback instead. It must not be called while
-// a trail checkpoint is open.
+// from the same allowance, but detaches onto a fresh private arena —
+// it stays valid however the original's arena is reused. Clone is for
+// long-lived forks (the parallel portfolio's workers, the differential
+// oracle); short-lived candidate probes use Probe/Begin/Rollback
+// instead. It must not be called while a trail checkpoint is open.
 func (st *State) Clone() *State {
 	if st.tr != nil {
 		panic("deduce: Clone during active trail")
 	}
+	ar := NewArena()
+	ar.idx = st.idx
 	cp := &State{
-		SB:          st.SB,
-		M:           st.M,
-		SGr:         st.SGr,
-		Deadlines:   st.Deadlines,
-		End:         st.End,
-		nOrig:       st.nOrig,
-		class:       append([]ir.Class(nil), st.class...),
-		lat:         append([]int(nil), st.lat...),
-		est:         append([]int(nil), st.est...),
-		lst:         append([]int(nil), st.lst...),
-		pairs:       make([]PairState, len(st.pairs)),
-		pairIdx:     st.pairIdx, // immutable after NewState
-		cc:          st.cc.Clone(),
-		vc:          st.vc.Clone(),
-		arcs:        append([]arc(nil), st.arcs...),
-		arcSet:      make(map[[2]int]int, len(st.arcSet)),
-		outA:        make([][]int, len(st.outA)),
-		inA:         make([][]int, len(st.inA)),
-		comms:       append([]commRec(nil), st.comms...),
-		commByValue: make(map[int]int, len(st.commByValue)),
-		plcs:        append([]plcRec(nil), st.plcs...),
-		plcSeen:     make(map[[3]int]bool, len(st.plcSeen)),
-		pins:        st.pins,
-		budget:      st.budget,
-		// The groups cache is safe to share: rebuilds replace the map
-		// wholesale, never mutate it in place.
-		ccGroups:    st.ccGroups,
-		ccRoots:     st.ccRoots,
-		ccGroupsVer: st.ccGroupsVer,
-	}
-	for i := range st.pairs {
-		p := st.pairs[i]
-		p.Combs = append([]int(nil), p.Combs...)
-		cp.pairs[i] = p
-	}
-	for k, v := range st.arcSet {
-		cp.arcSet[k] = v
+		SB:        st.SB,
+		M:         st.M,
+		SGr:       st.SGr,
+		Deadlines: st.Deadlines,
+		End:       st.End,
+		nOrig:     st.nOrig,
+		class:     append([]ir.Class(nil), st.class...),
+		lat:       append([]int(nil), st.lat...),
+		est:       append([]int(nil), st.est...),
+		lst:       append([]int(nil), st.lst...),
+		pairs:     append([]pairRec(nil), st.pairs...),
+		combWords: append([]uint64(nil), st.combWords...),
+		idx:       st.idx,
+		cc:        st.cc.Clone(),
+		vc:        st.vc.Clone(),
+		arcs:      append([]arc(nil), st.arcs...),
+		outA:      make([][]int, len(st.outA)),
+		inA:       make([][]int, len(st.inA)),
+		comms:     append([]commRec(nil), st.comms...),
+		commIdx:   append([]int32(nil), st.commIdx...),
+		plcs:      append([]plcRec(nil), st.plcs...),
+		pins:      st.pins,
+		budget:    st.budget,
+		ar:        ar,
+		// The groups cache is derived data over arena buffers; the
+		// clone rebuilds it on first use.
+		ccGroupsVer: 0,
 	}
 	for i := range st.outA {
 		cp.outA[i] = append([]int(nil), st.outA[i]...)
 		cp.inA[i] = append([]int(nil), st.inA[i]...)
-	}
-	for k, v := range st.commByValue {
-		cp.commByValue[k] = v
-	}
-	for k, v := range st.plcSeen {
-		cp.plcSeen[k] = v
 	}
 	return cp
 }

@@ -13,14 +13,15 @@ import (
 // probe, the backtracking architecture of modern constraint/SAT
 // engines.
 //
-// What is trailed: est/lst bound moves, pair status/comb/combination
-// mutations, arc inserts and latency tightenings, node additions,
-// communication and PLC materializations. The connected-component
-// union-find (graphutil.OffsetUF) and the virtual cluster graph
-// (vcg.Graph) keep their own op logs, checkpointed here via marks;
-// the logs touch disjoint structures, so undo order between them does
-// not matter. Everything else on State (superblock, machine, SG,
-// deadlines, pairIdx, pins, budget) is immutable during decisions.
+// What is trailed: est/lst bound moves, pair status/comb mutations,
+// combination bitset words (at word granularity, via setCombWord), arc
+// inserts and latency tightenings, node additions, communication and
+// PLC materializations. The connected-component union-find
+// (graphutil.OffsetUF) and the virtual cluster graph (vcg.Graph) keep
+// their own op logs, checkpointed here via marks; the logs touch
+// disjoint structures, so undo order between them does not matter.
+// Everything else on State (superblock, machine, SG, deadlines, the
+// shared sgIndex, pins, budget) is immutable during decisions.
 //
 // The budget is deliberately NOT restored on rollback: speculative work
 // costs real deduction steps, exactly as it did when probes ran on
@@ -32,31 +33,31 @@ import (
 type trailKind uint8
 
 const (
-	tEst     trailKind = iota // a=node, b=old est
-	tLst                      // a=node, b=old lst
-	tPair                     // a=pair index, b=old Comb, c=arena offset, d=old comb count (−1: nil Combs), status=old Status
-	tArcLat                   // a=arc index, b=old latency
-	tArcAdd                   // arc appended; undo truncates arcs/arcSet/outA/inA
-	tCommAdd                  // comm appended; undo truncates comms and commByValue
-	tPLCAdd                   // PLC appended; undo truncates plcs and plcSeen
-	tNodeAdd                  // state node appended; undo truncates the node arrays
+	tEst      trailKind = iota // a=node, b=old est
+	tLst                       // a=node, b=old lst
+	tPairMeta                  // a=pair index, b=old comb, status=old status
+	tCombWord                  // a=global bitset word index, w=old word
+	tArcLat                    // a=arc index, b=old latency
+	tArcAdd                    // arc appended; undo truncates arcs/outA/inA
+	tCommAdd                   // comm appended; undo truncates comms and clears commIdx
+	tPLCAdd                    // PLC appended; undo truncates plcs
+	tNodeAdd                   // state node appended; undo truncates the node arrays
 )
 
-// trailEntry is one recorded mutation. Old pair combinations are copied
-// into the trail's shared int arena (c/d index it) so recording a pair
-// never allocates.
+// trailEntry is one recorded mutation. Combination-set changes are
+// recorded per mutated word (tCombWord, old value in w), so recording a
+// pair never allocates and undo is O(changed words).
 type trailEntry struct {
 	kind   trailKind
 	status PairStatus
 	a, b   int
-	c, d   int
+	w      uint64
 }
 
-// trailCP is one Begin checkpoint: positions in the entry log and
-// arena, plus the marks of the two structure-owned logs.
+// trailCP is one Begin checkpoint: a position in the entry log plus the
+// marks of the two structure-owned logs.
 type trailCP struct {
 	entries int
-	arena   int
 	cc      int
 	vc      vcg.Mark
 }
@@ -66,7 +67,6 @@ type trailCP struct {
 // steady-state probe records and undoes without allocating.
 type trail struct {
 	entries []trailEntry
-	arena   []int
 	cps     []trailCP
 }
 
@@ -83,15 +83,13 @@ func (st *State) Begin() {
 			// First use of this pooled trail: size the log for a typical
 			// probe on this SG — a few bound moves per node plus pair
 			// mutations — so steady state never grows it.
-			tr.entries = make([]trailEntry, 0, 4*len(st.est)+2*len(st.pairs)+16)
-			tr.arena = make([]int, 0, 4*len(st.pairs)+16)
+			tr.entries = make([]trailEntry, 0, 4*len(st.est)+3*len(st.pairs)+16)
 			tr.cps = make([]trailCP, 0, 4)
 		}
 		st.tr = tr
 	}
 	st.tr.cps = append(st.tr.cps, trailCP{
 		entries: len(st.tr.entries),
-		arena:   len(st.tr.arena),
 		cc:      st.cc.TrailMark(),
 		vc:      st.vc.TrailMark(),
 	})
@@ -149,7 +147,6 @@ func (st *State) releaseTrail() {
 	st.cc.TrailStop()
 	st.vc.TrailStop()
 	tr.entries = tr.entries[:0]
-	tr.arena = tr.arena[:0]
 	tr.cps = tr.cps[:0]
 	trailPool.Put(tr)
 }
@@ -166,35 +163,26 @@ func (st *State) undoTo(cp trailCP) {
 			st.est[e.a] = e.b
 		case tLst:
 			st.lst[e.a] = e.b
-		case tPair:
+		case tPairMeta:
 			p := &st.pairs[e.a]
-			p.Status = e.status
-			p.Comb = e.b
-			if e.d < 0 {
-				p.Combs = nil
-			} else {
-				// Fresh copy: the arena slot is recycled by later probes,
-				// so the pair must not alias it.
-				p.Combs = append([]int(nil), tr.arena[e.c:e.c+e.d]...)
-			}
+			p.status = e.status
+			p.comb = int32(e.b)
+		case tCombWord:
+			st.combWords[e.a] = e.w
 		case tArcLat:
 			st.arcs[e.a].Lat = e.b
 		case tArcAdd:
 			n := len(st.arcs) - 1
 			a := st.arcs[n]
-			delete(st.arcSet, [2]int{a.From, a.To})
 			st.arcs = st.arcs[:n]
 			st.outA[a.From] = st.outA[a.From][:len(st.outA[a.From])-1]
 			st.inA[a.To] = st.inA[a.To][:len(st.inA[a.To])-1]
 		case tCommAdd:
 			n := len(st.comms) - 1
-			delete(st.commByValue, st.comms[n].Value)
+			st.commIdx[st.commSlot(st.comms[n].Value)] = -1
 			st.comms = st.comms[:n]
 		case tPLCAdd:
-			n := len(st.plcs) - 1
-			p := st.plcs[n]
-			delete(st.plcSeen, [3]int{p.Consumer, min(p.Alts[0], p.Alts[1]), max(p.Alts[0], p.Alts[1])})
-			st.plcs = st.plcs[:n]
+			st.plcs = st.plcs[:len(st.plcs)-1]
 		case tNodeAdd:
 			n := len(st.est) - 1
 			st.class = st.class[:n]
@@ -206,7 +194,6 @@ func (st *State) undoTo(cp trailCP) {
 		}
 	}
 	tr.entries = tr.entries[:cp.entries]
-	tr.arena = tr.arena[:cp.arena]
 	st.cc.TrailUndo(cp.cc)
 	st.vc.TrailUndo(cp.vc)
 }
@@ -227,21 +214,17 @@ func (st *State) setLst(node, v int) {
 	st.lst[node] = v
 }
 
-// trailPair records pair i's full pre-mutation value (status, chosen
-// comb, remaining combinations). Call before the first mutation of a
-// pair in any code path; redundant records are harmless (undo runs in
-// reverse, so the oldest snapshot wins).
+// trailPair records pair i's pre-mutation status and chosen comb. Call
+// before the first status/comb mutation of a pair in any code path;
+// the combination bitset needs no explicit snapshot — setCombWord
+// trails each mutated word itself. Redundant records are harmless
+// (undo runs in reverse, so the oldest snapshot wins).
 func (st *State) trailPair(i int) {
 	if st.tr == nil {
 		return
 	}
 	p := &st.pairs[i]
-	e := trailEntry{kind: tPair, status: p.Status, a: i, b: p.Comb, c: len(st.tr.arena), d: -1}
-	if p.Combs != nil {
-		e.d = len(p.Combs)
-		st.tr.arena = append(st.tr.arena, p.Combs...)
-	}
-	st.tr.entries = append(st.tr.entries, e)
+	st.tr.entries = append(st.tr.entries, trailEntry{kind: tPairMeta, status: p.status, a: i, b: int(p.comb)})
 }
 
 // trailMark appends a fieldless marker entry (arc/comm/PLC/node

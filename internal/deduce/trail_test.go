@@ -130,57 +130,71 @@ func TestCloneDuringTrailPanics(t *testing.T) {
 	st.Clone()
 }
 
-// TestFilterCombZeroesVacatedSlots is the regression test for the
-// DiscardComb stale-tail bug: the in-place filter must zero the backing
-// slots it vacates, so no discarded combination value stays live in the
-// array (it would leak into any code that re-extends the slice within
-// capacity, and kept dead data reachable).
-func TestFilterCombZeroesVacatedSlots(t *testing.T) {
-	combs := []int{-2, -1, 0, 1, 2}
-	kept := filterComb(combs, 0)
-	if want := []int{-2, -1, 1, 2}; len(kept) != len(want) {
-		t.Fatalf("kept %v, want %v", kept, want)
-	} else {
-		for i := range want {
-			if kept[i] != want[i] {
-				t.Fatalf("kept %v, want %v", kept, want)
-			}
-		}
-	}
-	backing := kept[:cap(kept)]
-	for i := len(kept); i < 5; i++ {
-		if backing[i] != 0 {
-			t.Errorf("vacated slot %d holds stale value %d", i, backing[i])
-		}
-	}
-}
-
-// TestDiscardCombStaleTail runs the same check through the public
-// decision on a real state.
-func TestDiscardCombStaleTail(t *testing.T) {
+// TestDiscardCombClearsBit checks the bitset representation through the
+// public decision: a discarded combination's bit goes away, the
+// remaining set stays consistent with the pre-discard set minus further
+// propagation, and the count matches the materialized slice.
+func TestDiscardCombClearsBit(t *testing.T) {
 	st, err := newFig1State(t, 5, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := range st.pairs {
-		p := &st.pairs[i]
+		p := st.PairAt(i)
 		if p.Status != Open || len(p.Combs) < 2 {
 			continue
 		}
-		n := len(p.Combs)
 		comb := p.Combs[0]
 		if err := st.DiscardComb(p.U, p.V, comb); err != nil && !IsContradiction(err) {
 			t.Fatal(err)
 		}
-		// Propagation may shrink the pair further; every vacated backing
-		// slot up to the original length must be zero.
-		backing := p.Combs[:cap(p.Combs)]
-		for k := len(p.Combs); k < n && k < len(backing); k++ {
-			if backing[k] != 0 {
-				t.Errorf("pair %d slot %d holds stale combination %d", i, k, backing[k])
-			}
+		if st.combHas(i, comb) {
+			t.Errorf("pair %d still holds discarded combination %d", i, comb)
+		}
+		after := st.PairAt(i)
+		if containsInt(after.Combs, comb) {
+			t.Errorf("pair %d materialized combs %v still hold %d", i, after.Combs, comb)
+		}
+		if got, want := st.combCount(i), len(after.Combs); got != want {
+			t.Errorf("pair %d popcount %d but %d materialized combs", i, got, want)
 		}
 		return
 	}
 	t.Skip("no open pair with 2+ combinations in the fixture")
+}
+
+// TestDiscardAllCombsDropsPair discards every remaining combination of
+// one pair and checks the status flips to Dropped with an empty set.
+func TestDiscardAllCombsDropsPair(t *testing.T) {
+	st, err := newFig1State(t, 5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range st.pairs {
+		p := st.PairAt(i)
+		if p.Status != Open {
+			continue
+		}
+		contradicted := false
+		for _, c := range p.Combs {
+			if err := st.DiscardComb(p.U, p.V, c); err != nil {
+				if !IsContradiction(err) {
+					t.Fatal(err)
+				}
+				contradicted = true
+				break
+			}
+		}
+		if contradicted {
+			return // discarding forced-overlap combinations may legally contradict
+		}
+		if got := st.pairs[i].status; got != Dropped {
+			t.Errorf("pair %d status %d after discarding all combs, want Dropped", i, got)
+		}
+		if n := st.combCount(i); n != 0 {
+			t.Errorf("pair %d still has %d combinations after discarding all", i, n)
+		}
+		return
+	}
+	t.Skip("no open pair in the fixture")
 }

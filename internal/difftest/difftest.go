@@ -60,6 +60,7 @@ const (
 	KindCARSOracle     = "cars-oracle"     // baseline beats the exhaustive optimum
 
 	KindTrailClone = "trail-clone" // trail-based speculation diverged from the Clone-based oracle
+	KindBitsetRef  = "bitset-ref"  // bitset combination sets diverged from the recomputed reference
 
 	KindResilient         = "resilient"          // degradation ladder hard-failed or reported an inconsistent outcome
 	KindResilientValidate = "resilient-validate" // resilient schedule fails the validator
@@ -106,6 +107,13 @@ type Options struct {
 	// requires bit-identical fingerprints and error strings after every
 	// step (see CheckTrailClone).
 	TrailClone bool
+	// BitsetRef also replays a deterministic random decision script
+	// against one deduction state, recomputing every pair's surviving
+	// combination set from the SG edge, the current windows and the
+	// committed explicit discards, and requires the incrementally
+	// maintained bitsets to match exactly after construction, every
+	// probe rollback and every committed step (see CheckBitsetRef).
+	BitsetRef bool
 	// CorruptVC, when non-nil, is applied to the VC schedule between
 	// scheduling and cross-checking. It exists for fault injection: tests
 	// use it to simulate a scheduler bug and assert the harness catches
@@ -213,6 +221,13 @@ func Check(sb *ir.Superblock, opts Options) *Report {
 	// to the old full-state copy.
 	if opts.TrailClone {
 		checkTrailClone(rep)
+	}
+
+	// (g) bitset combination sets vs recomputed reference: the word-level
+	// incremental maintenance must equal a from-scratch recomputation at
+	// every observation point.
+	if opts.BitsetRef {
+		checkBitsetRef(rep)
 	}
 
 	// The baseline checks run regardless of the VC outcome: CARS always

@@ -133,6 +133,27 @@ func (u *UnionFind) TrailStop() {
 	u.ops = u.ops[:0]
 }
 
+// Reset reinitializes the structure to n singleton sets, reusing the
+// backing arrays (including capacity gained from previous growth). It
+// must not be called while a trail is active.
+func (u *UnionFind) Reset(n int) {
+	if u.trailing {
+		panic("graphutil: UnionFind.Reset during active trail")
+	}
+	if cap(u.parent) < n {
+		u.parent = make([]int, n)
+		u.size = make([]int, n)
+	}
+	u.parent = u.parent[:n]
+	u.size = u.size[:n]
+	for i := 0; i < n; i++ {
+		u.parent[i] = i
+		u.size[i] = 1
+	}
+	u.sets = n
+	u.ops = u.ops[:0]
+}
+
 // Clone returns a deep copy. It must not be called while a trail is
 // active: the copy would share no op log with the original, so undo
 // obligations would be silently lost.
@@ -319,6 +340,32 @@ func (o *OffsetUF) TrailUndo(mark int) {
 // array for reuse) and path compression resumes.
 func (o *OffsetUF) TrailStop() {
 	o.trailing = false
+	o.ops = o.ops[:0]
+}
+
+// Reset reinitializes the structure to n singletons with offset 0,
+// reusing the backing arrays. The membership version keeps advancing
+// monotonically across resets, so caches keyed on Version never confuse
+// two states that happen to share the storage. It must not be called
+// while a trail is active.
+func (o *OffsetUF) Reset(n int) {
+	if o.trailing {
+		panic("graphutil: OffsetUF.Reset during active trail")
+	}
+	if cap(o.parent) < n {
+		o.parent = make([]int, n)
+		o.rank = make([]int, n)
+		o.off = make([]int, n)
+	}
+	o.parent = o.parent[:n]
+	o.rank = o.rank[:n]
+	o.off = o.off[:n]
+	for i := 0; i < n; i++ {
+		o.parent[i] = i
+		o.rank[i] = 0
+		o.off[i] = 0
+	}
+	o.version++
 	o.ops = o.ops[:0]
 }
 

@@ -17,9 +17,15 @@ type lruEntry struct {
 	res Result
 }
 
+// newLRU requires capacity >= 1 and panics otherwise: capacity is
+// validated by Config.withDefaults (0 means "default 4096", negative
+// means "caching disabled" — New then never constructs an lru), so a
+// non-positive value reaching this point is a programming error.
+// Silently clamping it to 1 used to mask such errors as a cache that
+// thrashed on every insert.
 func newLRU(capacity int) *lru {
 	if capacity < 1 {
-		capacity = 1
+		panic("service: newLRU capacity must be >= 1 (Config validation owns the defaulting)")
 	}
 	return &lru{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
 }

@@ -1,0 +1,51 @@
+package service
+
+import "testing"
+
+// Regression tests for cache-capacity validation: Config.withDefaults
+// owns the "0 means 4096, negative means disabled" semantics, and
+// newLRU no longer papers over a non-positive capacity by clamping it
+// to a one-entry cache that evicts on every insert.
+
+func TestCacheEntriesDefaulting(t *testing.T) {
+	if got := (Config{}).withDefaults().CacheEntries; got != 4096 {
+		t.Fatalf("withDefaults CacheEntries = %d, want 4096", got)
+	}
+	if got := (Config{CacheEntries: -1}).withDefaults().CacheEntries; got != -1 {
+		t.Fatalf("withDefaults kept negative CacheEntries as %d, want -1 (disabled)", got)
+	}
+	if got := (Config{CacheEntries: 7}).withDefaults().CacheEntries; got != 7 {
+		t.Fatalf("withDefaults CacheEntries = %d, want the explicit 7", got)
+	}
+}
+
+func TestNewServiceCacheWiring(t *testing.T) {
+	def := New(Config{Workers: 1})
+	defer def.Close()
+	if def.cache == nil || def.cache.cap != 4096 {
+		t.Fatalf("default config: cache = %+v, want capacity 4096", def.cache)
+	}
+
+	off := New(Config{Workers: 1, CacheEntries: -1})
+	defer off.Close()
+	if off.cache != nil {
+		t.Fatalf("CacheEntries -1: cache = %+v, want nil (disabled)", off.cache)
+	}
+}
+
+func TestNewLRURejectsNonPositiveCapacity(t *testing.T) {
+	for _, capacity := range []int{0, -1, -4096} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("newLRU(%d) did not panic; it used to clamp silently to 1", capacity)
+				}
+			}()
+			newLRU(capacity)
+		}()
+	}
+	// And the boundary that is valid stays valid.
+	if c := newLRU(1); c.cap != 1 {
+		t.Fatalf("newLRU(1).cap = %d, want 1", c.cap)
+	}
+}

@@ -64,8 +64,11 @@ type Config struct {
 	// QueueDepth bounds the admission queue (0 = 4×Workers; values
 	// below 1 are clamped to 1). A full queue sheds.
 	QueueDepth int
-	// CacheEntries bounds the result cache (0 = default 4096;
-	// negative disables caching).
+	// CacheEntries bounds the result cache. 0 picks the default of
+	// 4096 entries; any negative value disables caching entirely (the
+	// service then recomputes every non-coalesced request). Config
+	// validation is the single owner of this defaulting — the cache
+	// constructor itself rejects non-positive capacities.
 	CacheEntries int
 	// DefaultDeadline applies to requests that name no deadline
 	// (0 = 5s).

@@ -14,14 +14,23 @@
 // pre-assigned locations of live-in/live-out values. Fusing an
 // instruction's VC with anchor k pins it to physical cluster k while
 // keeping the paper's delayed-mapping discipline intact.
+//
+// Incompatibility adjacency is stored as fixed-width bitset rows (one
+// row of incW words per node), so edge queries are single-word tests,
+// Degree is a popcount sweep, and the clique lower bound the deduction
+// process re-checks after every rule pass walks words instead of maps.
+// Rows hold bits only between current representatives: Fuse migrates
+// the losing representative's edges to the survivor and zeroes its row.
 package vcg
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"vcsched/internal/coloring"
+	"vcsched/internal/faultpoint"
 	"vcsched/internal/graphutil"
 )
 
@@ -37,8 +46,12 @@ var ErrContradiction = errors.New("vcg: contradiction")
 // node addition) is recorded so it can be reverted in O(changes)
 // instead of requiring a Clone.
 type Graph struct {
-	uf  *graphutil.UnionFind
-	inc []map[int]bool // incompatibility adjacency, valid for representatives
+	uf *graphutil.UnionFind
+	// inc is the incompatibility adjacency: node i's row is the incW
+	// words inc[i*incW:(i+1)*incW], bit j set when VCs i and j are
+	// incompatible. Rows are valid for representatives only.
+	inc  []uint64
+	incW int
 	// anchorBase is the node index of the anchor for physical cluster 0;
 	// −1 when the graph has no anchors.
 	anchorBase int
@@ -58,6 +71,16 @@ type Graph struct {
 	memoK      int
 	memoVer    uint64 // 0 = no memo (versions start at 1)
 	memoClique bool
+
+	// Scratch for the native clique bound; contents are dead between
+	// calls, the backing arrays are kept so steady-state re-checks do
+	// not allocate.
+	scReps   []int
+	scDeg    []int
+	scOrder  []int
+	scClique []int
+	scCount  []int
+	scSeen   []bool
 }
 
 // vop is one reversible incompatibility-adjacency mutation. Union
@@ -70,9 +93,9 @@ type vop struct {
 }
 
 const (
-	vopEdgeAdd uint8 = iota // edge (x,y) inserted; undo deletes both directions
-	vopEdgeDel              // edge (x,y) removed by Fuse; undo re-adds both directions
-	vopNodeAdd              // node appended; undo truncates inc
+	vopEdgeAdd uint8 = iota // edge (x,y) inserted; undo clears both bits
+	vopEdgeDel              // edge (x,y) removed by Fuse; undo re-sets both bits
+	vopNodeAdd              // node appended; undo truncates inc by one row
 )
 
 // Mark is a checkpoint in the graph's trail, from TrailMark.
@@ -81,36 +104,138 @@ type Mark struct {
 	ops int
 }
 
+func wordsFor(n int) int {
+	w := (n + 63) >> 6
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // New creates a VCG over n instruction nodes (ids 0..n−1), each in its
 // own VC. If anchors > 0, that many anchor nodes are appended (ids
 // n..n+anchors−1) and made pairwise incompatible.
 func New(n, anchors int) *Graph {
-	g := &Graph{uf: graphutil.NewUnionFind(n), inc: make([]map[int]bool, n), anchorBase: -1, version: 1}
-	if anchors > 0 {
-		g.anchorBase = n
-		g.numAnchors = anchors
-		for k := 0; k < anchors; k++ {
-			g.addNode()
-		}
-		for a := 0; a < anchors; a++ {
-			for b := a + 1; b < anchors; b++ {
-				// Anchors represent distinct physical clusters; fresh
-				// anchors are distinct VCs, so this cannot contradict.
-				g.setEdge(g.anchorBase+a, g.anchorBase+b)
-			}
+	return NewWithCap(n, anchors, n+anchors)
+}
+
+// NewWithCap is New with a capacity hint: rows are sized for capNodes
+// total nodes up front, so adding nodes up to the hint never relayouts
+// the adjacency. The deduction state passes its maximum node count
+// (instructions + every materializable communication).
+func NewWithCap(n, anchors, capNodes int) *Graph {
+	if capNodes < n+anchors {
+		capNodes = n + anchors
+	}
+	w := wordsFor(capNodes)
+	g := &Graph{
+		uf:         graphutil.NewUnionFind(n),
+		inc:        make([]uint64, n*w, capNodes*w),
+		incW:       w,
+		anchorBase: -1,
+		version:    1,
+	}
+	g.addAnchors(anchors)
+	return g
+}
+
+// Reset reinitializes the graph to n singleton instruction nodes plus
+// the given anchors, reusing the backing storage (per-request arena
+// reuse). Version and memo stamps keep advancing monotonically so no
+// stale memo can survive a reset. It must not be called while a trail
+// is active.
+func (g *Graph) Reset(n, anchors, capNodes int) {
+	if g.trailing {
+		panic("vcg: Reset during active trail")
+	}
+	if capNodes < n+anchors {
+		capNodes = n + anchors
+	}
+	g.uf.Reset(n)
+	w := wordsFor(capNodes)
+	if w > g.incW || cap(g.inc) < capNodes*w {
+		g.inc = make([]uint64, 0, capNodes*w)
+		g.incW = w
+	}
+	g.inc = g.inc[:n*g.incW]
+	clear(g.inc)
+	g.anchorBase = -1
+	g.numAnchors = 0
+	g.ops = g.ops[:0]
+	g.version++
+	g.memoVer = 0
+	g.addAnchors(anchors)
+}
+
+func (g *Graph) addAnchors(anchors int) {
+	if anchors <= 0 {
+		return
+	}
+	g.anchorBase = g.uf.Len()
+	g.numAnchors = anchors
+	for k := 0; k < anchors; k++ {
+		g.addNode()
+	}
+	for a := 0; a < anchors; a++ {
+		for b := a + 1; b < anchors; b++ {
+			// Anchors represent distinct physical clusters; fresh
+			// anchors are distinct VCs, so this cannot contradict.
+			g.setEdge(g.anchorBase+a, g.anchorBase+b)
 		}
 	}
-	return g
+}
+
+func (g *Graph) row(i int) []uint64 { return g.inc[i*g.incW : (i+1)*g.incW] }
+
+func (g *Graph) hasEdge(x, y int) bool {
+	return g.inc[x*g.incW+(y>>6)]&(1<<uint(y&63)) != 0
+}
+
+func (g *Graph) setBits(x, y int) {
+	g.inc[x*g.incW+(y>>6)] |= 1 << uint(y&63)
+	g.inc[y*g.incW+(x>>6)] |= 1 << uint(x&63)
+}
+
+func (g *Graph) clearBits(x, y int) {
+	g.inc[x*g.incW+(y>>6)] &^= 1 << uint(y&63)
+	g.inc[y*g.incW+(x>>6)] &^= 1 << uint(x&63)
 }
 
 func (g *Graph) addNode() int {
 	id := g.uf.Add()
-	g.inc = append(g.inc, nil)
+	if need := wordsFor(id + 1); need > g.incW {
+		g.relayout(need, id)
+	}
+	n := (id + 1) * g.incW
+	if cap(g.inc) >= n {
+		g.inc = g.inc[:n]
+		row := g.inc[id*g.incW : n]
+		clear(row)
+	} else {
+		ninc := make([]uint64, n, 2*n)
+		copy(ninc, g.inc)
+		g.inc = ninc
+	}
 	g.version++
 	if g.trailing {
 		g.ops = append(g.ops, vop{kind: vopNodeAdd})
 	}
 	return id
+}
+
+// relayout widens every row to w words (rare: only when growth exceeds
+// the construction-time capacity hint). rows is the node count before
+// the node being added.
+func (g *Graph) relayout(w, rows int) {
+	nw := g.incW * 2
+	if nw < w {
+		nw = w
+	}
+	ninc := make([]uint64, rows*nw, (rows+8)*nw)
+	for i := 0; i < rows; i++ {
+		copy(ninc[i*nw:i*nw+g.incW], g.inc[i*g.incW:(i+1)*g.incW])
+	}
+	g.inc, g.incW = ninc, nw
 }
 
 // AddNode appends a fresh node (used for communication instructions
@@ -165,7 +290,7 @@ func (g *Graph) Incompatible(a, b int) bool {
 	if ra == rb {
 		return false
 	}
-	return g.inc[ra][rb]
+	return g.hasEdge(ra, rb)
 }
 
 // Fuse merges the VCs of a and b. It returns ErrContradiction (wrapped)
@@ -175,20 +300,29 @@ func (g *Graph) Fuse(a, b int) error {
 	if ra == rb {
 		return nil
 	}
-	if g.inc[ra][rb] {
+	if g.hasEdge(ra, rb) {
 		return errContra("fuse of incompatible VCs")
 	}
 	r := g.uf.Union(ra, rb)
 	g.version++
 	other := ra + rb - r
-	for x := range g.inc[other] {
-		delete(g.inc[x], other)
-		if g.trailing {
-			g.ops = append(g.ops, vop{kind: vopEdgeDel, x: x, y: other})
+	// Migrate the losing representative's edges onto the survivor,
+	// lowest neighbor first (deterministic; the former map iteration
+	// produced the same final state in arbitrary order).
+	orow := g.row(other)
+	for wi := range orow {
+		w := orow[wi]
+		for w != 0 {
+			bi := bits.TrailingZeros64(w)
+			w &^= 1 << uint(bi)
+			x := wi<<6 | bi
+			g.clearBits(x, other)
+			if g.trailing {
+				g.ops = append(g.ops, vop{kind: vopEdgeDel, x: x, y: other})
+			}
+			g.setEdge(x, r)
 		}
-		g.setEdge(x, r)
 	}
-	g.inc[other] = nil
 	return nil
 }
 
@@ -205,17 +339,10 @@ func (g *Graph) SetIncompatible(a, b int) error {
 }
 
 func (g *Graph) setEdge(x, y int) {
-	if x == y || g.inc[x][y] {
+	if x == y || g.hasEdge(x, y) {
 		return
 	}
-	if g.inc[x] == nil {
-		g.inc[x] = make(map[int]bool)
-	}
-	if g.inc[y] == nil {
-		g.inc[y] = make(map[int]bool)
-	}
-	g.inc[x][y] = true
-	g.inc[y][x] = true
+	g.setBits(x, y)
 	g.version++
 	if g.trailing {
 		g.ops = append(g.ops, vop{kind: vopEdgeAdd, x: x, y: y})
@@ -230,8 +357,7 @@ func (g *Graph) TrailMark() Mark {
 }
 
 // TrailUndo reverts every mutation recorded after m, restoring the
-// graph observed at TrailMark time. A map left empty (rather than nil)
-// by undo is indistinguishable from nil to every accessor.
+// graph observed at TrailMark time.
 func (g *Graph) TrailUndo(m Mark) {
 	if len(g.ops) > m.ops || g.uf.TrailLen() > m.uf {
 		g.version++
@@ -240,19 +366,14 @@ func (g *Graph) TrailUndo(m Mark) {
 		op := g.ops[i]
 		switch op.kind {
 		case vopEdgeAdd:
-			delete(g.inc[op.x], op.y)
-			delete(g.inc[op.y], op.x)
+			g.clearBits(op.x, op.y)
 		case vopEdgeDel:
-			if g.inc[op.x] == nil {
-				g.inc[op.x] = make(map[int]bool)
-			}
-			if g.inc[op.y] == nil {
-				g.inc[op.y] = make(map[int]bool)
-			}
-			g.inc[op.x][op.y] = true
-			g.inc[op.y][op.x] = true
+			g.setBits(op.x, op.y)
 		case vopNodeAdd:
-			g.inc = g.inc[:len(g.inc)-1]
+			// Reverse order guarantees every edge op touching this node
+			// was already undone, so its row (and every bit for it in
+			// other rows) is zero before the truncation.
+			g.inc = g.inc[:len(g.inc)-g.incW]
 		}
 	}
 	g.ops = g.ops[:m.ops]
@@ -322,16 +443,26 @@ func (g *Graph) Members(a int) []int {
 }
 
 // Degree returns the number of VCs incompatible with a's VC.
-func (g *Graph) Degree(a int) int { return len(g.inc[g.uf.Find(a)]) }
+func (g *Graph) Degree(a int) int {
+	d := 0
+	for _, w := range g.row(g.uf.Find(a)) {
+		d += bits.OnesCount64(w)
+	}
+	return d
+}
 
 // IncompatibleVCs returns the representatives of VCs incompatible with
 // a's VC, sorted.
 func (g *Graph) IncompatibleVCs(a int) []int {
 	var out []int
-	for x := range g.inc[g.uf.Find(a)] {
-		out = append(out, x)
+	row := g.row(g.uf.Find(a))
+	for wi, w := range row {
+		for w != 0 {
+			bi := bits.TrailingZeros64(w)
+			w &^= 1 << uint(bi)
+			out = append(out, wi<<6|bi)
+		}
 	}
-	sort.Ints(out)
 	return out
 }
 
@@ -346,8 +477,13 @@ func (g *Graph) ColoringGraph() (*coloring.Graph, []int) {
 	}
 	cg := coloring.New(len(reps))
 	for _, r := range reps {
-		for x := range g.inc[r] {
-			cg.AddEdge(idx[r], idx[x])
+		row := g.row(r)
+		for wi, w := range row {
+			for w != 0 {
+				bi := bits.TrailingZeros64(w)
+				w &^= 1 << uint(bi)
+				cg.AddEdge(idx[r], idx[wi<<6|bi])
+			}
 		}
 	}
 	return cg, reps
@@ -371,10 +507,116 @@ func (g *Graph) CliqueExceeds(k int) bool {
 	if g.memoVer == g.version && g.memoK == k {
 		return g.memoClique
 	}
-	cg, _ := g.ColoringGraph()
-	r := cg.MaxCliqueLB() > k
+	r := g.maxCliqueLB() > k
 	g.memoVer, g.memoK, g.memoClique = g.version, k, r
 	return r
+}
+
+func growInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	return (*buf)[:n]
+}
+
+// maxCliqueLB computes the same greedy clique lower bound as
+// coloring.MaxCliqueLB over ColoringGraph, but directly on the bitset
+// rows with graph-owned scratch: no projection, no allocation. The
+// "coloring.maxclique" fault point moved here with the computation —
+// it must keep firing on the deduction process's hottest query (only
+// KindPanic is meaningful on a bare-int query; other kinds are
+// ignored).
+func (g *Graph) maxCliqueLB() int {
+	faultpoint.Fire("coloring.maxclique")
+	n := g.uf.Len()
+	if cap(g.scSeen) < n {
+		g.scSeen = make([]bool, n)
+	}
+	seen := g.scSeen[:n]
+	if cap(g.scReps) < n {
+		g.scReps = make([]int, 0, n)
+	}
+	reps := g.scReps[:0]
+	for i := 0; i < n; i++ {
+		r := g.uf.Find(i)
+		if !seen[r] {
+			seen[r] = true
+			reps = append(reps, r)
+		}
+	}
+	sort.Ints(reps)
+	R := len(reps)
+	deg := growInts(&g.scDeg, R)
+	maxd := 0
+	for i, r := range reps {
+		d := 0
+		for _, w := range g.row(r) {
+			d += bits.OnesCount64(w)
+		}
+		deg[i] = d
+		if d > maxd {
+			maxd = d
+		}
+	}
+	// Stable counting sort by degree, descending, ties by ascending
+	// vertex index — byte-for-byte the order coloring.Order produces.
+	count := growInts(&g.scCount, maxd+1)
+	clear(count)
+	for i := 0; i < R; i++ {
+		count[deg[i]]++
+	}
+	start := 0
+	for d := maxd; d >= 0; d-- {
+		c := count[d]
+		count[d] = start
+		start += c
+	}
+	order := growInts(&g.scOrder, R)
+	for i := 0; i < R; i++ {
+		d := deg[i]
+		order[count[d]] = i
+		count[d]++
+	}
+	best := 0
+	if R > 0 {
+		best = 1
+	}
+	if cap(g.scClique) < R {
+		g.scClique = make([]int, 0, R)
+	}
+	clique := g.scClique[:0]
+	for _, seed := range order {
+		// Every clique member must be adjacent to seed, so the clique
+		// grown from seed has at most deg(seed)+1 vertices; seeds that
+		// cannot beat the current best are skipped without changing the
+		// result.
+		if deg[seed]+1 <= best {
+			continue
+		}
+		clique = append(clique[:0], seed)
+		for _, v := range order {
+			if v == seed {
+				continue
+			}
+			ok := true
+			for _, c := range clique {
+				if !g.hasEdge(reps[v], reps[c]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				clique = append(clique, v)
+			}
+		}
+		if len(clique) > best {
+			best = len(clique)
+		}
+	}
+	for _, r := range reps {
+		seen[r] = false
+	}
+	return best
 }
 
 // Clone returns a deep copy of the graph. It must not be called while a
@@ -384,9 +626,10 @@ func (g *Graph) Clone() *Graph {
 	if g.trailing {
 		panic("vcg: Clone during active trail")
 	}
-	cp := &Graph{
+	return &Graph{
 		uf:         g.uf.Clone(),
-		inc:        make([]map[int]bool, len(g.inc)),
+		inc:        append([]uint64(nil), g.inc...),
+		incW:       g.incW,
 		anchorBase: g.anchorBase,
 		numAnchors: g.numAnchors,
 		version:    g.version,
@@ -394,15 +637,4 @@ func (g *Graph) Clone() *Graph {
 		memoVer:    g.memoVer,
 		memoClique: g.memoClique,
 	}
-	for i, m := range g.inc {
-		if m == nil {
-			continue
-		}
-		nm := make(map[int]bool, len(m))
-		for k, v := range m {
-			nm[k] = v
-		}
-		cp.inc[i] = nm
-	}
-	return cp
 }
