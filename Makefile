@@ -6,13 +6,13 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 GO_LDFLAGS := -ldflags '-X vcsched/internal/version.Version=$(VERSION)'
 
-.PHONY: check build vet test race bench bench-short bench-gate bench-figures fuzz-smoke faults service-smoke
+.PHONY: check build vet test race bench bench-short bench-gate bench-figures fuzz-smoke faults service-smoke slo slo-short slo-gate
 
 # check is the tier-1 gate (see ROADMAP.md): vet, build, the full test
-# suite under the race detector, the fault-injection suite, and the
-# scheduling-service smoke run. Everything must be green before a
-# change lands.
-check: vet build race faults service-smoke
+# suite under the race detector, the fault-injection suite, the
+# scheduling-service smoke run, and the SLO scenario suite. Everything
+# must be green before a change lands.
+check: vet build race faults service-smoke slo-short
 
 build:
 	$(GO) build $(GO_LDFLAGS) ./...
@@ -66,6 +66,27 @@ faults:
 		./internal/core ./internal/difftest ./internal/bench
 	VCSCHED_FAULTS='core.stage=panic:0:5,deduce.shave=contra:0:4' \
 		$(GO) run ./cmd/vcsched -example -resilient -report -print=false
+
+# slo replays the checked-in declarative scenario suite (scenarios/)
+# through the in-process load harness (internal/loadsim) with hollow
+# workers on a virtual clock, records the measured service-level
+# objectives in BENCH_service.json, and gates them against the
+# checked-in BENCH_service_baseline.json: p99 latency, cache hit rate,
+# shed rate within tolerance bands, hard failures unconditionally zero.
+# The suite is deterministic, so slo-short (one run, the CI and
+# tier-1 form) measures the same numbers as slo (five runs). After an
+# intentional SLO change, refresh the baseline with
+# `cp BENCH_service.json BENCH_service_baseline.json` and commit it.
+slo:
+	$(GO) run $(GO_LDFLAGS) ./cmd/vcslo -suite scenarios -runs 5 -out BENCH_service.json
+	$(MAKE) slo-gate
+
+slo-short:
+	$(GO) run $(GO_LDFLAGS) ./cmd/vcslo -suite scenarios -runs 1 -out BENCH_service.json
+	$(MAKE) slo-gate
+
+slo-gate:
+	$(GO) run $(GO_LDFLAGS) ./cmd/benchgate -service -baseline BENCH_service_baseline.json -current BENCH_service.json
 
 # service-smoke drives the scheduling service end to end: build
 # vcschedd and vcload under the race detector, start the daemon on an

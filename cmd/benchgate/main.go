@@ -21,6 +21,24 @@
 // gating it).
 //
 //	benchgate -baseline BENCH_baseline.json -current BENCH_deduce.json
+//
+// With -service the gate switches to service-level objectives: it
+// compares a BENCH_service.json recorded by cmd/vcslo against the
+// checked-in BENCH_service_baseline.json, scenario by scenario:
+//
+//   - p99 latency may exceed the baseline by at most -p99-tol
+//     (fractional) plus -p99-slack-ms (absolute grace for
+//     sub-millisecond baselines);
+//   - the cache hit rate may drop below the baseline by at most
+//     -hit-tol (absolute rate points);
+//   - the shed rate may deviate from the baseline in either direction
+//     by at most -shed-tol — shedding more means capacity regressed,
+//     shedding less than an overload baseline means admission control
+//     stopped refusing work it must refuse;
+//   - the hard-failure count must be zero, baseline or not. There is
+//     no tolerance band for a scheduler that breaks requests.
+//
+//	benchgate -service -baseline BENCH_service_baseline.json -current BENCH_service.json
 package main
 
 import (
@@ -29,6 +47,7 @@ import (
 	"fmt"
 	"os"
 
+	"vcsched/internal/loadsim"
 	"vcsched/internal/version"
 )
 
@@ -48,27 +67,63 @@ type bench struct {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline document")
-	currentPath := flag.String("current", "BENCH_deduce.json", "freshly recorded document")
+	service := flag.Bool("service", false, "gate service-level SLOs (vcslo documents) instead of microbenchmarks")
+	baselinePath := flag.String("baseline", "", "checked-in baseline document (default BENCH_baseline.json; BENCH_service_baseline.json with -service)")
+	currentPath := flag.String("current", "", "freshly recorded document (default BENCH_deduce.json; BENCH_service.json with -service)")
 	allocsTol := flag.Float64("allocs-tol", 0.10, "allowed fractional allocs/op increase over baseline")
 	nsTol := flag.Float64("ns-tol", 1.50, "allowed fractional ns/op increase over baseline")
+	p99Tol := flag.Float64("p99-tol", 0.50, "allowed fractional p99 latency increase over baseline (-service)")
+	p99SlackMS := flag.Float64("p99-slack-ms", 2.0, "absolute p99 grace in ms on top of the band (-service)")
+	hitTol := flag.Float64("hit-tol", 0.05, "allowed absolute cache-hit-rate drop below baseline (-service)")
+	shedTol := flag.Float64("shed-tol", 0.05, "allowed absolute shed-rate deviation from baseline, either direction (-service)")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
 	if *showVersion {
 		fmt.Println("benchgate", version.String())
 		return
 	}
-
-	baseline, err := readDoc(*baselinePath)
-	if err != nil {
-		fatal(err)
+	if *baselinePath == "" {
+		if *service {
+			*baselinePath = "BENCH_service_baseline.json"
+		} else {
+			*baselinePath = "BENCH_baseline.json"
+		}
 	}
-	current, err := readDoc(*currentPath)
-	if err != nil {
-		fatal(err)
+	if *currentPath == "" {
+		if *service {
+			*currentPath = "BENCH_service.json"
+		} else {
+			*currentPath = "BENCH_deduce.json"
+		}
 	}
 
-	violations, notes := gate(baseline, current, *allocsTol, *nsTol)
+	var violations, notes []string
+	var gated int
+	if *service {
+		baseline, err := readServiceDoc(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		current, err := readServiceDoc(*currentPath)
+		if err != nil {
+			fatal(err)
+		}
+		violations, notes = gateService(baseline, current, sloTolerances{
+			p99Tol: *p99Tol, p99SlackMS: *p99SlackMS, hitTol: *hitTol, shedTol: *shedTol,
+		})
+		gated = len(baseline.Scenarios)
+	} else {
+		baseline, err := readDoc(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		current, err := readDoc(*currentPath)
+		if err != nil {
+			fatal(err)
+		}
+		violations, notes = gate(baseline, current, *allocsTol, *nsTol)
+		gated = len(baseline.Benchmarks)
+	}
 	for _, n := range notes {
 		fmt.Println("benchgate:", n)
 	}
@@ -78,8 +133,13 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d benchmarks within tolerance (allocs +%.0f%%, ns +%.0f%%)\n",
-		len(baseline.Benchmarks), 100**allocsTol, 100**nsTol)
+	if *service {
+		fmt.Printf("benchgate: %d scenarios within tolerance (p99 +%.0f%%+%.1fms, hit -%.0fpp, shed ±%.0fpp, hard failures 0)\n",
+			gated, 100**p99Tol, *p99SlackMS, 100**hitTol, 100**shedTol)
+	} else {
+		fmt.Printf("benchgate: %d benchmarks within tolerance (allocs +%.0f%%, ns +%.0f%%)\n",
+			gated, 100**allocsTol, 100**nsTol)
+	}
 }
 
 func fatal(err error) {
@@ -136,6 +196,80 @@ func gate(baseline, current *benchDoc, allocsTol, nsTol float64) (violations, no
 			notes = append(notes,
 				fmt.Sprintf("%s: not in baseline, not gated (add it to BENCH_baseline.json)", b.Name))
 		}
+	}
+	return violations, notes
+}
+
+// sloTolerances bundles the -service bands.
+type sloTolerances struct {
+	p99Tol     float64 // fractional p99 increase
+	p99SlackMS float64 // absolute p99 grace
+	hitTol     float64 // absolute hit-rate drop
+	shedTol    float64 // absolute shed-rate deviation, either direction
+}
+
+func readServiceDoc(path string) (*loadsim.Document, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc loadsim.Document
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Scenarios) == 0 {
+		return nil, fmt.Errorf("%s: no scenarios", path)
+	}
+	return &doc, nil
+}
+
+// gateService compares every baseline scenario's SLOs against the
+// current document. Hard failures are gated unconditionally — even in
+// scenarios the baseline does not know yet.
+func gateService(baseline, current *loadsim.Document, tol sloTolerances) (violations, notes []string) {
+	cur := make(map[string]loadsim.Report, len(current.Scenarios))
+	for _, r := range current.Scenarios {
+		cur[r.Scenario] = r
+	}
+	seen := make(map[string]bool, len(baseline.Scenarios))
+	for _, base := range baseline.Scenarios {
+		seen[base.Scenario] = true
+		got, ok := cur[base.Scenario]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: present in baseline but not in current run (lost coverage)", base.Scenario))
+			continue
+		}
+		if got.HardFailures > 0 {
+			violations = append(violations,
+				fmt.Sprintf("%s: %d hard failures (must be zero)", base.Scenario, got.HardFailures))
+		}
+		if limit := base.P99MS*(1+tol.p99Tol) + tol.p99SlackMS; got.P99MS > limit {
+			violations = append(violations,
+				fmt.Sprintf("%s: p99 %.3fms exceeds baseline %.3fms by more than %.0f%%+%.1fms (limit %.3fms)",
+					base.Scenario, got.P99MS, base.P99MS, 100*tol.p99Tol, tol.p99SlackMS, limit))
+		}
+		if floor := base.HitRate - tol.hitTol; got.HitRate < floor {
+			violations = append(violations,
+				fmt.Sprintf("%s: hit rate %.1f%% below baseline %.1f%% by more than %.0fpp (floor %.1f%%)",
+					base.Scenario, 100*got.HitRate, 100*base.HitRate, 100*tol.hitTol, 100*floor))
+		}
+		if dev := got.ShedRate - base.ShedRate; dev > tol.shedTol || dev < -tol.shedTol {
+			violations = append(violations,
+				fmt.Sprintf("%s: shed rate %.1f%% deviates from baseline %.1f%% by more than %.0fpp",
+					base.Scenario, 100*got.ShedRate, 100*base.ShedRate, 100*tol.shedTol))
+		}
+	}
+	for _, r := range current.Scenarios {
+		if seen[r.Scenario] {
+			continue
+		}
+		if r.HardFailures > 0 {
+			violations = append(violations,
+				fmt.Sprintf("%s: %d hard failures (must be zero, baseline or not)", r.Scenario, r.HardFailures))
+		}
+		notes = append(notes,
+			fmt.Sprintf("%s: not in baseline, SLOs not gated (add it to BENCH_service_baseline.json)", r.Scenario))
 	}
 	return violations, notes
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"vcsched/internal/loadsim"
 )
 
 func doc(benches ...bench) *benchDoc { return &benchDoc{Benchmarks: benches} }
@@ -69,5 +71,103 @@ func TestGateSkipsAllocCheckWithoutMemStats(t *testing.T) {
 	violations, _ := gate(base, cur, 0.10, 1.50)
 	if len(violations) != 0 {
 		t.Fatalf("violations %v, want none", violations)
+	}
+}
+
+// --- service SLO gate ---
+
+func sdoc(reports ...loadsim.Report) *loadsim.Document {
+	return &loadsim.Document{Scenarios: reports}
+}
+
+func tols() sloTolerances {
+	return sloTolerances{p99Tol: 0.50, p99SlackMS: 2.0, hitTol: 0.05, shedTol: 0.05}
+}
+
+func TestGateServiceWithinBandsPasses(t *testing.T) {
+	base := sdoc(loadsim.Report{Scenario: "steady", P99MS: 10, HitRate: 0.50, ShedRate: 0})
+	cur := sdoc(loadsim.Report{Scenario: "steady", P99MS: 14, HitRate: 0.47, ShedRate: 0.02})
+	violations, notes := gateService(base, cur, tols())
+	if len(violations) != 0 || len(notes) != 0 {
+		t.Fatalf("violations %v notes %v, want none", violations, notes)
+	}
+}
+
+func TestGateServiceP99RegressionFails(t *testing.T) {
+	base := sdoc(loadsim.Report{Scenario: "steady", P99MS: 10, HitRate: 0.50})
+	cur := sdoc(loadsim.Report{Scenario: "steady", P99MS: 17.5, HitRate: 0.50})
+	violations, _ := gateService(base, cur, tols())
+	if len(violations) != 1 || !strings.Contains(violations[0], "p99") {
+		t.Fatalf("violations %v, want one p99 violation", violations)
+	}
+}
+
+func TestGateServiceP99SlackForTinyBaselines(t *testing.T) {
+	// A 0ms baseline (all cache hits, virtual clock) must not fail on
+	// any nonzero measurement: the absolute slack covers it.
+	base := sdoc(loadsim.Report{Scenario: "warm", P99MS: 0, HitRate: 0.9})
+	cur := sdoc(loadsim.Report{Scenario: "warm", P99MS: 1.5, HitRate: 0.9})
+	if violations, _ := gateService(base, cur, tols()); len(violations) != 0 {
+		t.Fatalf("violations %v, want none (within absolute slack)", violations)
+	}
+}
+
+func TestGateServiceHitRateDropFails(t *testing.T) {
+	base := sdoc(loadsim.Report{Scenario: "steady", P99MS: 10, HitRate: 0.50})
+	cur := sdoc(loadsim.Report{Scenario: "steady", P99MS: 10, HitRate: 0.40})
+	violations, _ := gateService(base, cur, tols())
+	if len(violations) != 1 || !strings.Contains(violations[0], "hit rate") {
+		t.Fatalf("violations %v, want one hit-rate violation", violations)
+	}
+	// A hit rate above baseline is an improvement, not a violation.
+	better := sdoc(loadsim.Report{Scenario: "steady", P99MS: 10, HitRate: 0.70})
+	if violations, _ := gateService(base, better, tols()); len(violations) != 0 {
+		t.Fatalf("improved hit rate flagged: %v", violations)
+	}
+}
+
+func TestGateServiceShedRateDeviatesBothWays(t *testing.T) {
+	base := sdoc(loadsim.Report{Scenario: "overload", P99MS: 10, ShedRate: 0.44})
+	over := sdoc(loadsim.Report{Scenario: "overload", P99MS: 10, ShedRate: 0.60})
+	if violations, _ := gateService(base, over, tols()); len(violations) != 1 || !strings.Contains(violations[0], "shed rate") {
+		t.Fatalf("shedding more not flagged: %v", violations)
+	}
+	// Shedding far less than the overload baseline means admission
+	// control stopped refusing work it must refuse.
+	under := sdoc(loadsim.Report{Scenario: "overload", P99MS: 10, ShedRate: 0.10})
+	if violations, _ := gateService(base, under, tols()); len(violations) != 1 || !strings.Contains(violations[0], "shed rate") {
+		t.Fatalf("shedding less not flagged: %v", violations)
+	}
+}
+
+func TestGateServiceHardFailuresAlwaysFail(t *testing.T) {
+	base := sdoc(loadsim.Report{Scenario: "steady", P99MS: 10})
+	cur := sdoc(
+		loadsim.Report{Scenario: "steady", P99MS: 10, HardFailures: 1},
+		loadsim.Report{Scenario: "brand-new", P99MS: 1, HardFailures: 2},
+	)
+	violations, notes := gateService(base, cur, tols())
+	if len(violations) != 2 {
+		t.Fatalf("violations %v, want hard-failure violations for both scenarios", violations)
+	}
+	for _, v := range violations {
+		if !strings.Contains(v, "hard failures") {
+			t.Fatalf("unexpected violation %q", v)
+		}
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "not gated") {
+		t.Fatalf("notes %v, want one not-gated note for the new scenario", notes)
+	}
+}
+
+func TestGateServiceMissingScenarioFails(t *testing.T) {
+	base := sdoc(
+		loadsim.Report{Scenario: "steady", P99MS: 10},
+		loadsim.Report{Scenario: "overload", P99MS: 10},
+	)
+	cur := sdoc(loadsim.Report{Scenario: "steady", P99MS: 10})
+	violations, _ := gateService(base, cur, tols())
+	if len(violations) != 1 || !strings.Contains(violations[0], "lost coverage") {
+		t.Fatalf("violations %v, want one lost-coverage violation", violations)
 	}
 }

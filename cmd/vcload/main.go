@@ -18,7 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -29,7 +28,9 @@ import (
 	"time"
 
 	"vcsched/internal/difftest"
+	"vcsched/internal/loadsim"
 	"vcsched/internal/service"
+	"vcsched/internal/stats"
 	"vcsched/internal/version"
 )
 
@@ -44,7 +45,7 @@ func main() {
 	steps := flag.Int("steps", 0, "deduction step budget to request (0 = daemon default)")
 	n := flag.Int("n", 100, "total requests to send")
 	batch := flag.Int("batch", 1, "blocks per request (multi-block requests exercise batch accounting)")
-	rps := flag.Float64("rps", 0, "target request rate (0 = as fast as the -c workers go)")
+	rps := flag.Float64("rps", 0, "target request rate; 0 means unpaced — send as fast as the -c workers go (negative rejected)")
 	dup := flag.Float64("dup", 0.5, "fraction of requests that re-submit an earlier source")
 	deadline := flag.Duration("deadline", 0, "per-request deadline to ask for (0 = daemon default)")
 	conc := flag.Int("c", 4, "in-flight request concurrency")
@@ -65,6 +66,10 @@ func main() {
 	}
 	if *n < 1 {
 		fatal(fmt.Errorf("-n must be at least 1"))
+	}
+	pace, err := loadsim.PacingInterval(*rps)
+	if err != nil {
+		fatal(fmt.Errorf("-rps: %w", err))
 	}
 	if *conc < 1 {
 		*conc = 1
@@ -87,8 +92,8 @@ func main() {
 	go func() {
 		defer close(jobs)
 		var tick *time.Ticker
-		if *rps > 0 {
-			tick = time.NewTicker(time.Duration(float64(time.Second) / *rps))
+		if pace > 0 {
+			tick = time.NewTicker(pace)
 			defer tick.Stop()
 		}
 		picks := 0
@@ -298,28 +303,9 @@ func (t *tally) taxonomyNames() []string {
 	return names
 }
 
-// percentile returns the ceil nearest-rank percentile of a sorted
-// sample: the smallest observation such that at least a fraction p of
-// the sample is <= it. Floor-based indexing (p*(n-1)) under-reports the
-// tail — p99 of 10 samples picked the 9th value instead of the max.
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	n := len(sorted)
-	if n == 0 {
-		return 0
-	}
-	i := int(math.Ceil(p*float64(n))) - 1
-	if i < 0 {
-		i = 0
-	}
-	if i >= n {
-		i = n - 1
-	}
-	return sorted[i]
-}
-
 func report(w io.Writer, latencies []time.Duration, t *tally) {
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(p float64) time.Duration { return percentile(latencies, p) }
+	sorted := stats.Sort(latencies)
+	pct := func(p float64) time.Duration { return stats.Percentile(sorted, p) }
 	// Per-block rates divide by blocks *sent*: a transport-failed batch
 	// request loses every block it carried, and dividing by only the
 	// blocks that came back would overstate ok/shed rates under failures.

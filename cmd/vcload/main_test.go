@@ -18,41 +18,6 @@ func seq(n int) []time.Duration {
 	return s
 }
 
-func TestPercentileNearestRank(t *testing.T) {
-	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
-	cases := []struct {
-		n    int
-		p    float64
-		want time.Duration
-	}{
-		// A single sample is every percentile.
-		{1, 0.0, ms(1)},
-		{1, 0.50, ms(1)},
-		{1, 0.99, ms(1)},
-		{1, 1.0, ms(1)},
-		// 10 samples: the p99 must be the max — the old floor indexing
-		// (int(0.99*9) = 8) reported the 9th value.
-		{10, 0.50, ms(5)},
-		{10, 0.90, ms(9)},
-		{10, 0.99, ms(10)},
-		{10, 1.0, ms(10)},
-		// 100 samples: p99 is the 99th value, smallest with >= 99 at or
-		// below it; p50 the 50th.
-		{100, 0.50, ms(50)},
-		{100, 0.90, ms(90)},
-		{100, 0.99, ms(99)},
-		{100, 1.0, ms(100)},
-	}
-	for _, c := range cases {
-		if got := percentile(seq(c.n), c.p); got != c.want {
-			t.Errorf("percentile(n=%d, p=%v) = %v, want %v", c.n, c.p, got, c.want)
-		}
-	}
-	if got := percentile(nil, 0.99); got != 0 {
-		t.Errorf("percentile of empty sample = %v, want 0", got)
-	}
-}
-
 func TestTallyBatchUnits(t *testing.T) {
 	var agg tally
 	// One 4-block batch: 2 ok (one a cache hit), 1 shed, 1 hard failure.

@@ -6,13 +6,17 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"vcsched/internal/core"
+	"vcsched/internal/difftest"
 	"vcsched/internal/faultpoint"
 	"vcsched/internal/ir"
+	"vcsched/internal/loadsim"
 	"vcsched/internal/resilient"
 	"vcsched/internal/service"
 	"vcsched/internal/version"
@@ -20,11 +24,19 @@ import (
 
 func newTestServer(t *testing.T) (*httptest.Server, *service.Service) {
 	t.Helper()
-	svc := service.New(service.Config{
+	return newTestServerWithConfig(t, service.Config{
 		Workers:         2,
 		DefaultDeadline: 30 * time.Second,
 		Ladder:          resilient.Options{Core: core.Options{MaxSteps: 20000}},
 	})
+}
+
+// newTestServerWithConfig stands up the daemon mux over a service with
+// a caller-chosen config — the hook tests use it to swap the resilient
+// ladder for a hollow runner.
+func newTestServerWithConfig(t *testing.T, cfg service.Config) (*httptest.Server, *service.Service) {
+	t.Helper()
+	svc := service.New(cfg)
 	srv := httptest.NewServer(newMux(svc, defaults{machineKey: "2c1l", pinSeed: 1, maxSteps: 20000}))
 	t.Cleanup(func() {
 		srv.Close()
@@ -184,6 +196,97 @@ func TestHealthzFlipsToDrainingOnClose(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("healthz during drain: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestDrainUnderHTTPLoad drains the daemon while hollow-backed requests
+// are queued and in flight over real HTTP: every admitted request must
+// come back 200/ok, requests racing the drain get the "draining"
+// taxonomy, healthz flips to 503, and the pool leaves no goroutines
+// behind.
+func TestDrainUnderHTTPLoad(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	hollow := loadsim.NewHollowRunner(loadsim.HollowConfig{
+		CostMin: 20 * time.Millisecond,
+		CostMax: 40 * time.Millisecond,
+	})
+	srv, svc := newTestServerWithConfig(t, service.Config{
+		Workers:         2,
+		QueueDepth:      8,
+		DefaultDeadline: 30 * time.Second,
+		Runner:          hollow,
+	})
+
+	// Six distinct blocks: two in flight, four queued, all admitted
+	// before the drain begins.
+	const load = 6
+	g := difftest.NewGen(11, 16)
+	blocks := make([]string, load)
+	for i := range blocks {
+		blocks[i] = g.Next().String()
+	}
+	type answer struct {
+		status int
+		resp   service.WireResponse
+	}
+	answers := make([]answer, load)
+	var wg sync.WaitGroup
+	for i := 0; i < load; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, resp := postSchedule(t, srv, service.WireRequest{Blocks: []string{blocks[i]}})
+			answers[i] = answer{status, resp}
+		}(i)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Stats().CacheMisses != load {
+		if time.Now().After(deadline) {
+			t.Fatalf("load not admitted: %+v", svc.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	svc.Close() // blocks until the queued and in-flight six finish
+	wg.Wait()
+	for i, a := range answers {
+		if a.status != http.StatusOK || len(a.resp.Results) != 1 {
+			t.Fatalf("request %d: status %d results %d", i, a.status, len(a.resp.Results))
+		}
+		if r := a.resp.Results[0]; r.Error != "" || r.Taxonomy != "ok" || r.Schedule == "" {
+			t.Fatalf("admitted request %d lost to the drain: %+v", i, r)
+		}
+	}
+
+	// A request after the drain began is refused, not dropped: it still
+	// gets a well-formed response naming the "draining" taxonomy.
+	status, resp := postSchedule(t, srv, service.WireRequest{Blocks: []string{blocks[0]}})
+	if status != http.StatusOK || len(resp.Results) != 1 {
+		t.Fatalf("post-drain submit: status %d results %d", status, len(resp.Results))
+	}
+	if r := resp.Results[0]; !r.Shed || r.Taxonomy != "draining" {
+		t.Fatalf("post-drain submit = %+v, want draining refusal", r)
+	}
+	hc, err := http.Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hc.Body.Close()
+	if hc.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz during drain: %d, want 503", hc.StatusCode)
+	}
+
+	// The worker pool exited; allow scheduler slack plus httptest's own
+	// keep-alive goroutines to wind down.
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+4 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 64<<10)
+			t.Fatalf("goroutines leaked across drain: before %d, after %d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"vcsched/internal/loadsim"
+)
+
+func writeScenario(t *testing.T, dir, file, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, file), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const tinyScenario = `{
+  "name": "tiny",
+  "seed": 3,
+  "gen": 4,
+  "stages": [{"rps": 0, "requests": 12}],
+  "dup_rate": 0.5,
+  "service": {"workers": 1, "queue_depth": 4, "default_deadline_ms": 60000},
+  "hollow": {"cost_min_ms": 1, "cost_max_ms": 4},
+  "virtual_clock": true
+}`
+
+func TestRunSuiteMergesRunsAndStaysDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	writeScenario(t, dir, "10_tiny.json", tinyScenario)
+	suite, err := loadSuite(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	doc, hard, err := runSuite(suite, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hard != 0 {
+		t.Fatalf("hollow suite hard-failed %d times", hard)
+	}
+	if len(doc.Scenarios) != 1 {
+		t.Fatalf("scenarios in doc: %d, want 1", len(doc.Scenarios))
+	}
+	rep := doc.Scenarios[0]
+	if rep.Scenario != "tiny" || rep.Runs != 2 || rep.Requests != 24 {
+		t.Fatalf("merged report: %+v", rep)
+	}
+
+	// A second invocation of the same virtual-clock suite produces the
+	// same SLO fields — the property the baseline gate depends on.
+	doc2, _, err := runSuite(suite, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := doc.Scenarios[0], doc2.Scenarios[0]
+	if a.P99MS != b.P99MS || a.HitRate != b.HitRate || a.ShedRate != b.ShedRate || a.OK != b.OK {
+		t.Fatalf("two suite runs disagree:\nfirst  %+v\nsecond %+v", a, b)
+	}
+}
+
+func TestLoadSuiteSingleScenarioOverride(t *testing.T) {
+	dir := t.TempDir()
+	writeScenario(t, dir, "one.json", tinyScenario)
+	suite, err := loadSuite("nonexistent-dir", filepath.Join(dir, "one.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 1 || suite[0].Name != "tiny" {
+		t.Fatalf("single-scenario override loaded: %+v", suite)
+	}
+}
+
+func TestWriteDocRoundTrips(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_service.json")
+	doc := &loadsim.Document{Version: "test", Scenarios: []loadsim.Report{{Scenario: "s", Runs: 1}}}
+	if err := writeDoc(path, doc); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back loadsim.Document
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != "test" || len(back.Scenarios) != 1 || back.Scenarios[0].Scenario != "s" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

@@ -1,0 +1,251 @@
+package loadsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+var errNegativeRPS = errors.New("loadsim: rps must be >= 0 (0 = unpaced)")
+
+// Scenario is one declarative load scenario: what traffic to offer the
+// scheduling service and how the service under test is sized. The
+// checked-in suite under scenarios/ is a set of these serialized as
+// JSON; cmd/vcslo replays them and records the measured SLOs in
+// BENCH_service.json.
+type Scenario struct {
+	// Name identifies the scenario in reports and baselines.
+	Name string `json:"name"`
+	// Seed drives every random choice (source picks, duplicate
+	// pattern, deadline mix), so a scenario is a deterministic request
+	// sequence (0 = 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Gen is the source-pool size: that many distinct generated
+	// superblocks, each a distinct fingerprint (0 = 8).
+	Gen int `json:"gen,omitempty"`
+	// MaxInstrs caps generated block size (0 = 16).
+	MaxInstrs int `json:"max_instrs,omitempty"`
+	// Machine is the machine.ByKey target ("" = 2c1l).
+	Machine string `json:"machine,omitempty"`
+	// PinSeed is the live-in/live-out pin seed (0 = 1).
+	PinSeed int64 `json:"pin_seed,omitempty"`
+
+	// Stages is the rps ramp: each stage offers Requests submissions
+	// at RPS (0 = unpaced). Required unless Overload is set.
+	Stages []Stage `json:"stages,omitempty"`
+	// DupRate is the fraction of picks that re-submit an earlier
+	// source, exercising the cache and singleflight.
+	DupRate float64 `json:"dup_rate,omitempty"`
+	// Batch is blocks per submission (0 = 1); batches go through
+	// SubmitBatch like daemon batch requests.
+	Batch int `json:"batch,omitempty"`
+	// Concurrency is the number of in-flight submissions (0 = 1).
+	// Concurrency 1 runs a fully synchronous loop — with the virtual
+	// clock that makes measured latencies exactly reproducible.
+	Concurrency int `json:"concurrency,omitempty"`
+	// DeadlineMix assigns per-request deadlines by weighted draw;
+	// empty = every request uses the service default.
+	DeadlineMix []DeadlineBand `json:"deadline_mix,omitempty"`
+
+	// Service sizes the service under test.
+	Service ServiceSpec `json:"service"`
+	// Hollow swaps the resilient ladder for the recorded-cost hollow
+	// runner; nil runs the real scheduler.
+	Hollow *HollowSpec `json:"hollow,omitempty"`
+	// VirtualClock runs the scenario on simulated time (requires
+	// Hollow — the real ladder pays its cost in real CPU, which a
+	// virtual clock cannot observe).
+	VirtualClock bool `json:"virtual_clock,omitempty"`
+	// Overload switches to the deterministic overload flow: fill the
+	// worker pool and admission queue while the hollow gate is held,
+	// then offer Extra more requests that must all shed (requires
+	// Hollow and explicit Service.Workers/QueueDepth).
+	Overload *OverloadSpec `json:"overload,omitempty"`
+}
+
+// Stage is one rung of the rps ramp.
+type Stage struct {
+	RPS      float64 `json:"rps"`
+	Requests int     `json:"requests"`
+}
+
+// DeadlineBand is one entry of the deadline mix.
+type DeadlineBand struct {
+	MS     int64   `json:"ms"`
+	Weight float64 `json:"weight"`
+}
+
+// ServiceSpec sizes the service under test; zero values keep the
+// service.Config defaults.
+type ServiceSpec struct {
+	Workers           int   `json:"workers,omitempty"`
+	QueueDepth        int   `json:"queue_depth,omitempty"`
+	CacheEntries      int   `json:"cache_entries,omitempty"`
+	DefaultDeadlineMS int64 `json:"default_deadline_ms,omitempty"`
+	// MaxSteps is the deduction step budget for real-ladder (non
+	// hollow) scenarios.
+	MaxSteps int `json:"max_steps,omitempty"`
+}
+
+// HollowSpec configures the hollow runner's recorded costs.
+type HollowSpec struct {
+	CostMinMS float64 `json:"cost_min_ms"`
+	CostMaxMS float64 `json:"cost_max_ms"`
+}
+
+// OverloadSpec configures the deterministic overload flow.
+type OverloadSpec struct {
+	// Extra is how many requests beyond workers+queue capacity are
+	// offered; every one of them must shed.
+	Extra int `json:"extra"`
+}
+
+// withDefaults fills the zero-value knobs.
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.Gen == 0 {
+		sc.Gen = 8
+	}
+	if sc.MaxInstrs == 0 {
+		sc.MaxInstrs = 16
+	}
+	if sc.Machine == "" {
+		sc.Machine = "2c1l"
+	}
+	if sc.PinSeed == 0 {
+		sc.PinSeed = 1
+	}
+	if sc.Batch == 0 {
+		sc.Batch = 1
+	}
+	if sc.Concurrency == 0 {
+		sc.Concurrency = 1
+	}
+	return sc
+}
+
+// Validate rejects scenarios the runner cannot execute. It validates
+// the defaulted form, so a zero knob never fails.
+func (sc Scenario) Validate() error {
+	d := sc.withDefaults()
+	if d.Name == "" {
+		return fmt.Errorf("loadsim: scenario has no name")
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("loadsim: scenario %s: %s", d.Name, fmt.Sprintf(format, args...))
+	}
+	if d.Gen < 1 {
+		return fail("gen must be >= 1 (the source pool cannot be empty)")
+	}
+	if d.DupRate < 0 || d.DupRate > 1 {
+		return fail("dup_rate %v outside [0, 1]", d.DupRate)
+	}
+	if d.Batch < 1 {
+		return fail("batch must be >= 1")
+	}
+	if d.Concurrency < 1 {
+		return fail("concurrency must be >= 1")
+	}
+	for i, st := range d.Stages {
+		if _, err := PacingInterval(st.RPS); err != nil {
+			return fail("stages[%d]: %v", i, err)
+		}
+		if st.Requests < 1 {
+			return fail("stages[%d]: requests must be >= 1", i)
+		}
+	}
+	for i, b := range d.DeadlineMix {
+		if b.MS <= 0 {
+			return fail("deadline_mix[%d]: ms must be > 0", i)
+		}
+		if b.Weight <= 0 {
+			return fail("deadline_mix[%d]: weight must be > 0", i)
+		}
+	}
+	if d.Hollow != nil {
+		if d.Hollow.CostMinMS < 0 {
+			return fail("hollow.cost_min_ms must be >= 0")
+		}
+		if d.Hollow.CostMaxMS < d.Hollow.CostMinMS {
+			return fail("hollow.cost_max_ms below cost_min_ms")
+		}
+	}
+	if d.VirtualClock && d.Hollow == nil {
+		return fail("virtual_clock requires hollow workers (the real ladder pays its cost in real CPU)")
+	}
+	if d.Overload != nil {
+		if d.Hollow == nil {
+			return fail("overload requires hollow workers (the gate that makes shedding deterministic)")
+		}
+		if d.Overload.Extra < 1 {
+			return fail("overload.extra must be >= 1")
+		}
+		if d.Service.Workers < 1 || d.Service.QueueDepth < 1 {
+			return fail("overload requires explicit service.workers and service.queue_depth (capacity = workers+queue_depth)")
+		}
+		if need := d.Service.Workers + d.Service.QueueDepth + d.Overload.Extra; d.Gen < need {
+			return fail("gen %d below workers+queue_depth+extra = %d (overload needs distinct fingerprints)", d.Gen, need)
+		}
+	} else if len(d.Stages) == 0 {
+		return fail("stages must be non-empty (or set overload)")
+	}
+	return nil
+}
+
+func (b DeadlineBand) duration() time.Duration {
+	return time.Duration(b.MS) * time.Millisecond
+}
+
+// LoadScenario reads and validates one scenario file. Unknown fields
+// are rejected so a typo in a checked-in scenario fails loudly instead
+// of silently running the defaults.
+func LoadScenario(path string) (*Scenario, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var sc Scenario
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &sc, nil
+}
+
+// LoadSuite reads every *.json scenario under dir, sorted by filename
+// so suite order (and the emitted document) is reproducible.
+func LoadSuite(dir string) ([]*Scenario, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("loadsim: no scenario files (*.json) in %s", dir)
+	}
+	sort.Strings(paths)
+	suite := make([]*Scenario, 0, len(paths))
+	seen := make(map[string]string, len(paths))
+	for _, p := range paths {
+		sc, err := LoadScenario(p)
+		if err != nil {
+			return nil, err
+		}
+		if prev, dup := seen[sc.Name]; dup {
+			return nil, fmt.Errorf("loadsim: scenario name %q in both %s and %s", sc.Name, prev, p)
+		}
+		seen[sc.Name] = p
+		suite = append(suite, sc)
+	}
+	return suite, nil
+}

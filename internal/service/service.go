@@ -39,15 +39,11 @@ package service
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 	"time"
 
-	"vcsched/internal/core"
 	"vcsched/internal/resilient"
-	"vcsched/internal/sched"
 	"vcsched/internal/version"
-	"vcsched/internal/workload"
 )
 
 // Config sizes the service. The zero value selects sensible defaults.
@@ -80,6 +76,13 @@ type Config struct {
 	// (MaxSteps, PinSeed, …) override it, and the service forces
 	// Pins/Timeout/Parallelism/Trace per request.
 	Ladder resilient.Options
+	// Runner executes admitted requests on the worker pool. nil picks
+	// the production resilient ladder (built from Ladder). Injecting a
+	// synthetic Runner — e.g. the hollow recorded-cost stub in
+	// internal/loadsim — swaps the scheduler out while keeping the
+	// whole fingerprint → cache → coalesce → admit → work pipeline
+	// real, so load harnesses measure the service, not the DP.
+	Runner Runner
 }
 
 func (c Config) withDefaults() Config {
@@ -170,6 +173,7 @@ type job struct {
 // Service is the scheduling service. Create with New, stop with Close.
 type Service struct {
 	cfg     Config
+	runner  Runner
 	queue   chan *job
 	workers sync.WaitGroup
 
@@ -183,8 +187,13 @@ type Service struct {
 // New starts a service: the worker pool is running on return.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	runner := cfg.Runner
+	if runner == nil {
+		runner = ladderRunner{ladder: cfg.Ladder}
+	}
 	s := &Service{
 		cfg:    cfg,
+		runner: runner,
 		queue:  make(chan *job, cfg.QueueDepth),
 		flight: make(map[string]*call),
 	}
@@ -409,15 +418,16 @@ func (s *Service) finish(j *job, res Result, cacheable bool) {
 }
 
 // run executes one job on the calling worker: deadline bookkeeping,
-// the service.worker fault point, then the resilient ladder. A panic
-// anywhere — injected or real — is recovered into an error result, so
-// a poisoned request degrades instead of killing the pool.
+// the service.worker fault point, then the configured Runner (the
+// resilient ladder in production). A panic anywhere — injected or real
+// — is recovered into an error result, so a poisoned request degrades
+// instead of killing the pool.
 //
 // The returned cacheable flag is false for every non-success and for
-// successes whose descent was shaped by the wall clock (any ladder
-// attempt died of core.ErrTimeout): such results depend on load and
-// deadline, not on the request's content, and caching them would break
-// the warm-equals-cold byte-identity guarantee.
+// successes whose descent was shaped by the wall clock (for the ladder
+// Runner: any attempt died of core.ErrTimeout): such results depend on
+// load and deadline, not on the request's content, and caching them
+// would break the warm-equals-cold byte-identity guarantee.
 func (s *Service) run(j *job) (res Result, cacheable bool) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -449,56 +459,5 @@ func (s *Service) run(j *job) (res Result, cacheable bool) {
 			Taxonomy:    "internal",
 		}, false
 	}
-
-	opts := s.cfg.Ladder
-	opts.Core = j.req.Core
-	opts.Core.Pins = workload.PinsFor(j.req.SB, j.req.Machine.Clusters, j.req.PinSeed)
-	opts.Core.Timeout = remaining // → deduce.Budget.SetDeadline inside core
-	opts.Core.Parallelism = 1     // parallelism lives in the pool; results are identical
-	opts.Core.Trace = nil
-
-	schedule, out, err := resilient.Schedule(j.req.SB, j.req.Machine, opts)
-	if err != nil {
-		return Result{
-			Block:       j.req.SB.Name,
-			Fingerprint: j.fp,
-			Tier:        out.Tier.String(),
-			Err:         err.Error(),
-			Taxonomy:    resilient.Taxonomy(err),
-			HardFailure: true,
-		}, false
-	}
-
-	var text strings.Builder
-	if werr := schedule.WriteText(&text); werr != nil {
-		return Result{
-			Block:       j.req.SB.Name,
-			Fingerprint: j.fp,
-			Err:         fmt.Sprintf("serializing schedule: %v", werr),
-			Taxonomy:    "internal",
-			HardFailure: true,
-		}, false
-	}
-	res = Result{
-		Block:       j.req.SB.Name,
-		Fingerprint: j.fp,
-		Tier:        out.Tier.String(),
-		AWCT:        out.AWCT,
-		ExitCycles:  sched.FormatExitCycles(schedule.ExitCycles()),
-		Schedule:    text.String(),
-		Taxonomy:    "ok",
-	}
-	return res, !timeoutShaped(out)
-}
-
-// timeoutShaped reports whether any ladder attempt died of the wall
-// clock. Deterministic demotions (exhaustion, contradictions, panics)
-// replay identically on a cold re-run; a timeout does not.
-func timeoutShaped(out *resilient.Outcome) bool {
-	for _, a := range out.Attempts {
-		if a.Err != "" && strings.Contains(a.Err, core.ErrTimeout.Error()) {
-			return true
-		}
-	}
-	return false
+	return s.runner.Run(j.req, j.fp, remaining)
 }

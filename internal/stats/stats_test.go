@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"testing"
+	"time"
+)
+
+// seq returns [1ms, 2ms, ..., n ms], already sorted.
+func seq(n int) []time.Duration {
+	s := make([]time.Duration, n)
+	for i := range s {
+		s[i] = time.Duration(i+1) * time.Millisecond
+	}
+	return s
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		n    int
+		p    float64
+		want time.Duration
+	}{
+		// A single sample is every percentile.
+		{1, 0.0, ms(1)},
+		{1, 0.50, ms(1)},
+		{1, 0.99, ms(1)},
+		{1, 1.0, ms(1)},
+		// 10 samples: the p99 must be the max — the old floor indexing
+		// (int(0.99*9) = 8) reported the 9th value.
+		{10, 0.50, ms(5)},
+		{10, 0.90, ms(9)},
+		{10, 0.99, ms(10)},
+		{10, 1.0, ms(10)},
+		// 100 samples: p99 is the 99th value, smallest with >= 99 at or
+		// below it; p50 the 50th.
+		{100, 0.50, ms(50)},
+		{100, 0.90, ms(90)},
+		{100, 0.99, ms(99)},
+		{100, 1.0, ms(100)},
+	}
+	for _, c := range cases {
+		if got := Percentile(seq(c.n), c.p); got != c.want {
+			t.Errorf("Percentile(n=%d, p=%v) = %v, want %v", c.n, c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEmptySample(t *testing.T) {
+	if got := Percentile(nil, 0.99); got != 0 {
+		t.Errorf("Percentile of empty sample = %v, want 0", got)
+	}
+	if got := Percentile([]time.Duration{}, 0.50); got != 0 {
+		t.Errorf("Percentile of zero-length sample = %v, want 0", got)
+	}
+}
+
+func TestSortThenPercentile(t *testing.T) {
+	sample := []time.Duration{
+		9 * time.Millisecond, 1 * time.Millisecond, 5 * time.Millisecond,
+		3 * time.Millisecond, 7 * time.Millisecond,
+	}
+	sorted := Sort(sample)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] > sorted[i] {
+			t.Fatalf("Sort left sample unsorted at %d: %v", i, sorted)
+		}
+	}
+	if got := Percentile(sorted, 1.0); got != 9*time.Millisecond {
+		t.Errorf("max after Sort = %v, want 9ms", got)
+	}
+}
+
+func TestMillis(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want float64
+	}{
+		{0, 0},
+		{time.Millisecond, 1},
+		{1500 * time.Microsecond, 1.5},
+		{2 * time.Second, 2000},
+	}
+	for _, c := range cases {
+		if got := Millis(c.d); got != c.want {
+			t.Errorf("Millis(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
