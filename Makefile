@@ -6,13 +6,14 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 GO_LDFLAGS := -ldflags '-X vcsched/internal/version.Version=$(VERSION)'
 
-.PHONY: check build vet test race bench bench-short bench-gate bench-figures fuzz-smoke faults service-smoke slo slo-short slo-gate
+.PHONY: check build vet test race bench bench-short bench-gate bench-figures fuzz-smoke faults service-smoke slo slo-short slo-gate chaos
 
 # check is the tier-1 gate (see ROADMAP.md): vet, build, the full test
 # suite under the race detector, the fault-injection suite, the
-# scheduling-service smoke run, and the SLO scenario suite. Everything
-# must be green before a change lands.
-check: vet build race faults service-smoke slo-short
+# scheduling-service smoke run, and the chaos suite (which replays the
+# SLO scenario suite, chaos scenarios included, and gates it).
+# Everything must be green before a change lands.
+check: vet build race faults service-smoke chaos
 
 build:
 	$(GO) build $(GO_LDFLAGS) ./...
@@ -87,6 +88,18 @@ slo-short:
 
 slo-gate:
 	$(GO) run $(GO_LDFLAGS) ./cmd/benchgate -service -baseline BENCH_service_baseline.json -current BENCH_service.json
+
+# chaos is the chaos-engineering gate: the scheduled-fault, watchdog,
+# circuit-breaker and resilient-client suites under the race detector,
+# then the full SLO scenario replay (the chaos scenarios under
+# scenarios/ ride in the same suite) gated by benchgate -service —
+# which fails unconditionally on any escaped hard failure, watchdog
+# leak or warm/cold identity violation. DESIGN.md §13 documents the
+# chaos grammar and the state machines under test.
+chaos:
+	$(GO) test -race -run 'Chaos|Watchdog|Breaker|RetryAfter|Retries|Shed|Hedge|Sleep' \
+		./internal/faultpoint ./internal/service ./internal/loadsim ./internal/vcclient ./cmd/vcschedd
+	$(MAKE) slo-short
 
 # service-smoke drives the scheduling service end to end: build
 # vcschedd and vcload under the race detector, start the daemon on an

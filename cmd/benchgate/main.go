@@ -29,16 +29,26 @@
 //   - p99 latency may exceed the baseline by at most -p99-tol
 //     (fractional) plus -p99-slack-ms (absolute grace for
 //     sub-millisecond baselines);
+//
 //   - the cache hit rate may drop below the baseline by at most
 //     -hit-tol (absolute rate points);
+//
 //   - the shed rate may deviate from the baseline in either direction
 //     by at most -shed-tol — shedding more means capacity regressed,
 //     shedding less than an overload baseline means admission control
 //     stopped refusing work it must refuse;
-//   - the hard-failure count must be zero, baseline or not. There is
-//     no tolerance band for a scheduler that breaks requests.
 //
-//	benchgate -service -baseline BENCH_service_baseline.json -current BENCH_service.json
+//   - the hard-failure count must be zero, baseline or not. There is
+//     no tolerance band for a scheduler that breaks requests. Chaos
+//     scenarios report deliberately injected failures separately
+//     (injected/poisoned), so this stays an escaped-failure gate;
+//
+//   - watchdog leaks and warm/cold identity violations must likewise
+//     be zero, baseline or not — a watchdog-killed execution still
+//     running at drain or a warm result that differs from its cold
+//     bytes is broken regardless of tolerance.
+//
+//     benchgate -service -baseline BENCH_service_baseline.json -current BENCH_service.json
 package main
 
 import (
@@ -240,10 +250,7 @@ func gateService(baseline, current *loadsim.Document, tol sloTolerances) (violat
 				fmt.Sprintf("%s: present in baseline but not in current run (lost coverage)", base.Scenario))
 			continue
 		}
-		if got.HardFailures > 0 {
-			violations = append(violations,
-				fmt.Sprintf("%s: %d hard failures (must be zero)", base.Scenario, got.HardFailures))
-		}
+		violations = append(violations, unconditionalSLOs(got)...)
 		if limit := base.P99MS*(1+tol.p99Tol) + tol.p99SlackMS; got.P99MS > limit {
 			violations = append(violations,
 				fmt.Sprintf("%s: p99 %.3fms exceeds baseline %.3fms by more than %.0f%%+%.1fms (limit %.3fms)",
@@ -264,12 +271,29 @@ func gateService(baseline, current *loadsim.Document, tol sloTolerances) (violat
 		if seen[r.Scenario] {
 			continue
 		}
-		if r.HardFailures > 0 {
-			violations = append(violations,
-				fmt.Sprintf("%s: %d hard failures (must be zero, baseline or not)", r.Scenario, r.HardFailures))
-		}
+		violations = append(violations, unconditionalSLOs(r)...)
 		notes = append(notes,
 			fmt.Sprintf("%s: not in baseline, SLOs not gated (add it to BENCH_service_baseline.json)", r.Scenario))
 	}
 	return violations, notes
+}
+
+// unconditionalSLOs are the invariants with no tolerance band and no
+// baseline requirement: a scheduler that breaks requests
+// (hard_failures counts only failures the chaos layer did NOT inject),
+// leaks a watchdog-killed execution, or serves a warm result that is
+// not byte-identical to the cold one is broken regardless of what any
+// baseline says.
+func unconditionalSLOs(r loadsim.Report) []string {
+	var v []string
+	if r.HardFailures > 0 {
+		v = append(v, fmt.Sprintf("%s: %d escaped hard failures (must be zero)", r.Scenario, r.HardFailures))
+	}
+	if r.WatchdogLeaks > 0 {
+		v = append(v, fmt.Sprintf("%s: %d watchdog-killed executions still running at drain (must be zero)", r.Scenario, r.WatchdogLeaks))
+	}
+	if r.IdentityViolations > 0 {
+		v = append(v, fmt.Sprintf("%s: %d warm results not byte-identical to cold (must be zero)", r.Scenario, r.IdentityViolations))
+	}
+	return v
 }

@@ -160,6 +160,31 @@ func TestGateServiceHardFailuresAlwaysFail(t *testing.T) {
 	}
 }
 
+// TestGateServiceChaosInvariantsAlwaysFail: watchdog leaks and
+// warm/cold identity violations, like escaped hard failures, have no
+// tolerance band and need no baseline entry.
+func TestGateServiceChaosInvariantsAlwaysFail(t *testing.T) {
+	base := sdoc(loadsim.Report{Scenario: "chaos-faults", P99MS: 10})
+	cur := sdoc(
+		loadsim.Report{Scenario: "chaos-faults", P99MS: 10, WatchdogLeaks: 1},
+		loadsim.Report{Scenario: "chaos-new", P99MS: 1, IdentityViolations: 3},
+	)
+	violations, _ := gateService(base, cur, tols())
+	if len(violations) != 2 {
+		t.Fatalf("violations %v, want one per scenario", violations)
+	}
+	if !strings.Contains(violations[0], "watchdog") || !strings.Contains(violations[1], "byte-identical") {
+		t.Fatalf("violations %v, want watchdog-leak and identity violations", violations)
+	}
+
+	// Injected/poisoned counts alone are fine: chaos scenarios are
+	// SUPPOSED to absorb injected failures without escaping any.
+	clean := sdoc(loadsim.Report{Scenario: "chaos-faults", P99MS: 10, Injected: 20, Poisoned: 7, WatchdogKills: 4})
+	if violations, _ := gateService(base, clean, tols()); len(violations) != 0 {
+		t.Fatalf("injected-only chaos report flagged: %v", violations)
+	}
+}
+
 func TestGateServiceMissingScenarioFails(t *testing.T) {
 	base := sdoc(
 		loadsim.Report{Scenario: "steady", P99MS: 10},

@@ -8,13 +8,17 @@
 //	go run ./cmd/vcload -addr 127.0.0.1:8457 \
 //	    -corpus internal/difftest/testdata/repros -gen 20 -n 200 -dup 0.5
 //
-// vcload exits non-zero when any request hard-failed (or could not be
-// delivered), so harnesses can use it as a pass/fail smoke check.
+// Delivery goes through internal/vcclient: each request gets a per-try
+// timeout (-try-timeout), failed or shed tries are retried up to
+// -retries times with deterministic decorrelated-jitter backoff that
+// honors the daemon's Retry-After hint, and -hedge-after launches a
+// hedged duplicate of a slow request (safe: /v1/schedule is
+// idempotent). vcload exits non-zero when any request hard-failed (or
+// could not be delivered), so harnesses can use it as a pass/fail
+// smoke check.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +35,7 @@ import (
 	"vcsched/internal/loadsim"
 	"vcsched/internal/service"
 	"vcsched/internal/stats"
+	"vcsched/internal/vcclient"
 	"vcsched/internal/version"
 )
 
@@ -49,6 +54,9 @@ func main() {
 	dup := flag.Float64("dup", 0.5, "fraction of requests that re-submit an earlier source")
 	deadline := flag.Duration("deadline", 0, "per-request deadline to ask for (0 = daemon default)")
 	conc := flag.Int("c", 4, "in-flight request concurrency")
+	retries := flag.Int("retries", 2, "re-attempts after a failed or shed try (0 = none, negative rejected)")
+	hedgeAfter := flag.Duration("hedge-after", 0, "hedge a try that has not answered within this duration (0 = off, negative rejected)")
+	tryTimeout := flag.Duration("try-timeout", 2*time.Minute, "per-try timeout (0 = client default, negative rejected)")
 	verbose := flag.Bool("v", false, "log every response")
 	showVersion := flag.Bool("version", false, "print the version and exit")
 	flag.Parse()
@@ -79,8 +87,17 @@ func main() {
 	}
 
 	base := "http://" + *addr
-	client := &http.Client{Timeout: 5 * time.Minute}
-	if err := waitHealthy(client, base, 10*time.Second); err != nil {
+	client, err := vcclient.New(vcclient.Config{
+		BaseURL:    base,
+		TryTimeout: *tryTimeout,
+		Retries:    *retries,
+		HedgeAfter: *hedgeAfter,
+		Seed:       *genSeed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := waitHealthy(base, 10*time.Second); err != nil {
 		fatal(err)
 	}
 
@@ -126,7 +143,7 @@ func main() {
 			defer wg.Done()
 			for blocks := range jobs {
 				start := time.Now()
-				resp, err := post(client, base, service.WireRequest{
+				resp, err := client.Schedule(service.WireRequest{
 					Blocks:    blocks,
 					Machine:   *machineKey,
 					PinSeed:   *pinSeed,
@@ -143,7 +160,7 @@ func main() {
 	}
 	wg.Wait()
 
-	report(os.Stdout, latencies, &agg)
+	report(os.Stdout, latencies, &agg, client.Stats())
 	if agg.transport > 0 || agg.hardFailures > 0 {
 		fmt.Fprintf(os.Stderr, "vcload: %d hard failures, %d transport errors (taxonomy: %s)\n",
 			agg.hardFailures, agg.transport, strings.Join(agg.taxonomyNames(), ", "))
@@ -186,7 +203,8 @@ func loadSources(dir string, gen int, seed int64, maxInstrs int) ([]string, erro
 
 // waitHealthy polls /v1/healthz so vcload can be started alongside the
 // daemon without an external readiness dance.
-func waitHealthy(client *http.Client, base string, within time.Duration) error {
+func waitHealthy(base string, within time.Duration) error {
+	client := &http.Client{Timeout: 5 * time.Second}
 	deadline := time.Now().Add(within)
 	for {
 		resp, err := client.Get(base + "/v1/healthz")
@@ -204,28 +222,6 @@ func waitHealthy(client *http.Client, base string, within time.Duration) error {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
-}
-
-func post(client *http.Client, base string, wreq service.WireRequest) (*service.WireResponse, error) {
-	body, err := json.Marshal(wreq)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := client.Post(base+"/v1/schedule", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	// 422 still carries a well-formed response body (the all-hard-failed
-	// verdict); other non-2xx statuses are transport-level failures.
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusUnprocessableEntity {
-		return nil, fmt.Errorf("status %s", resp.Status)
-	}
-	var wresp service.WireResponse
-	if err := json.NewDecoder(resp.Body).Decode(&wresp); err != nil {
-		return nil, err
-	}
-	return &wresp, nil
 }
 
 func deadlineMS(d time.Duration) int64 {
@@ -303,7 +299,7 @@ func (t *tally) taxonomyNames() []string {
 	return names
 }
 
-func report(w io.Writer, latencies []time.Duration, t *tally) {
+func report(w io.Writer, latencies []time.Duration, t *tally, cs vcclient.Stats) {
 	sorted := stats.Sort(latencies)
 	pct := func(p float64) time.Duration { return stats.Percentile(sorted, p) }
 	// Per-block rates divide by blocks *sent*: a transport-failed batch
@@ -323,6 +319,8 @@ func report(w io.Writer, latencies []time.Duration, t *tally) {
 	fmt.Fprintf(w, "  latency p50 %v  p90 %v  p99 %v  max %v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), pct(1.0).Round(time.Microsecond))
+	fmt.Fprintf(w, "  client tries %d  retries %d  hedges %d  sheds-seen %d\n",
+		cs.Tries, cs.Retries, cs.Hedges, cs.Sheds)
 	var names []string
 	for name := range t.taxonomy {
 		names = append(names, name)

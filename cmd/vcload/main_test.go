@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"vcsched/internal/service"
+	"vcsched/internal/vcclient"
 )
 
 // seq returns [1ms, 2ms, ..., n ms], already sorted.
@@ -41,7 +42,7 @@ func TestTallyBatchUnits(t *testing.T) {
 	}
 
 	var b strings.Builder
-	report(&b, seq(8), &agg)
+	report(&b, seq(8), &agg, vcclient.Stats{Tries: 3, Retries: 1, Hedges: 0, Sheds: 1})
 	out := b.String()
 	// 8 blocks sent is the denominator everywhere: ok 2/8 = 25%, shed
 	// 1/8 = 12.5%, transport loss 4/8 = 50%. The old per-returned-block
@@ -53,6 +54,7 @@ func TestTallyBatchUnits(t *testing.T) {
 		"transport-errors 1 (4 blocks lost, 50.0%)",
 		"cache-hits 1 (12.5%)",
 		"latency p50 4ms  p90 8ms  p99 8ms  max 8ms",
+		"client tries 3  retries 1  hedges 0  sheds-seen 1",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q:\n%s", want, out)

@@ -163,13 +163,26 @@ func newMux(svc *service.Service, d defaults) http.Handler {
 		results := svc.SubmitBatch(reqs)
 		resp := buildResponse(results)
 		status := http.StatusOK
-		if resp.AllHardFailed {
+		switch {
+		case resp.AllHardFailed:
 			// The daemon-side analogue of cmd/vcsched exiting non-zero
 			// when every block in a batch hard-fails: a non-2xx status
 			// plus the taxonomy class names.
 			status = http.StatusUnprocessableEntity
 			fmt.Fprintf(os.Stderr, "vcschedd: batch of %d: every block hard-failed (taxonomy: %s)\n",
 				len(results), strings.Join(resp.Taxonomies, ", "))
+		case resp.AllShed:
+			// Every block was refused by admission control: 429 with a
+			// retry hint derived from queue depth × recent service time
+			// (service.RetryAfter). Retry-After is the standard header
+			// (integer seconds, rounded up so it is never 0); the
+			// millisecond-precision hint rides in Retry-After-Ms and in
+			// the body for clients that can use it.
+			status = http.StatusTooManyRequests
+			hint := svc.RetryAfter()
+			resp.RetryAfterMS = int64(hint / time.Millisecond)
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int64((hint+time.Second-1)/time.Second)))
+			w.Header().Set("Retry-After-Ms", fmt.Sprintf("%d", resp.RetryAfterMS))
 		}
 		writeJSON(w, status, resp)
 	})
@@ -232,10 +245,11 @@ func buildRequests(wreq *service.WireRequest, d defaults) ([]*service.Request, e
 	return reqs, nil
 }
 
-// buildResponse converts results and computes the batch verdict.
+// buildResponse converts results and computes the batch verdicts.
 func buildResponse(results []service.Result) service.WireResponse {
 	resp := service.WireResponse{Results: make([]service.WireResult, len(results))}
 	allHard := len(results) > 0
+	allShed := len(results) > 0
 	tax := map[string]bool{}
 	for i, r := range results {
 		resp.Results[i] = r.ToWire()
@@ -243,6 +257,9 @@ func buildResponse(results []service.Result) service.WireResponse {
 			tax[r.Taxonomy] = true
 		} else {
 			allHard = false
+		}
+		if !r.Shed {
+			allShed = false
 		}
 	}
 	if allHard {
@@ -252,6 +269,7 @@ func buildResponse(results []service.Result) service.WireResponse {
 		}
 		sort.Strings(resp.Taxonomies)
 	}
+	resp.AllShed = allShed
 	return resp
 }
 

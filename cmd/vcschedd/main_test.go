@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -16,9 +17,11 @@ import (
 	"vcsched/internal/difftest"
 	"vcsched/internal/faultpoint"
 	"vcsched/internal/ir"
+	"vcsched/internal/leakcheck"
 	"vcsched/internal/loadsim"
 	"vcsched/internal/resilient"
 	"vcsched/internal/service"
+	"vcsched/internal/vcclient"
 	"vcsched/internal/version"
 )
 
@@ -205,7 +208,9 @@ func TestHealthzFlipsToDrainingOnClose(t *testing.T) {
 // taxonomy, healthz flips to 503, and the pool leaves no goroutines
 // behind.
 func TestDrainUnderHTTPLoad(t *testing.T) {
-	before := runtime.NumGoroutine()
+	// The +4 slack covers httptest's keep-alive goroutines, which may
+	// outlive the requests briefly while the server is still serving.
+	before := runtime.NumGoroutine() + 4
 
 	hollow := loadsim.NewHollowRunner(loadsim.HollowConfig{
 		CostMin: 20 * time.Millisecond,
@@ -259,11 +264,12 @@ func TestDrainUnderHTTPLoad(t *testing.T) {
 		}
 	}
 
-	// A request after the drain began is refused, not dropped: it still
-	// gets a well-formed response naming the "draining" taxonomy.
+	// A request after the drain began is refused, not dropped: every
+	// block is shed, so the daemon answers 429 with a well-formed body
+	// naming the "draining" taxonomy.
 	status, resp := postSchedule(t, srv, service.WireRequest{Blocks: []string{blocks[0]}})
-	if status != http.StatusOK || len(resp.Results) != 1 {
-		t.Fatalf("post-drain submit: status %d results %d", status, len(resp.Results))
+	if status != http.StatusTooManyRequests || len(resp.Results) != 1 {
+		t.Fatalf("post-drain submit: status %d results %d, want 429", status, len(resp.Results))
 	}
 	if r := resp.Results[0]; !r.Shed || r.Taxonomy != "draining" {
 		t.Fatalf("post-drain submit = %+v, want draining refusal", r)
@@ -277,17 +283,147 @@ func TestDrainUnderHTTPLoad(t *testing.T) {
 		t.Fatalf("healthz during drain: %d, want 503", hc.StatusCode)
 	}
 
-	// The worker pool exited; allow scheduler slack plus httptest's own
-	// keep-alive goroutines to wind down.
-	deadline = time.Now().Add(5 * time.Second)
-	for runtime.NumGoroutine() > before+4 {
-		if time.Now().After(deadline) {
-			buf := make([]byte, 64<<10)
-			t.Fatalf("goroutines leaked across drain: before %d, after %d\n%s",
-				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(5 * time.Millisecond)
+	// The worker pool exited; the shared leak checker waits for the
+	// goroutine count to settle back to the baseline.
+	if err := leakcheck.Settle(before, 0); err != nil {
+		t.Fatalf("goroutines leaked across drain: %v", err)
 	}
+}
+
+// gatedRunner wedges every execution until release is closed, so the
+// test can fill the worker and the admission queue deterministically.
+type gatedRunner struct {
+	started chan string
+	release chan struct{}
+}
+
+func (r *gatedRunner) Run(req *service.Request, fp string, remaining time.Duration) (service.Result, bool) {
+	r.started <- req.SB.Name
+	<-r.release
+	return service.Result{Block: req.SB.Name, Tier: "gated", Schedule: "gated\n", Taxonomy: "ok"}, false
+}
+
+// TestAllShedAnswers429WithRetryAfter pins the daemon's overload
+// contract: when every block in a batch is refused by admission
+// control the daemon answers 429 and carries its queue-drain estimate
+// in Retry-After (integer seconds, never 0), Retry-After-Ms, and the
+// body — and a vcclient pointed at the live daemon floors its backoff
+// at that hint.
+func TestAllShedAnswers429WithRetryAfter(t *testing.T) {
+	runner := &gatedRunner{started: make(chan string, 8), release: make(chan struct{})}
+	srv, svc := newTestServerWithConfig(t, service.Config{
+		Workers:         1,
+		QueueDepth:      1,
+		DefaultDeadline: 30 * time.Second,
+		Runner:          runner,
+	})
+
+	g := difftest.NewGen(23, 12)
+	blockA, blockB, blockC := g.Next().String(), g.Next().String(), g.Next().String()
+
+	// Fill capacity: A occupies the single worker, B the single queue
+	// slot. Admission enqueues and bumps CacheMisses under one lock, so
+	// CacheMisses == 2 means the queue slot is taken and the next
+	// submission must shed.
+	var wg sync.WaitGroup
+	for _, src := range []string{blockA, blockB} {
+		wg.Add(1)
+		go func(src string) {
+			defer wg.Done()
+			status, resp := postSchedule(t, srv, service.WireRequest{Blocks: []string{src}})
+			if status != http.StatusOK || resp.Results[0].Taxonomy != "ok" {
+				t.Errorf("gated request: status %d result %+v", status, resp.Results[0])
+			}
+		}(src)
+		if src == blockA {
+			<-runner.started // the worker holds A before B is queued
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for svc.Stats().CacheMisses != 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("load not admitted: %+v", svc.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	body, err := json.Marshal(service.WireRequest{Blocks: []string{blockC}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shedResp, err := http.Post(srv.URL+"/v1/schedule", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shedBody service.WireResponse
+	if err := json.NewDecoder(shedResp.Body).Decode(&shedBody); err != nil {
+		t.Fatal(err)
+	}
+	shedResp.Body.Close()
+	if shedResp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d %+v, want 429", shedResp.StatusCode, shedBody)
+	}
+
+	if !shedBody.AllShed {
+		t.Fatalf("429 body AllShed not set: %+v", shedBody)
+	}
+	for _, r := range shedBody.Results {
+		if !r.Shed {
+			t.Fatalf("429 carried a non-shed result: %+v", r)
+		}
+	}
+	secs, err := strconv.ParseInt(shedResp.Header.Get("Retry-After"), 10, 64)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q (%v), want an integer >= 1", shedResp.Header.Get("Retry-After"), err)
+	}
+	ms, err := strconv.ParseInt(shedResp.Header.Get("Retry-After-Ms"), 10, 64)
+	if err != nil || ms <= 0 {
+		t.Fatalf("Retry-After-Ms = %q (%v), want a positive integer", shedResp.Header.Get("Retry-After-Ms"), err)
+	}
+	if shedBody.RetryAfterMS != ms {
+		t.Fatalf("body retry_after_ms %d != header %d", shedBody.RetryAfterMS, ms)
+	}
+
+	// vcclient against the live daemon: with the backoff cap below the
+	// hint, every recorded wait must equal the Retry-After-Ms floor.
+	var sleepMu sync.Mutex
+	var sleeps []time.Duration
+	client, err := vcclient.New(vcclient.Config{
+		BaseURL:     srv.URL,
+		Retries:     2,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+		Sleep: func(d time.Duration) {
+			sleepMu.Lock()
+			sleeps = append(sleeps, d)
+			sleepMu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp, err := client.Schedule(service.WireRequest{Blocks: []string{blockC}})
+	if err != nil || !cresp.AllShed {
+		t.Fatalf("client.Schedule = %+v, %v; want the shed verdict after exhausted retries", cresp, err)
+	}
+	st := client.Stats()
+	if st.Sheds != 3 || st.Retries != 2 {
+		t.Fatalf("client stats = %+v, want 3 sheds / 2 retries", st)
+	}
+	sleepMu.Lock()
+	recorded := append([]time.Duration(nil), sleeps...)
+	sleepMu.Unlock()
+	if len(recorded) != 2 {
+		t.Fatalf("client backoffs = %v, want 2", recorded)
+	}
+	for i, d := range recorded {
+		if d < time.Duration(ms)*time.Millisecond {
+			t.Fatalf("backoff %d = %v below the daemon's %dms hint", i, d, ms)
+		}
+	}
+
+	close(runner.release)
+	wg.Wait()
 }
 
 func TestStatszDeterministicBytes(t *testing.T) {

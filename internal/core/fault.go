@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"vcsched/internal/deduce"
 	"vcsched/internal/faultpoint"
@@ -41,7 +40,7 @@ func injectStageFault(point string) error {
 	case faultpoint.KindStarve:
 		return fmt.Errorf("%w: injected starvation (faultpoint %s)", deduce.ErrBudget, point)
 	case faultpoint.KindSleep:
-		time.Sleep(time.Duration(f.N) * time.Millisecond)
+		faultpoint.Sleep(f.SleepDuration())
 	}
 	return nil
 }

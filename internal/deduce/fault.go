@@ -2,7 +2,6 @@ package deduce
 
 import (
 	"fmt"
-	"time"
 
 	"vcsched/internal/faultpoint"
 )
@@ -25,7 +24,7 @@ func injectFault(point string) error {
 	case faultpoint.KindStarve:
 		return fmt.Errorf("%w: injected starvation (faultpoint %s)", ErrBudget, point)
 	case faultpoint.KindSleep:
-		time.Sleep(time.Duration(f.N) * time.Millisecond)
+		faultpoint.Sleep(f.SleepDuration())
 	}
 	return nil
 }

@@ -31,6 +31,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Kind is the failure a fault point injects.
@@ -88,6 +89,33 @@ type Fault struct {
 	N     int // parameter: step cap (starve), milliseconds (sleep)
 }
 
+// SleepDuration is the stall a KindSleep fault asks for (N
+// milliseconds). Call sites pay it through Sleep, never time.Sleep
+// directly, so the sleeper seam covers every sleep point.
+func (f Fault) SleepDuration() time.Duration { return time.Duration(f.N) * time.Millisecond }
+
+// SetSleeper replaces the function KindSleep faults sleep through and
+// returns the previous one so callers can restore it (nil restores the
+// default time.Sleep). Harnesses on simulated time inject their
+// clock's Sleep here; everything else never needs to call this.
+func SetSleeper(fn func(time.Duration)) (prev func(time.Duration)) {
+	if fn == nil {
+		fn = time.Sleep
+	}
+	prev = sleeper.Load().(func(time.Duration))
+	sleeper.Store(fn)
+	return prev
+}
+
+// Sleep pays d through the injected sleeper. Every KindSleep call site
+// routes its stall here.
+func Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	sleeper.Load().(func(time.Duration))(d)
+}
+
 // PanicValue is the value a KindPanic point panics with, so tests and
 // recovery paths can tell an injected panic from a real one.
 type PanicValue struct{ Point string }
@@ -103,9 +131,17 @@ var (
 	armed atomic.Bool // fast-path gate: any faults registered
 	mu    sync.Mutex
 	reg   = map[string]*entry{}
+
+	// sleeper pays KindSleep stalls. The default is time.Sleep;
+	// harnesses that run on simulated time (internal/loadsim's virtual
+	// clock) inject their own so armed sleep windows advance the
+	// virtual clock instead of burning real seconds. Stored atomically
+	// so call sites racing a SetSleeper never read a torn value.
+	sleeper atomic.Value // of func(time.Duration)
 )
 
 func init() {
+	sleeper.Store(time.Sleep)
 	if spec := os.Getenv("VCSCHED_FAULTS"); spec != "" {
 		if err := ArmSpec(spec); err != nil {
 			// A malformed spec must not silently run the suite fault-free.

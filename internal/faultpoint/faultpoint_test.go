@@ -3,7 +3,9 @@ package faultpoint
 import (
 	"sort"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestDisarmedFireIsFree(t *testing.T) {
@@ -132,6 +134,107 @@ func TestKnownPointsSortedAndComplete(t *testing.T) {
 			t.Fatalf("KnownPoints missing %q: %v", want, pts)
 		}
 	}
+}
+
+// TestSleepRoutesThroughInjectedSleeper is the regression test for the
+// sleeper seam: a KindSleep fault paid through an injected sleeper must
+// record the full requested stall without burning real wall time, so
+// chaos windows on the loadsim virtual clock stay deterministic and
+// `make faults` stops costing real seconds per armed sleep.
+func TestSleepRoutesThroughInjectedSleeper(t *testing.T) {
+	Reset()
+	defer Reset()
+	var (
+		mu    sync.Mutex
+		slept time.Duration
+	)
+	prev := SetSleeper(func(d time.Duration) {
+		mu.Lock()
+		slept += d
+		mu.Unlock()
+	})
+	defer SetSleeper(prev)
+
+	Arm("p", Fault{Kind: KindSleep, N: 2000})
+	start := time.Now()
+	f, ok := Fire("p")
+	if !ok || f.Kind != KindSleep {
+		t.Fatalf("Fire = %v %v, want armed sleep", f, ok)
+	}
+	Sleep(f.SleepDuration())
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("injected 2s sleep burned %v of real time", elapsed)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if slept != 2*time.Second {
+		t.Fatalf("sleeper recorded %v, want 2s", slept)
+	}
+}
+
+// TestSetSleeperRestoresDefault: SetSleeper(nil) must restore
+// time.Sleep, and Sleep of a non-positive duration must never invoke
+// the sleeper at all.
+func TestSetSleeperRestoresDefault(t *testing.T) {
+	called := false
+	prev := SetSleeper(func(time.Duration) { called = true })
+	Sleep(0)
+	Sleep(-time.Second)
+	if called {
+		t.Fatal("non-positive Sleep invoked the sleeper")
+	}
+	SetSleeper(nil) // back to time.Sleep
+	start := time.Now()
+	Sleep(time.Millisecond)
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("default sleeper did not sleep real time")
+	}
+	SetSleeper(prev)
+}
+
+// TestConcurrentArmFireReset hammers the registry from many goroutines
+// under the race detector: arms, fires, disarms, resets, spec arms and
+// sleeper swaps racing freely. There is nothing to assert beyond "no
+// race, no panic, no deadlock" — the registry's promise under
+// concurrency is survival, not a specific interleaving.
+func TestConcurrentArmFireReset(t *testing.T) {
+	Reset()
+	defer Reset()
+	defer SetSleeper(nil)
+	points := []string{"service.admit", "service.worker", "core.stage", "deduce.propagate"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p := points[(g+i)%len(points)]
+				switch i % 5 {
+				case 0:
+					Arm(p, Fault{Kind: KindContra, Skip: i % 3, Every: i % 4})
+				case 1:
+					if f, ok := Fire(p); ok && f.Kind == KindSleep {
+						Sleep(f.SleepDuration())
+					}
+				case 2:
+					Disarm(p)
+				case 3:
+					if i%40 == 3 {
+						Reset()
+					} else if err := ArmSpec(p + "=sleep:0:0:1"); err != nil {
+						t.Error(err)
+					}
+				case 4:
+					prev := SetSleeper(func(time.Duration) {})
+					Hits(p)
+					Enabled()
+					Points()
+					SetSleeper(prev)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 func TestDisarm(t *testing.T) {

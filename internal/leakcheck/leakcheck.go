@@ -1,0 +1,62 @@
+// Package leakcheck asserts that a block of code does not leak
+// goroutines: the count observed after the block (plus drain) must
+// settle back to the count observed before it. The service drain
+// tests, the loadsim chaos harness and the daemon tests share it so
+// "no goroutine leaks" is one implementation, not three slightly
+// different polling loops.
+//
+// The check is a settle, not an instantaneous compare: goroutine
+// teardown is asynchronous (a worker that returned from its function
+// may not have been reaped yet), so the count is polled until it drops
+// to the baseline or the timeout expires. On failure the error carries
+// a stack dump of every live goroutine, which is what actually
+// identifies the leaker.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// DefaultTimeout bounds how long Settle and Check wait for goroutine
+// teardown before declaring a leak.
+const DefaultTimeout = 5 * time.Second
+
+// Settle waits up to timeout for the process goroutine count to drop
+// to at most baseline. It returns nil once the count settles and an
+// error carrying a full goroutine dump otherwise. A non-positive
+// timeout uses DefaultTimeout.
+func Settle(baseline int, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	n := runtime.NumGoroutine()
+	for time.Now().Before(deadline) {
+		if n = runtime.NumGoroutine(); n <= baseline {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	return fmt.Errorf("leakcheck: %d goroutines still live after %v (baseline %d)\n%s",
+		n, timeout, baseline, buf)
+}
+
+// Check snapshots the goroutine count now and registers a test cleanup
+// that fails the test if the count has not settled back to it by the
+// end (after the test's own cleanups — deferred service Closes — have
+// run). Call it first thing in a test that spins up a service, a
+// daemon, or a chaos scenario.
+func Check(t testing.TB) {
+	t.Helper()
+	baseline := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		if err := Settle(baseline, DefaultTimeout); err != nil {
+			t.Errorf("%v", err)
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package loadsim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vcsched/internal/faultpoint"
+)
+
+// Scheduled chaos: a scenario may carry a `faults` array of
+// FaultWindows, each binding one faultpoint ArmSpec-style fault to a
+// window of virtual time. The scenario loop arms the point when
+// simulated time enters the window and disarms it when time leaves, so
+// a chaos scenario is a deterministic script — same seed, same fault
+// schedule, byte-identical report — rather than a background goroutine
+// racing the load.
+//
+// That determinism is only available on the synchronous path, so
+// chaos scenarios require VirtualClock (which already requires hollow
+// workers) and Concurrency 1: the single-threaded loop is the only
+// place where "the clock reads 2s" and "submission N is next" are the
+// same statement.
+
+// FaultWindow is one scheduled fault: arm Point with the given fault
+// while virtual elapsed time t satisfies FromMS <= t < ToMS.
+type FaultWindow struct {
+	// Point is the faultpoint name (must be a compiled-in point).
+	Point string `json:"point"`
+	// Kind is the spec-grammar fault kind: panic, contra, starve, sleep.
+	Kind string `json:"kind"`
+	// FromMS/ToMS bound the window in virtual milliseconds since the
+	// scenario started.
+	FromMS int64 `json:"from_ms"`
+	ToMS   int64 `json:"to_ms"`
+	// Skip, Every, N are the fault's firing pattern and parameter,
+	// exactly as in the VCSCHED_FAULTS spec grammar. The hit counter
+	// resets when the window arms.
+	Skip  int `json:"skip,omitempty"`
+	Every int `json:"every,omitempty"`
+	N     int `json:"n,omitempty"`
+}
+
+// chaosKinds maps the spec-grammar kind names accepted in scenario
+// JSON onto faultpoint kinds.
+var chaosKinds = map[string]faultpoint.Kind{
+	"panic":  faultpoint.KindPanic,
+	"contra": faultpoint.KindContra,
+	"starve": faultpoint.KindStarve,
+	"sleep":  faultpoint.KindSleep,
+}
+
+func (w FaultWindow) fault() faultpoint.Fault {
+	return faultpoint.Fault{Kind: chaosKinds[w.Kind], Skip: w.Skip, Every: w.Every, N: w.N}
+}
+
+func (w FaultWindow) validate() error {
+	known := false
+	for _, p := range faultpoint.KnownPoints() {
+		if p == w.Point {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown fault point %q", w.Point)
+	}
+	if _, ok := chaosKinds[w.Kind]; !ok {
+		return fmt.Errorf("unknown fault kind %q (want panic, contra, starve or sleep)", w.Kind)
+	}
+	if w.FromMS < 0 {
+		return fmt.Errorf("from_ms must be >= 0")
+	}
+	if w.ToMS <= w.FromMS {
+		return fmt.Errorf("to_ms %d not after from_ms %d", w.ToMS, w.FromMS)
+	}
+	if w.Skip < 0 || w.Every < 0 || w.N < 0 {
+		return fmt.Errorf("skip/every/n must be >= 0")
+	}
+	return nil
+}
+
+// validateFaults checks every window and rejects overlapping windows
+// on the same point (at most one fault can be armed per point, so an
+// overlap would silently clobber the earlier window).
+func validateFaults(ws []FaultWindow) error {
+	byPoint := map[string][]FaultWindow{}
+	for i, w := range ws {
+		if err := w.validate(); err != nil {
+			return fmt.Errorf("faults[%d]: %v", i, err)
+		}
+		byPoint[w.Point] = append(byPoint[w.Point], w)
+	}
+	for point, list := range byPoint {
+		sort.Slice(list, func(i, j int) bool { return list[i].FromMS < list[j].FromMS })
+		for i := 1; i < len(list); i++ {
+			if list[i].FromMS < list[i-1].ToMS {
+				return fmt.Errorf("faults: windows [%d,%d)ms and [%d,%d)ms overlap on point %s",
+					list[i-1].FromMS, list[i-1].ToMS, list[i].FromMS, list[i].ToMS, point)
+			}
+		}
+	}
+	return nil
+}
+
+// chaosController applies the fault schedule as the synchronous
+// scenario loop advances virtual time. apply is called once per
+// submission with the elapsed virtual time; it arms windows whose span
+// has begun and disarms windows whose span has ended.
+type chaosController struct {
+	windows []FaultWindow
+	armed   []bool
+}
+
+func newChaosController(ws []FaultWindow) *chaosController {
+	return &chaosController{windows: ws, armed: make([]bool, len(ws))}
+}
+
+func (c *chaosController) apply(elapsed time.Duration) {
+	ms := elapsed.Milliseconds()
+	for i, w := range c.windows {
+		in := ms >= w.FromMS && ms < w.ToMS
+		switch {
+		case in && !c.armed[i]:
+			faultpoint.Arm(w.Point, w.fault())
+			c.armed[i] = true
+		case !in && c.armed[i]:
+			faultpoint.Disarm(w.Point)
+			c.armed[i] = false
+		}
+	}
+}
+
+// stop disarms everything still armed (the last window may extend past
+// the final submission).
+func (c *chaosController) stop() {
+	for i, w := range c.windows {
+		if c.armed[i] {
+			faultpoint.Disarm(w.Point)
+			c.armed[i] = false
+		}
+	}
+}

@@ -1,12 +1,12 @@
 package loadsim
 
 import (
-	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"vcsched/internal/core"
+	"vcsched/internal/leakcheck"
 	"vcsched/internal/machine"
 	"vcsched/internal/service"
 )
@@ -17,7 +17,7 @@ import (
 // refused with the "draining" taxonomy, and the worker pool must not
 // leak goroutines.
 func TestGracefulDrainUnderSustainedLoad(t *testing.T) {
-	before := runtime.NumGoroutine()
+	leakcheck.Check(t)
 
 	hollow := NewHollowRunner(HollowConfig{CostMin: 20 * time.Millisecond, CostMax: 40 * time.Millisecond})
 	svc := service.New(service.Config{
@@ -69,19 +69,6 @@ func TestGracefulDrainUnderSustainedLoad(t *testing.T) {
 		t.Fatalf("submit during drain = %+v, want draining refusal", after)
 	}
 	svc.Close() // idempotent
-
-	// The worker pool exited: the goroutine count settles back to (at
-	// most) where it started, plus scheduler slack.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= before+2 {
-			break
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 64<<10)
-			t.Fatalf("goroutines leaked across drain: before %d, after %d\n%s",
-				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+	// leakcheck.Check's cleanup asserts the worker pool's goroutines
+	// settled back to the pre-test count.
 }

@@ -46,6 +46,12 @@ type HollowConfig struct {
 	CostMin, CostMax time.Duration
 	// Clock pays the cost (nil = WallClock).
 	Clock Clock
+	// Poison marks fingerprints whose executions hard-fail with an
+	// injected-poison error instead of producing bytes — the
+	// deterministic bait for the per-fingerprint circuit breaker. The
+	// error text carries the "injected" marker so the report counts
+	// these separately from escaped hard failures.
+	Poison map[string]bool
 }
 
 // NewHollowRunner builds a hollow runner.
@@ -114,6 +120,16 @@ func (h *HollowRunner) Run(req *service.Request, fp string, remaining time.Durat
 	h.mu.Unlock()
 	if gate != nil {
 		<-gate
+	}
+
+	if h.cfg.Poison[fp] {
+		return service.Result{
+			Block:       req.SB.Name,
+			Fingerprint: fp,
+			Err:         "injected poison: hollow source configured to hard-fail",
+			Taxonomy:    "panic",
+			HardFailure: true,
+		}, false
 	}
 
 	cost := h.Cost(fp)

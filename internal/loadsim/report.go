@@ -15,24 +15,43 @@ import (
 // per block; latencies are per submission (a batch is one submission
 // carrying Batch blocks, mirroring cmd/vcload's accounting).
 type Report struct {
-	Scenario     string         `json:"scenario"`
-	Runs         int            `json:"runs"`
-	Requests     int            `json:"requests"`
-	Blocks       int            `json:"blocks"`
-	OK           int            `json:"ok"`
-	CacheHits    int            `json:"cache_hits"`
-	Coalesced    int            `json:"coalesced"`
-	Shed         int            `json:"shed"`
-	Timeouts     int            `json:"timeouts"`
-	HardFailures int            `json:"hard_failures"`
-	Taxonomy     map[string]int `json:"taxonomy"`
-	HitRate      float64        `json:"hit_rate"`  // cache hits / blocks
-	ShedRate     float64        `json:"shed_rate"` // shed / blocks
-	P50MS        float64        `json:"p50_ms"`
-	P90MS        float64        `json:"p90_ms"`
-	P99MS        float64        `json:"p99_ms"`
-	MaxMS        float64        `json:"max_ms"`
-	DurationMS   float64        `json:"duration_ms"`
+	Scenario     string `json:"scenario"`
+	Runs         int    `json:"runs"`
+	Requests     int    `json:"requests"`
+	Blocks       int    `json:"blocks"`
+	OK           int    `json:"ok"`
+	CacheHits    int    `json:"cache_hits"`
+	Coalesced    int    `json:"coalesced"`
+	Shed         int    `json:"shed"`
+	Timeouts     int    `json:"timeouts"`
+	HardFailures int    `json:"hard_failures"`
+	// Injected counts hard failures the chaos layer deliberately caused
+	// (their error text carries the "injected" marker): fault-window
+	// panics, hollow poison. HardFailures stays escaped-only, so the
+	// zero-hard-failure invariant means "no REAL failure escaped the
+	// resilience ladder" even mid-chaos.
+	Injected int `json:"injected,omitempty"`
+	// Poisoned counts circuit-breaker fast-fails (taxonomy "poisoned").
+	Poisoned int `json:"poisoned,omitempty"`
+	// Watchdog/breaker counters are the service's own totals for the
+	// run, snapshotted after the drain. WatchdogLeaks must be zero: a
+	// residue means a worker execution never returned.
+	WatchdogKills    int `json:"watchdog_kills,omitempty"`
+	WatchdogLeaks    int `json:"watchdog_leaks,omitempty"`
+	BreakerTrips     int `json:"breaker_trips,omitempty"`
+	BreakerFastFails int `json:"breaker_fast_fails,omitempty"`
+	// IdentityViolations counts results whose bytes differed from an
+	// earlier result for the same fingerprint — warm==cold byte
+	// identity must survive chaos, so this must be zero.
+	IdentityViolations int            `json:"identity_violations,omitempty"`
+	Taxonomy           map[string]int `json:"taxonomy"`
+	HitRate            float64        `json:"hit_rate"`  // cache hits / blocks
+	ShedRate           float64        `json:"shed_rate"` // shed / blocks
+	P50MS              float64        `json:"p50_ms"`
+	P90MS              float64        `json:"p90_ms"`
+	P99MS              float64        `json:"p99_ms"`
+	MaxMS              float64        `json:"max_ms"`
+	DurationMS         float64        `json:"duration_ms"`
 
 	// Latencies is the raw per-submission sample backing the
 	// percentiles, kept out of the JSON document; cmd/vcslo pools it
@@ -85,6 +104,13 @@ func Merge(runs []*Report) (*Report, error) {
 		out.Shed += r.Shed
 		out.Timeouts += r.Timeouts
 		out.HardFailures += r.HardFailures
+		out.Injected += r.Injected
+		out.Poisoned += r.Poisoned
+		out.WatchdogKills += r.WatchdogKills
+		out.WatchdogLeaks += r.WatchdogLeaks
+		out.BreakerTrips += r.BreakerTrips
+		out.BreakerFastFails += r.BreakerFastFails
+		out.IdentityViolations += r.IdentityViolations
 		for k, v := range r.Taxonomy {
 			out.Taxonomy[k] += v
 		}
@@ -111,6 +137,10 @@ func (r *Report) WriteSummary(w io.Writer) {
 		r.OK, rate(r.OK), r.HardFailures, r.Shed, rate(r.Shed), r.Timeouts)
 	fmt.Fprintf(w, "  cache-hits %d (%.1f%%)  coalesced %d (%.1f%%)\n",
 		r.CacheHits, rate(r.CacheHits), r.Coalesced, rate(r.Coalesced))
+	if r.Injected+r.Poisoned+r.WatchdogKills+r.BreakerTrips+r.IdentityViolations > 0 {
+		fmt.Fprintf(w, "  chaos: injected %d  poisoned %d  watchdog-kills %d (leaks %d)  breaker-trips %d (fast-fails %d)  identity-violations %d\n",
+			r.Injected, r.Poisoned, r.WatchdogKills, r.WatchdogLeaks, r.BreakerTrips, r.BreakerFastFails, r.IdentityViolations)
+	}
 	fmt.Fprintf(w, "  latency p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms\n",
 		r.P50MS, r.P90MS, r.P99MS, r.MaxMS)
 	names := make([]string, 0, len(r.Taxonomy))

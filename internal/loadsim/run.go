@@ -27,12 +27,16 @@ package loadsim
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"vcsched/internal/core"
 	"vcsched/internal/difftest"
+	"vcsched/internal/faultpoint"
 	"vcsched/internal/ir"
+	"vcsched/internal/leakcheck"
 	"vcsched/internal/machine"
 	"vcsched/internal/resilient"
 	"vcsched/internal/service"
@@ -67,35 +71,94 @@ func Run(sc *Scenario) (*Report, error) {
 	}
 
 	cfg := service.Config{
-		Workers:         d.Service.Workers,
-		QueueDepth:      d.Service.QueueDepth,
-		CacheEntries:    d.Service.CacheEntries,
-		DefaultDeadline: time.Duration(d.Service.DefaultDeadlineMS) * time.Millisecond,
-		Ladder:          resilient.Options{Core: coreOpts},
+		Workers:          d.Service.Workers,
+		QueueDepth:       d.Service.QueueDepth,
+		CacheEntries:     d.Service.CacheEntries,
+		DefaultDeadline:  time.Duration(d.Service.DefaultDeadlineMS) * time.Millisecond,
+		WatchdogGrace:    time.Duration(d.Service.WatchdogGraceMS) * time.Millisecond,
+		BreakerThreshold: d.Service.BreakerThreshold,
+		BreakerCooloff:   time.Duration(d.Service.BreakerCooloffMS) * time.Millisecond,
+		Now:              clock.Now,
+		Ladder:           resilient.Options{Core: coreOpts},
+	}
+	if d.VirtualClock {
+		// On simulated time the real-time sweeper is both meaningless
+		// (no wall time passes while an execution "runs") and a source
+		// of nondeterminism (it races the retrospective overshoot check
+		// for who publishes the kill). Park it; virtual watchdog kills
+		// are judged deterministically at completion.
+		cfg.WatchdogInterval = time.Hour
 	}
 	var hollow *HollowRunner
 	if d.Hollow != nil {
-		hollow = NewHollowRunner(HollowConfig{
+		hcfg := HollowConfig{
 			CostMin: time.Duration(d.Hollow.CostMinMS * float64(time.Millisecond)),
 			CostMax: time.Duration(d.Hollow.CostMaxMS * float64(time.Millisecond)),
 			Clock:   clock,
-		})
+		}
+		if len(d.Hollow.Poison) > 0 {
+			hcfg.Poison = make(map[string]bool, len(d.Hollow.Poison))
+			for _, p := range d.Hollow.Poison {
+				hcfg.Poison[pool[p].fp] = true
+			}
+		}
+		hollow = NewHollowRunner(hcfg)
 		cfg.Runner = hollow
 	}
+
+	// Chaos scenarios take over the (global) faultpoint registry and
+	// sleeper for the duration of the run: KindSleep stalls advance the
+	// virtual clock instead of burning real seconds, and the registry is
+	// reset afterwards no matter how the run ends. The goroutine
+	// baseline is captured before the service spins up so the post-drain
+	// leak check covers the service's own goroutines too.
+	chaotic := len(d.Faults) > 0 || (d.Hollow != nil && len(d.Hollow.Poison) > 0)
+	baseline := runtime.NumGoroutine()
+	if d.VirtualClock {
+		prevSleeper := faultpoint.SetSleeper(clock.Sleep)
+		defer faultpoint.SetSleeper(prevSleeper)
+	}
+	var chaos *chaosController
+	if chaotic {
+		chaos = newChaosController(d.Faults)
+		defer faultpoint.Reset()
+	}
+
 	svc := service.New(cfg)
 	defer svc.Close()
 
-	col := &collector{rep: Report{Scenario: d.Name, Runs: 1, Taxonomy: map[string]int{}}}
+	col := &collector{
+		rep:       Report{Scenario: d.Name, Runs: 1, Taxonomy: map[string]int{}},
+		schedules: map[string]string{},
+	}
 	start := clock.Now()
 	if d.Overload != nil {
 		err = runOverload(&d, svc, hollow, pool, m, coreOpts, clock, col)
 	} else {
-		err = runStages(&d, svc, pool, m, coreOpts, clock, col)
+		err = runStages(&d, svc, pool, m, coreOpts, clock, chaos, col)
 	}
 	if err != nil {
 		return nil, err
 	}
 	col.rep.DurationMS = stats.Millis(clock.Now().Sub(start))
+
+	// Drain before snapshotting the service counters: watchdog leaks
+	// must have settled (a residue means a worker execution never
+	// returned) and the breaker/watchdog totals must be final.
+	svc.Close()
+	st := svc.Stats()
+	col.rep.WatchdogKills = int(st.WatchdogKills)
+	col.rep.WatchdogLeaks = int(st.WatchdogLeaks)
+	col.rep.BreakerTrips = int(st.BreakerTrips)
+	col.rep.BreakerFastFails = int(st.BreakerFastFails)
+	if chaotic {
+		if col.rep.WatchdogLeaks != 0 {
+			return nil, fmt.Errorf("loadsim: scenario %s: %d watchdog leaks survived the drain", d.Name, col.rep.WatchdogLeaks)
+		}
+		if err := leakcheck.Settle(baseline, 0); err != nil {
+			return nil, fmt.Errorf("loadsim: scenario %s: %w", d.Name, err)
+		}
+	}
 	col.rep.finalize()
 	return &col.rep, nil
 }
@@ -127,8 +190,12 @@ func buildPool(d *Scenario, m *machine.Config, opts core.Options) ([]source, err
 		seen[fp] = true
 		pool = append(pool, source{sb: sb, fp: fp})
 	}
+	// The rename changes the canonical form, so the recorded
+	// fingerprints are recomputed to match what a submission of this
+	// source will actually hash to (the poison set is keyed by them).
 	for i := range pool {
 		pool[i].sb.Name = fmt.Sprintf("%s-src%03d", d.Name, i)
+		pool[i].fp = service.Fingerprint(&service.Request{SB: pool[i].sb, Machine: m, PinSeed: d.PinSeed, Core: opts})
 	}
 	return pool, nil
 }
@@ -190,7 +257,7 @@ func drawSubmissions(d *Scenario) []submission {
 // loop — pacing, submission and measurement interleave in one
 // goroutine, so virtual-clock latencies are exact. Higher concurrency
 // uses a dispatcher plus a worker pool like cmd/vcload.
-func runStages(d *Scenario, svc *service.Service, pool []source, mach *machine.Config, opts core.Options, clock Clock, col *collector) error {
+func runStages(d *Scenario, svc *service.Service, pool []source, mach *machine.Config, opts core.Options, clock Clock, chaos *chaosController, col *collector) error {
 	subs := drawSubmissions(d)
 
 	deliver := func(s submission) {
@@ -209,9 +276,16 @@ func runStages(d *Scenario, svc *service.Service, pool []source, mach *machine.C
 	}
 
 	if d.Concurrency == 1 {
+		start := clock.Now()
 		for _, s := range subs {
 			clock.Sleep(s.pace)
+			if chaos != nil {
+				chaos.apply(clock.Now().Sub(start))
+			}
 			deliver(s)
+		}
+		if chaos != nil {
+			chaos.stop()
 		}
 		return nil
 	}
@@ -288,10 +362,13 @@ func waitStats(svc *service.Service, cond func(service.Stats) bool) error {
 }
 
 // collector accumulates the report under a lock (the concurrent paths
-// record from many goroutines).
+// record from many goroutines). schedules remembers the first result
+// bytes seen per fingerprint so warm==cold byte identity is checked on
+// every later hit — across chaos windows included.
 type collector struct {
-	mu  sync.Mutex
-	rep Report
+	mu        sync.Mutex
+	rep       Report
+	schedules map[string]string
 }
 
 func (c *collector) record(lat time.Duration, results ...service.Result) {
@@ -304,11 +381,20 @@ func (c *collector) record(lat time.Duration, results ...service.Result) {
 		c.rep.Taxonomy[r.Taxonomy]++
 		switch {
 		case r.HardFailure:
-			c.rep.HardFailures++
+			// The chaos layer marks every failure it caused on purpose
+			// with "injected" (fault-window panics, hollow poison); the
+			// escaped-hard-failure invariant only counts the rest.
+			if strings.Contains(r.Err, "injected") {
+				c.rep.Injected++
+			} else {
+				c.rep.HardFailures++
+			}
 		case r.Shed:
 			c.rep.Shed++
 		case r.Taxonomy == "timeout":
 			c.rep.Timeouts++
+		case r.Taxonomy == "poisoned":
+			c.rep.Poisoned++
 		case r.Err == "":
 			c.rep.OK++
 		}
@@ -317,6 +403,13 @@ func (c *collector) record(lat time.Duration, results ...service.Result) {
 		}
 		if r.Coalesced {
 			c.rep.Coalesced++
+		}
+		if r.Err == "" && !r.Shed && r.Schedule != "" {
+			if prev, seen := c.schedules[r.Fingerprint]; !seen {
+				c.schedules[r.Fingerprint] = r.Schedule
+			} else if prev != r.Schedule {
+				c.rep.IdentityViolations++
+			}
 		}
 	}
 }

@@ -66,6 +66,12 @@ type Scenario struct {
 	// then offer Extra more requests that must all shed (requires
 	// Hollow and explicit Service.Workers/QueueDepth).
 	Overload *OverloadSpec `json:"overload,omitempty"`
+	// Faults is the scheduled chaos script: faultpoint arms bound to
+	// virtual-time windows (requires VirtualClock and Concurrency 1 —
+	// see chaos.go). A scenario with faults also runs the chaos
+	// invariant checks: watchdog leaks and goroutine count must settle
+	// to the baseline after the drain.
+	Faults []FaultWindow `json:"faults,omitempty"`
 }
 
 // Stage is one rung of the rps ramp.
@@ -90,12 +96,26 @@ type ServiceSpec struct {
 	// MaxSteps is the deduction step budget for real-ladder (non
 	// hollow) scenarios.
 	MaxSteps int `json:"max_steps,omitempty"`
+	// WatchdogGraceMS arms the worker watchdog: executions stuck
+	// longer than deadline+grace are killed (0 = watchdog off).
+	WatchdogGraceMS int64 `json:"watchdog_grace_ms,omitempty"`
+	// BreakerThreshold arms the per-fingerprint circuit breaker: that
+	// many consecutive hard failures open it (0 = breaker off).
+	BreakerThreshold int `json:"breaker_threshold,omitempty"`
+	// BreakerCooloffMS is the open-state cooloff before a half-open
+	// probe (0 = the service default).
+	BreakerCooloffMS int64 `json:"breaker_cooloff_ms,omitempty"`
 }
 
 // HollowSpec configures the hollow runner's recorded costs.
 type HollowSpec struct {
 	CostMinMS float64 `json:"cost_min_ms"`
 	CostMaxMS float64 `json:"cost_max_ms"`
+	// Poison lists source-pool indices whose executions hard-fail with
+	// an injected-poison error: the deterministic bait for the circuit
+	// breaker. Poison failures count as injected, not escaped, in the
+	// report.
+	Poison []int `json:"poison,omitempty"`
 }
 
 // OverloadSpec configures the deterministic overload flow.
@@ -179,6 +199,30 @@ func (sc Scenario) Validate() error {
 	}
 	if d.VirtualClock && d.Hollow == nil {
 		return fail("virtual_clock requires hollow workers (the real ladder pays its cost in real CPU)")
+	}
+	if d.Service.WatchdogGraceMS < 0 || d.Service.BreakerThreshold < 0 || d.Service.BreakerCooloffMS < 0 {
+		return fail("watchdog_grace_ms, breaker_threshold and breaker_cooloff_ms must be >= 0")
+	}
+	if d.Hollow != nil {
+		for i, p := range d.Hollow.Poison {
+			if p < 0 || p >= d.Gen {
+				return fail("hollow.poison[%d] = %d outside the source pool [0, %d)", i, p, d.Gen)
+			}
+		}
+	}
+	if len(d.Faults) > 0 {
+		if !d.VirtualClock {
+			return fail("faults require virtual_clock (the chaos schedule is bound to virtual time)")
+		}
+		if d.Concurrency != 1 {
+			return fail("faults require concurrency 1 (the synchronous loop is what makes the schedule deterministic)")
+		}
+		if d.Overload != nil {
+			return fail("faults and overload cannot be combined")
+		}
+		if err := validateFaults(d.Faults); err != nil {
+			return fail("%v", err)
+		}
 	}
 	if d.Overload != nil {
 		if d.Hollow == nil {

@@ -1,0 +1,263 @@
+package service
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vcsched/internal/ir"
+)
+
+// breakerService builds a service with a scripted runner, an injected
+// clock and the breaker armed at the given threshold.
+func breakerService(t *testing.T, runner *scriptedRunner, clock *fakeClock, threshold int) *Service {
+	t.Helper()
+	return newTestService(t, Config{
+		Workers:          2,
+		DefaultDeadline:  20 * time.Second,
+		BreakerThreshold: threshold,
+		BreakerCooloff:   10 * time.Second,
+		Now:              clock.now,
+		Runner:           runner,
+	})
+}
+
+// TestBreakerTripsAfterConsecutiveHardFailures: K consecutive hard
+// failures on one fingerprint open its breaker; further submissions
+// fast-fail with the "poisoned" taxonomy without touching a worker,
+// while other fingerprints are untouched.
+func TestBreakerTripsAfterConsecutiveHardFailures(t *testing.T) {
+	clock := newFakeClock()
+	runner := newScriptedRunner()
+	runner.fail["paper-fig1"] = true
+	s := breakerService(t, runner, clock, 3)
+
+	for i := 0; i < 3; i++ {
+		res := s.Submit(testRequest(ir.PaperFigure1(), 1))
+		if !res.HardFailure || res.Taxonomy != "panic" {
+			t.Fatalf("submit %d = %+v, want scripted hard failure", i, res)
+		}
+	}
+	if got := runner.callsFor("paper-fig1"); got != 3 {
+		t.Fatalf("runner ran %d times before trip, want 3", got)
+	}
+
+	// The breaker is now open: fast-fail, no worker execution.
+	for i := 0; i < 2; i++ {
+		res := s.Submit(testRequest(ir.PaperFigure1(), 1))
+		if res.Taxonomy != "poisoned" || res.HardFailure || res.Shed {
+			t.Fatalf("post-trip submit = %+v, want poisoned fast-fail", res)
+		}
+		if !strings.Contains(res.Err, "circuit breaker open") || !strings.Contains(res.Err, "panic") {
+			t.Fatalf("fast-fail verdict lacks cause: %q", res.Err)
+		}
+	}
+	if got := runner.callsFor("paper-fig1"); got != 3 {
+		t.Fatalf("open breaker still ran the runner: %d calls", got)
+	}
+
+	// A different fingerprint sails through.
+	if res := s.Submit(testRequest(ir.Diamond(), 1)); !res.OK() {
+		t.Fatalf("healthy fingerprint blocked by another's breaker: %+v", res)
+	}
+
+	st := s.Stats()
+	if st.BreakerTrips != 1 || st.BreakerFastFails != 2 || st.BreakerOpen != 1 {
+		t.Fatalf("stats = trips %d fastfails %d open %d, want 1/2/1",
+			st.BreakerTrips, st.BreakerFastFails, st.BreakerOpen)
+	}
+	if st.HardFailures != 3 {
+		t.Fatalf("fast-fails counted as hard failures: %d", st.HardFailures)
+	}
+}
+
+// TestBreakerHalfOpenProbeHealsOnSuccess: after the cooloff one probe
+// is admitted; when the request has stopped failing, the probe's
+// success closes the breaker and traffic flows (and caches) again.
+func TestBreakerHalfOpenProbeHealsOnSuccess(t *testing.T) {
+	clock := newFakeClock()
+	runner := newScriptedRunner()
+	runner.fail["paper-fig1"] = true
+	s := breakerService(t, runner, clock, 2)
+
+	for i := 0; i < 2; i++ {
+		s.Submit(testRequest(ir.PaperFigure1(), 1))
+	}
+	if res := s.Submit(testRequest(ir.PaperFigure1(), 1)); res.Taxonomy != "poisoned" {
+		t.Fatalf("breaker not open: %+v", res)
+	}
+
+	// Cooloff passes and the request is healthy again: the probe closes
+	// the breaker.
+	clock.advance(11 * time.Second)
+	runner.mu.Lock()
+	runner.fail["paper-fig1"] = false
+	runner.mu.Unlock()
+	probe := s.Submit(testRequest(ir.PaperFigure1(), 1))
+	if !probe.OK() || probe.CacheHit {
+		t.Fatalf("half-open probe = %+v, want fresh success", probe)
+	}
+	st := s.Stats()
+	if st.BreakerHalfOpens != 1 || st.BreakerOpen != 0 {
+		t.Fatalf("after probe: halfopens %d open %d, want 1/0", st.BreakerHalfOpens, st.BreakerOpen)
+	}
+	// Healed: the success was cached like any other.
+	if warm := s.Submit(testRequest(ir.PaperFigure1(), 1)); !warm.CacheHit {
+		t.Fatalf("post-heal submit = %+v, want cache hit", warm)
+	}
+}
+
+// TestBreakerHalfOpenProbeReopensOnFailure: a probe that hard-fails
+// reopens the breaker immediately for a fresh cooloff — one failure is
+// enough in half-open, the threshold does not apply again.
+func TestBreakerHalfOpenProbeReopensOnFailure(t *testing.T) {
+	clock := newFakeClock()
+	runner := newScriptedRunner()
+	runner.fail["paper-fig1"] = true
+	s := breakerService(t, runner, clock, 2)
+
+	for i := 0; i < 2; i++ {
+		s.Submit(testRequest(ir.PaperFigure1(), 1))
+	}
+	clock.advance(11 * time.Second)
+	probe := s.Submit(testRequest(ir.PaperFigure1(), 1))
+	if !probe.HardFailure {
+		t.Fatalf("still-poisonous probe = %+v, want hard failure", probe)
+	}
+	// Reopened: fast-fail again without a worker execution.
+	calls := runner.callsFor("paper-fig1")
+	if res := s.Submit(testRequest(ir.PaperFigure1(), 1)); res.Taxonomy != "poisoned" {
+		t.Fatalf("post-reopen submit = %+v, want poisoned fast-fail", res)
+	}
+	if got := runner.callsFor("paper-fig1"); got != calls {
+		t.Fatalf("reopened breaker ran the runner: %d -> %d calls", calls, got)
+	}
+	st := s.Stats()
+	if st.BreakerTrips != 2 || st.BreakerHalfOpens != 1 || st.BreakerOpen != 1 {
+		t.Fatalf("stats = trips %d halfopens %d open %d, want 2/1/1",
+			st.BreakerTrips, st.BreakerHalfOpens, st.BreakerOpen)
+	}
+}
+
+// TestBreakerIgnoresSoftFailures: timeouts and watchdog kills describe
+// load, not the request's content — they must neither trip a closed
+// breaker nor count toward the threshold.
+func TestBreakerIgnoresSoftFailures(t *testing.T) {
+	clock := newFakeClock()
+	runner := newScriptedRunner()
+	runner.onRun = func() { clock.advance(30 * time.Second) } // always overshoots
+	s := newTestService(t, Config{
+		Workers:          1,
+		DefaultDeadline:  time.Second,
+		WatchdogGrace:    time.Second,
+		BreakerThreshold: 1,
+		BreakerCooloff:   10 * time.Second,
+		Now:              clock.now,
+		Runner:           runner,
+	})
+	for i := 0; i < 3; i++ {
+		res := s.Submit(testRequest(ir.PaperFigure1(), 1))
+		if res.Taxonomy != "watchdog" {
+			t.Fatalf("submit %d = %+v, want watchdog kill", i, res)
+		}
+	}
+	st := s.Stats()
+	if st.BreakerTrips != 0 || st.BreakerOpen != 0 || st.BreakerFastFails != 0 {
+		t.Fatalf("soft failures moved the breaker: %+v", st)
+	}
+}
+
+// TestBreakerCoalesceJoinsProbe: duplicates that arrive while the
+// half-open probe is in flight coalesce onto it instead of fast-failing
+// — the coalesce check runs before the breaker check.
+func TestBreakerCoalesceJoinsProbe(t *testing.T) {
+	clock := newFakeClock()
+	runner := newScriptedRunner()
+	runner.fail["paper-fig1"] = true
+	s := breakerService(t, runner, clock, 2)
+	for i := 0; i < 2; i++ {
+		s.Submit(testRequest(ir.PaperFigure1(), 1))
+	}
+	clock.advance(11 * time.Second)
+
+	// Heal the request, gate the probe so duplicates can pile on.
+	gate := make(chan struct{})
+	runner.mu.Lock()
+	runner.fail["paper-fig1"] = false
+	runner.gate = gate
+	runner.mu.Unlock()
+
+	var wg sync.WaitGroup
+	results := make([]Result, 3)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = s.Submit(testRequest(ir.PaperFigure1(), 1))
+		}(i)
+	}
+	// Wait until the probe execution holds the gate, then release it —
+	// by then the laggards have either coalesced or fast-failed.
+	waitFor(t, s, "probe to reach the runner", func(Stats) bool {
+		return runner.callsFor("paper-fig1") == 3
+	})
+	waitFor(t, s, "duplicates to settle", func(st Stats) bool {
+		return st.Coalesced+st.BreakerFastFails == 2
+	})
+	runner.mu.Lock()
+	runner.gate = nil
+	runner.mu.Unlock()
+	close(gate)
+	wg.Wait()
+
+	ok, poisoned := 0, 0
+	for _, res := range results {
+		switch {
+		case res.OK():
+			ok++
+		case res.Taxonomy == "poisoned":
+			poisoned++
+		default:
+			t.Fatalf("unexpected result %+v", res)
+		}
+	}
+	// Exactly one execution ran (the probe); every duplicate either
+	// joined it via coalescing or fast-failed — none ran the runner.
+	if got := runner.callsFor("paper-fig1"); got != 3 { // 2 failures + 1 probe
+		t.Fatalf("runner ran %d times, want 3 (probe coalesced)", got)
+	}
+	st := s.Stats()
+	if int64(ok-1) != st.Coalesced || int64(poisoned) != st.BreakerFastFails {
+		t.Fatalf("ok=%d poisoned=%d but stats coalesced=%d fastfails=%d",
+			ok, poisoned, st.Coalesced, st.BreakerFastFails)
+	}
+	if st.BreakerOpen != 0 {
+		t.Fatalf("probe success did not close the breaker: %+v", st)
+	}
+}
+
+// TestBreakerDisabledByDefault: with no threshold configured, even a
+// stream of hard failures never opens anything.
+func TestBreakerDisabledByDefault(t *testing.T) {
+	clock := newFakeClock()
+	runner := newScriptedRunner()
+	runner.fail["paper-fig1"] = true
+	s := newTestService(t, Config{
+		Workers:         1,
+		DefaultDeadline: 20 * time.Second,
+		Now:             clock.now,
+		Runner:          runner,
+	})
+	for i := 0; i < 5; i++ {
+		if res := s.Submit(testRequest(ir.PaperFigure1(), 1)); !res.HardFailure {
+			t.Fatalf("submit %d = %+v, want hard failure", i, res)
+		}
+	}
+	if got := runner.callsFor("paper-fig1"); got != 5 {
+		t.Fatalf("runner ran %d times, want all 5", got)
+	}
+	if st := s.Stats(); st.BreakerTrips != 0 || st.BreakerOpen != 0 {
+		t.Fatalf("disabled breaker moved: %+v", st)
+	}
+}

@@ -2,7 +2,6 @@ package service
 
 import (
 	"fmt"
-	"time"
 
 	"vcsched/internal/faultpoint"
 )
@@ -22,7 +21,7 @@ func injectAdmitFault() error {
 	case faultpoint.KindContra, faultpoint.KindStarve:
 		return fmt.Errorf("injected shed (faultpoint service.admit)")
 	case faultpoint.KindSleep:
-		time.Sleep(time.Duration(f.N) * time.Millisecond)
+		faultpoint.Sleep(f.SleepDuration())
 	}
 	return nil
 }
@@ -45,7 +44,7 @@ func injectWorkerFault() error {
 	case faultpoint.KindStarve:
 		return fmt.Errorf("injected worker starvation (faultpoint service.worker, starve)")
 	case faultpoint.KindSleep:
-		time.Sleep(time.Duration(f.N) * time.Millisecond)
+		faultpoint.Sleep(f.SleepDuration())
 	}
 	return nil
 }

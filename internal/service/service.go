@@ -83,6 +83,28 @@ type Config struct {
 	// whole fingerprint → cache → coalesce → admit → work pipeline
 	// real, so load harnesses measure the service, not the DP.
 	Runner Runner
+	// Now is the clock the service reads for request deadlines, the
+	// worker watchdog and the circuit breaker (nil = time.Now). It is
+	// the clock half of the Runner seam: internal/loadsim injects its
+	// virtual clock here so chaos scenarios exercise deadline,
+	// watchdog and breaker behavior on deterministic simulated time.
+	Now func() time.Time
+	// WatchdogGrace arms the worker watchdog: an in-flight execution
+	// still running this long past its request deadline is cancelled,
+	// its worker slot freed for the next job, and the kill counted in
+	// watchdog_kills (0 = watchdog disabled).
+	WatchdogGrace time.Duration
+	// WatchdogInterval is the real-time sweep period for wedged
+	// executions (0 = 25ms; only meaningful with WatchdogGrace > 0).
+	WatchdogInterval time.Duration
+	// BreakerThreshold arms the per-fingerprint circuit breaker: after
+	// this many consecutive hard failures on one fingerprint the
+	// breaker opens and further submissions of it fast-fail with the
+	// "poisoned" taxonomy instead of burning a worker (0 = disabled).
+	BreakerThreshold int
+	// BreakerCooloff is how long an open breaker fast-fails before it
+	// half-opens and lets a single probe through (0 = 5s).
+	BreakerCooloff time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +128,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxDeadline <= 0 {
 		c.MaxDeadline = 60 * time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.WatchdogInterval <= 0 {
+		c.WatchdogInterval = 25 * time.Millisecond
+	}
+	if c.BreakerCooloff <= 0 {
+		c.BreakerCooloff = 5 * time.Second
 	}
 	return c
 }
@@ -150,10 +181,26 @@ type Stats struct {
 	QueueTimeouts int64  `json:"queue_timeouts"`
 	Scheduled     int64  `json:"scheduled"`
 	HardFailures  int64  `json:"hard_failures"`
-	TierSG        int64  `json:"tier_sg"`
-	TierRetry     int64  `json:"tier_sg_retry"`
-	TierCARS      int64  `json:"tier_cars"`
-	TierNaive     int64  `json:"tier_naive"`
+	// WatchdogKills counts executions the watchdog cancelled past
+	// deadline+grace; WatchdogLeaks is the gauge of abandoned
+	// execution goroutines that have not returned yet — after a drain
+	// it must settle back to zero or the service leaked a goroutine.
+	WatchdogKills int64 `json:"watchdog_kills"`
+	WatchdogLeaks int64 `json:"watchdog_leaks"`
+	// Breaker counters: trips (closed/half-open → open transitions),
+	// half-open probes admitted, fast-failed submissions while open,
+	// and the gauge of currently open breakers.
+	BreakerTrips     int64 `json:"breaker_trips"`
+	BreakerHalfOpens int64 `json:"breaker_half_opens"`
+	BreakerFastFails int64 `json:"breaker_fast_fails"`
+	BreakerOpen      int   `json:"breaker_open"`
+	// AvgServiceMS is the EWMA per-job service time backing the
+	// Retry-After hint on shed responses.
+	AvgServiceMS float64 `json:"avg_service_ms"`
+	TierSG       int64   `json:"tier_sg"`
+	TierRetry    int64   `json:"tier_sg_retry"`
+	TierCARS     int64   `json:"tier_cars"`
+	TierNaive    int64   `json:"tier_naive"`
 }
 
 // call is one in-flight computation; followers coalesce on it.
@@ -176,10 +223,18 @@ type Service struct {
 	runner  Runner
 	queue   chan *job
 	workers sync.WaitGroup
+	now     func() time.Time
+
+	stopSweep chan struct{} // non-nil when the watchdog sweeper runs
+	sweepDone chan struct{}
+	drained   chan struct{} // closed once the first Close finishes
 
 	mu       sync.Mutex
 	cache    *lru // nil when caching is disabled
 	flight   map[string]*call
+	inflight map[*execution]struct{} // watchdog-tracked executions
+	breakers map[string]*breaker     // only fingerprints with recent hard failures
+	ewma     time.Duration           // EWMA per-job service time
 	draining bool
 	stats    Stats
 }
@@ -192,13 +247,22 @@ func New(cfg Config) *Service {
 		runner = ladderRunner{ladder: cfg.Ladder}
 	}
 	s := &Service{
-		cfg:    cfg,
-		runner: runner,
-		queue:  make(chan *job, cfg.QueueDepth),
-		flight: make(map[string]*call),
+		cfg:      cfg,
+		runner:   runner,
+		queue:    make(chan *job, cfg.QueueDepth),
+		now:      cfg.Now,
+		drained:  make(chan struct{}),
+		flight:   make(map[string]*call),
+		inflight: make(map[*execution]struct{}),
+		breakers: make(map[string]*breaker),
 	}
 	if cfg.CacheEntries > 0 {
 		s.cache = newLRU(cfg.CacheEntries)
+	}
+	if cfg.WatchdogGrace > 0 {
+		s.stopSweep = make(chan struct{})
+		s.sweepDone = make(chan struct{})
+		go s.sweeper()
 	}
 	s.workers.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -220,22 +284,37 @@ func (s *Service) Stats() Stats {
 	if s.cache != nil {
 		st.CacheEntries = s.cache.len()
 	}
+	for _, b := range s.breakers {
+		if b.state == breakerOpen {
+			st.BreakerOpen++
+		}
+	}
+	st.AvgServiceMS = float64(s.ewma) / float64(time.Millisecond)
 	return st
 }
 
 // Close drains the service: admission stops (new submissions get a
-// draining response), queued and in-flight jobs run to completion, and
-// the workers exit. Close is idempotent; concurrent callers all return
-// after the drain finishes.
+// draining response), queued and in-flight jobs run to completion, the
+// workers exit, and the watchdog sweeper stops. Close is idempotent;
+// concurrent callers all return after the drain finishes. Executions
+// the watchdog abandoned are NOT waited for — they drain on their own
+// schedule and are visible as the watchdog_leaks gauge until they do.
 func (s *Service) Close() {
 	s.mu.Lock()
 	already := s.draining
 	s.draining = true
 	s.mu.Unlock()
-	if !already {
-		close(s.queue)
+	if already {
+		<-s.drained
+		return
 	}
+	close(s.queue)
 	s.workers.Wait()
+	if s.stopSweep != nil {
+		close(s.stopSweep)
+		<-s.sweepDone
+	}
+	close(s.drained)
 }
 
 // Submit schedules one block, blocking until a result is available:
@@ -252,7 +331,7 @@ func (s *Service) Submit(req *Request) Result {
 	if res.Coalesced {
 		var timer *time.Timer
 		var expired <-chan time.Time
-		if wait := time.Until(deadline); wait > 0 {
+		if wait := deadline.Sub(s.now()); wait > 0 {
 			timer = time.NewTimer(wait)
 			expired = timer.C
 		}
@@ -312,9 +391,10 @@ func (s *Service) admit(req *Request) (res Result, c *call, deadline time.Time) 
 		if r := recover(); r != nil {
 			c = nil
 			res = Result{
-				Block:    req.SB.Name,
-				Err:      fmt.Sprintf("panic during admission: %v", r),
-				Taxonomy: "panic",
+				Block:       req.SB.Name,
+				Err:         fmt.Sprintf("panic during admission: %v", r),
+				Taxonomy:    "panic",
+				HardFailure: true,
 			}
 			s.mu.Lock()
 			s.stats.Requests++
@@ -323,7 +403,7 @@ func (s *Service) admit(req *Request) (res Result, c *call, deadline time.Time) 
 		}
 	}()
 	fp := Fingerprint(req)
-	deadline = time.Now().Add(s.clampDeadline(req.Deadline))
+	deadline = s.now().Add(s.clampDeadline(req.Deadline))
 
 	// The service.admit fault point fires outside the lock: a sleep
 	// kind must stall this submission, not the whole service.
@@ -344,8 +424,22 @@ func (s *Service) admit(req *Request) (res Result, c *call, deadline time.Time) 
 		}
 	}
 	if inflight, ok := s.flight[fp]; ok {
+		// Coalescing runs before the breaker check so duplicates of a
+		// half-open probe join the probe instead of fast-failing.
 		s.stats.Coalesced++
 		return Result{Fingerprint: fp, Coalesced: true}, inflight, deadline
+	}
+	if s.cfg.BreakerThreshold > 0 {
+		if denied, b := s.breakerDenies(fp); denied {
+			s.stats.BreakerFastFails++
+			return Result{
+				Block:       req.SB.Name,
+				Fingerprint: fp,
+				Err: fmt.Sprintf("circuit breaker open: %d consecutive hard failures (%s) on this fingerprint, cooling off",
+					b.consecutive, b.taxonomy),
+				Taxonomy: "poisoned",
+			}, nil, deadline
+		}
 	}
 	if forcedShed != nil {
 		s.stats.Shed++
@@ -377,21 +471,32 @@ func (s *Service) clampDeadline(d time.Duration) time.Duration {
 func (s *Service) worker() {
 	defer s.workers.Done()
 	for j := range s.queue {
-		res, cacheable := s.run(j)
-		s.finish(j, res, cacheable)
+		s.execute(j)
 	}
 }
 
 // finish publishes a job's result: cache (when eligible), close the
-// singleflight entry, bump counters. The flight entry is removed under
-// the same lock that inserts the cache entry, so a submission arriving
-// in between sees the cache hit rather than missing the result.
-func (s *Service) finish(j *job, res Result, cacheable bool) {
+// singleflight entry, bump counters, feed the breaker and the
+// service-time EWMA. The flight entry is removed under the same lock
+// that inserts the cache entry, so a submission arriving in between
+// sees the cache hit rather than missing the result.
+func (s *Service) finish(j *job, res Result, cacheable bool, dur time.Duration) {
 	s.mu.Lock()
 	if cacheable && s.cache != nil {
 		s.cache.add(j.fp, res)
 	}
 	delete(s.flight, j.fp)
+	if s.cfg.BreakerThreshold > 0 {
+		s.breakerRecord(j.fp, res)
+	}
+	// EWMA (α = ¼) of per-job service time: recent enough to track a
+	// load shift, smooth enough that one slow job does not whipsaw the
+	// Retry-After hint.
+	if s.ewma == 0 {
+		s.ewma = dur
+	} else {
+		s.ewma = (3*s.ewma + dur) / 4
+	}
 	switch {
 	case res.HardFailure:
 		s.stats.HardFailures++
@@ -442,7 +547,7 @@ func (s *Service) run(j *job) (res Result, cacheable bool) {
 		}
 	}()
 
-	remaining := time.Until(j.deadline)
+	remaining := j.deadline.Sub(s.now())
 	if remaining <= 0 {
 		return Result{
 			Block:       j.req.SB.Name,

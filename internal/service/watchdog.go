@@ -1,0 +1,153 @@
+package service
+
+import (
+	"fmt"
+	"time"
+)
+
+// The worker watchdog guards the pool against wedged executions: a
+// Runner that stalls past its request's deadline (a livelocked search,
+// a stuck injected fault, a bug) would otherwise pin its worker
+// forever and silently shrink the pool until the service is one wedged
+// request away from a full stop.
+//
+// With Config.WatchdogGrace armed, a worker never runs the Runner on
+// its own goroutine. It spawns a sacrificial execution goroutine per
+// job and waits for either the result or a kill:
+//
+//   - A real-time sweeper (Config.WatchdogInterval) scans in-flight
+//     executions and kills any still running past deadline+grace. The
+//     worker abandons the execution goroutine, publishes an explicit
+//     watchdog-kill result (taxonomy "watchdog", never cached), and
+//     moves on to the next job — the pool's capacity is restored
+//     immediately, which is the "replace the wedged worker" move: the
+//     goroutine that actually wedged is the sacrificial executor, and
+//     a fresh one serves the next job.
+//   - On clocks where real time does not pass (the loadsim virtual
+//     clock), a wedge is visible only in retrospect: the execution
+//     returns after advancing simulated time past deadline+grace. The
+//     worker detects the overshoot at completion and issues the same
+//     watchdog verdict, so chaos scenarios measure kills
+//     deterministically.
+//
+// An abandoned execution goroutine keeps running until its Runner
+// returns; the watchdog_leaks gauge counts these, and it must settle
+// back to zero after a drain — a nonzero residue means a Runner never
+// returned, which the chaos harness (and benchgate) treat as a red
+// build.
+
+// execution is one watchdog-tracked Runner invocation.
+type execution struct {
+	j      *job
+	kill   chan struct{} // closed by the sweeper to cancel the execution
+	done   chan struct{} // closed when the execution goroutine returns
+	killed bool          // guarded by s.mu
+}
+
+// execute runs one job to a published result. Without a watchdog this
+// is the plain synchronous path the service always had; with one, the
+// Runner is sacrificial as described above.
+func (s *Service) execute(j *job) {
+	start := s.now()
+	if s.cfg.WatchdogGrace <= 0 {
+		res, cacheable := s.run(j)
+		s.finish(j, res, cacheable, s.now().Sub(start))
+		return
+	}
+
+	type outcome struct {
+		res       Result
+		cacheable bool
+	}
+	ex := &execution{j: j, kill: make(chan struct{}), done: make(chan struct{})}
+	resc := make(chan outcome, 1) // buffered: an abandoned execution must not block on send
+	s.mu.Lock()
+	s.inflight[ex] = struct{}{}
+	s.mu.Unlock()
+	go func() {
+		res, cacheable := s.run(j)
+		resc <- outcome{res, cacheable}
+		close(ex.done)
+	}()
+
+	var out outcome
+	completed := false
+	select {
+	case out = <-resc:
+		completed = true
+	case <-ex.kill:
+	}
+
+	s.mu.Lock()
+	delete(s.inflight, ex)
+	killed := ex.killed
+	// Retrospective wedge detection for virtual clocks: the execution
+	// finished, but only after simulated time ran past deadline+grace.
+	// The sweeper can never catch this (no real time passed), so the
+	// overshoot is judged at completion.
+	if completed && !killed && s.now().After(j.deadline.Add(s.cfg.WatchdogGrace)) {
+		killed = true
+	}
+	if killed {
+		s.stats.WatchdogKills++
+		if !completed {
+			// The execution goroutine is abandoned mid-run; track it
+			// until its Runner returns.
+			s.stats.WatchdogLeaks++
+			go func() {
+				<-ex.done
+				s.mu.Lock()
+				s.stats.WatchdogLeaks--
+				s.mu.Unlock()
+			}()
+		}
+	}
+	s.mu.Unlock()
+
+	if killed {
+		s.finish(j, s.watchdogResult(j), false, s.now().Sub(start))
+		return
+	}
+	s.finish(j, out.res, out.cacheable, s.now().Sub(start))
+}
+
+// watchdogResult is the explicit verdict a killed execution's caller
+// receives. It is a soft failure, not a hard one: the scheduler did not
+// break the request, the watchdog refused to keep burning a worker on
+// it. Never cacheable — the kill describes this execution, not the
+// request's content.
+func (s *Service) watchdogResult(j *job) Result {
+	return Result{
+		Block:       j.req.SB.Name,
+		Fingerprint: j.fp,
+		Err: fmt.Sprintf("watchdog killed execution stuck %v past its deadline",
+			s.cfg.WatchdogGrace),
+		Taxonomy: "watchdog",
+	}
+}
+
+// sweeper is the watchdog's real-time scan loop: every
+// WatchdogInterval it kills in-flight executions that are past
+// deadline+grace on the service clock. It runs from New until Close
+// has drained the workers.
+func (s *Service) sweeper() {
+	defer close(s.sweepDone)
+	tick := time.NewTicker(s.cfg.WatchdogInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopSweep:
+			return
+		case <-tick.C:
+			now := s.now()
+			s.mu.Lock()
+			for ex := range s.inflight {
+				if !ex.killed && now.After(ex.j.deadline.Add(s.cfg.WatchdogGrace)) {
+					ex.killed = true
+					close(ex.kill)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package service
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vcsched/internal/ir"
+)
+
+// fakeClock is a hand-advanced clock for deterministic watchdog and
+// breaker tests (the loadsim virtual clock lives downstream of this
+// package and cannot be imported without a cycle).
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(0, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// scriptedRunner is a programmable Runner: per-block hard failures, an
+// optional wall-clock block gate, and an optional per-call hook (used
+// to advance a fake clock mid-execution).
+type scriptedRunner struct {
+	mu     sync.Mutex
+	fail   map[string]bool // block names that hard-fail
+	gate   chan struct{}   // non-nil: Run blocks until closed
+	onRun  func()
+	calls  map[string]int
+	totals int
+}
+
+func newScriptedRunner() *scriptedRunner {
+	return &scriptedRunner{fail: map[string]bool{}, calls: map[string]int{}}
+}
+
+func (r *scriptedRunner) Run(req *Request, fp string, remaining time.Duration) (Result, bool) {
+	r.mu.Lock()
+	r.calls[req.SB.Name]++
+	r.totals++
+	gate := r.gate
+	hook := r.onRun
+	failing := r.fail[req.SB.Name]
+	r.mu.Unlock()
+	if hook != nil {
+		hook()
+	}
+	if gate != nil {
+		<-gate
+	}
+	if failing {
+		return Result{
+			Block:       req.SB.Name,
+			Fingerprint: fp,
+			Err:         "scripted hard failure",
+			Taxonomy:    "panic",
+			HardFailure: true,
+		}, false
+	}
+	return Result{
+		Block:       req.SB.Name,
+		Fingerprint: fp,
+		Tier:        "scripted",
+		Schedule:    "scripted " + fp + "\n",
+		Taxonomy:    "ok",
+	}, true
+}
+
+func (r *scriptedRunner) callsFor(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.calls[name]
+}
+
+// TestWatchdogKillsWedgedExecutionAndRestoresCapacity wedges the
+// single worker's execution on a wall-clock gate: the watchdog must
+// kill it past deadline+grace with an explicit verdict, restore the
+// worker slot for the next job while the abandoned execution is still
+// running (visible as watchdog_leaks=1), and the leak must settle to
+// zero once the gate opens.
+func TestWatchdogKillsWedgedExecutionAndRestoresCapacity(t *testing.T) {
+	runner := newScriptedRunner()
+	gate := make(chan struct{})
+	runner.gate = gate
+	s := newTestService(t, Config{
+		Workers:          1,
+		QueueDepth:       4,
+		DefaultDeadline:  30 * time.Millisecond,
+		WatchdogGrace:    30 * time.Millisecond,
+		WatchdogInterval: 2 * time.Millisecond,
+		Runner:           runner,
+	})
+
+	wedged := s.Submit(testRequest(ir.PaperFigure1(), 1))
+	if wedged.OK() || wedged.Taxonomy != "watchdog" {
+		t.Fatalf("wedged submit = %+v, want watchdog verdict", wedged)
+	}
+	if !strings.Contains(wedged.Err, "watchdog killed execution") {
+		t.Fatalf("watchdog verdict carries no reason: %q", wedged.Err)
+	}
+	st := s.Stats()
+	if st.WatchdogKills != 1 || st.WatchdogLeaks != 1 {
+		t.Fatalf("after kill: kills=%d leaks=%d, want 1/1", st.WatchdogKills, st.WatchdogLeaks)
+	}
+
+	// The worker slot is free again while the abandoned execution is
+	// still blocked: a fresh job must complete normally.
+	runner.mu.Lock()
+	runner.gate = nil
+	runner.mu.Unlock()
+	healthy := s.Submit(testRequest(ir.Diamond(), 1))
+	if !healthy.OK() {
+		t.Fatalf("worker not replaced after watchdog kill: %+v", healthy)
+	}
+
+	// Releasing the gate lets the abandoned execution return; the leak
+	// gauge must settle back to zero.
+	close(gate)
+	waitFor(t, s, "abandoned execution to return", func(st Stats) bool { return st.WatchdogLeaks == 0 })
+	if st := s.Stats(); st.WatchdogKills != 1 {
+		t.Fatalf("kills moved after settle: %+v", st)
+	}
+}
+
+// TestWatchdogJudgesVirtualOvershootAtCompletion: on a clock where
+// real time never passes, a stalled execution is only visible in
+// retrospect — the runner advances simulated time past deadline+grace
+// and then returns. The worker must discard the late result and issue
+// the watchdog verdict, with no leaked execution.
+func TestWatchdogJudgesVirtualOvershootAtCompletion(t *testing.T) {
+	clock := newFakeClock()
+	runner := newScriptedRunner()
+	runner.onRun = func() { clock.advance(10 * time.Second) }
+	s := newTestService(t, Config{
+		Workers:         1,
+		DefaultDeadline: time.Second,
+		WatchdogGrace:   time.Second,
+		Now:             clock.now,
+		Runner:          runner,
+	})
+
+	res := s.Submit(testRequest(ir.PaperFigure1(), 1))
+	if res.OK() || res.Taxonomy != "watchdog" {
+		t.Fatalf("late completion = %+v, want watchdog verdict", res)
+	}
+	if st := s.Stats(); st.WatchdogKills != 1 {
+		t.Fatalf("after late completion: kills=%d, want 1", st.WatchdogKills)
+	}
+	// The execution did return (late), so no leak may persist. The
+	// real-time sweeper can race the completion, so the gauge is allowed
+	// a moment to settle.
+	waitFor(t, s, "no leaked executions", func(st Stats) bool { return st.WatchdogLeaks == 0 })
+	// The discarded late result must not have been cached.
+	retry := s.Submit(testRequest(ir.PaperFigure1(), 1))
+	if retry.CacheHit {
+		t.Fatalf("late result was cached: %+v", retry)
+	}
+}
+
+// TestWatchdogDisabledRunsSynchronously: with no grace configured the
+// service keeps the plain synchronous worker path — a slow execution
+// simply takes its time, and no watchdog counters move.
+func TestWatchdogDisabledRunsSynchronously(t *testing.T) {
+	clock := newFakeClock()
+	runner := newScriptedRunner()
+	runner.onRun = func() { clock.advance(10 * time.Second) }
+	s := newTestService(t, Config{
+		Workers:         1,
+		DefaultDeadline: time.Second,
+		Now:             clock.now,
+		Runner:          runner,
+	})
+	res := s.Submit(testRequest(ir.PaperFigure1(), 1))
+	if !res.OK() {
+		t.Fatalf("slow execution without watchdog = %+v, want success", res)
+	}
+	if st := s.Stats(); st.WatchdogKills != 0 || st.WatchdogLeaks != 0 {
+		t.Fatalf("watchdog counters moved while disabled: %+v", st)
+	}
+}
+
+// TestRetryAfterHint: before any job the hint is the floor; after a
+// job of known (simulated) duration the hint reflects the EWMA, and it
+// stays inside its clamp band.
+func TestRetryAfterHint(t *testing.T) {
+	clock := newFakeClock()
+	runner := newScriptedRunner()
+	runner.onRun = func() { clock.advance(100 * time.Millisecond) }
+	s := newTestService(t, Config{
+		Workers:         1,
+		DefaultDeadline: 20 * time.Second,
+		Now:             clock.now,
+		Runner:          runner,
+	})
+	if got := s.RetryAfter(); got != 10*time.Millisecond {
+		t.Fatalf("cold RetryAfter = %v, want the 10ms floor", got)
+	}
+	if res := s.Submit(testRequest(ir.PaperFigure1(), 1)); !res.OK() {
+		t.Fatalf("submit failed: %+v", res)
+	}
+	// One 100ms job, empty queue, one worker: (0+1) × 100ms / 1.
+	if got := s.RetryAfter(); got != 100*time.Millisecond {
+		t.Fatalf("RetryAfter after one 100ms job = %v, want 100ms", got)
+	}
+	if st := s.Stats(); st.AvgServiceMS != 100 {
+		t.Fatalf("AvgServiceMS = %v, want 100", st.AvgServiceMS)
+	}
+}

@@ -34,11 +34,17 @@ type WireResult struct {
 // WireResponse is the body of a /v1/schedule response. When every
 // block in the batch hard-failed the daemon sets AllHardFailed, lists
 // the distinct taxonomy classes seen, and answers 422 instead of 200
-// (the daemon-side analogue of cmd/vcsched exiting non-zero).
+// (the daemon-side analogue of cmd/vcsched exiting non-zero). When
+// every block was shed the daemon sets AllShed, answers 429, and
+// carries the retry hint both here and in the Retry-After /
+// Retry-After-Ms response headers so clients can back off for roughly
+// one queue-drain instead of guessing.
 type WireResponse struct {
 	Results       []WireResult `json:"results"`
 	AllHardFailed bool         `json:"all_hard_failed,omitempty"`
 	Taxonomies    []string     `json:"taxonomies,omitempty"`
+	AllShed       bool         `json:"all_shed,omitempty"`
+	RetryAfterMS  int64        `json:"retry_after_ms,omitempty"`
 }
 
 // ToWire converts a Result for transport.

@@ -1,0 +1,279 @@
+// Package vcclient is the resilient HTTP client for the vcschedd
+// scheduling daemon, shared by cmd/vcload and usable by any Go caller.
+// It layers three client-side robustness mechanisms over the plain
+// POST /v1/schedule exchange:
+//
+//   - per-try timeouts and bounded retries: transport errors and
+//     unexpected statuses are retried up to Retries times with
+//     deterministic decorrelated-jitter backoff (seeded rng, so a load
+//     run's retry schedule is reproducible);
+//   - Retry-After honoring: a 429 (every block shed) carries the
+//     daemon's queue-drain estimate in Retry-After-Ms/Retry-After;
+//     the client floors its backoff at that hint instead of hammering
+//     an overloaded admission queue;
+//   - optional hedging: when HedgeAfter is set and the first try has
+//     not answered within it, a second identical request is launched
+//     and whichever answers first wins. Safe because /v1/schedule is
+//     idempotent by construction — results are content-addressed and
+//     duplicates coalesce server-side.
+//
+// A 422 (every block hard-failed) is a valid verdict, not a transport
+// problem: it is returned to the caller immediately and never retried
+// — retrying a request whose content breaks the scheduler just burns
+// worker executions. A shed response that survives every retry is
+// likewise returned as a response (the caller sees per-block Shed
+// verdicts), not as an error, mirroring what a non-retrying client
+// would have observed.
+package vcclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"vcsched/internal/service"
+)
+
+// Config sizes the client. The zero value of every knob (except
+// BaseURL) is a usable default; negative values are configuration
+// errors, rejected by New.
+type Config struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8457".
+	BaseURL string
+	// HTTPClient is the transport (nil = a fresh http.Client; the
+	// per-try timeout comes from TryTimeout, not the client).
+	HTTPClient *http.Client
+	// TryTimeout bounds each individual attempt (0 = 2 minutes).
+	TryTimeout time.Duration
+	// Retries is how many times a failed or shed try is re-attempted
+	// after the first (0 = no retries).
+	Retries int
+	// BackoffBase/BackoffCap bound the decorrelated-jitter backoff
+	// between tries (0 = 25ms / 2s).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// HedgeAfter launches a second identical request when the first
+	// has not answered within this duration (0 = hedging off).
+	HedgeAfter time.Duration
+	// Seed drives the backoff jitter (0 = 1), so retry schedules are
+	// reproducible.
+	Seed int64
+	// Sleep pays the backoff (nil = time.Sleep; tests inject a
+	// recorder).
+	Sleep func(time.Duration)
+}
+
+// Stats counts what the client did across its lifetime.
+type Stats struct {
+	// Tries is the number of HTTP attempts issued, hedges included.
+	Tries int64 `json:"tries"`
+	// Retries is the number of re-attempts after failed or shed tries.
+	Retries int64 `json:"retries"`
+	// Hedges is the number of hedged second requests launched.
+	Hedges int64 `json:"hedges"`
+	// Sheds is the number of 429 all-shed responses observed.
+	Sheds int64 `json:"sheds"`
+}
+
+// Client is safe for concurrent use.
+type Client struct {
+	cfg  Config
+	http *http.Client
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	prev  time.Duration // previous backoff, for decorrelated jitter
+	stats Stats
+}
+
+// New validates the config and builds a client.
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("vcclient: BaseURL is required")
+	}
+	if cfg.Retries < 0 {
+		return nil, fmt.Errorf("vcclient: retries must be >= 0, got %d", cfg.Retries)
+	}
+	if cfg.TryTimeout < 0 || cfg.HedgeAfter < 0 || cfg.BackoffBase < 0 || cfg.BackoffCap < 0 {
+		return nil, fmt.Errorf("vcclient: timeouts and backoff bounds must be >= 0")
+	}
+	if cfg.TryTimeout == 0 {
+		cfg.TryTimeout = 2 * time.Minute
+	}
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = 25 * time.Millisecond
+	}
+	if cfg.BackoffCap == 0 {
+		cfg.BackoffCap = 2 * time.Second
+	}
+	if cfg.BackoffCap < cfg.BackoffBase {
+		cfg.BackoffCap = cfg.BackoffBase
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	httpClient := cfg.HTTPClient
+	if httpClient == nil {
+		httpClient = &http.Client{}
+	}
+	return &Client{cfg: cfg, http: httpClient, rng: rand.New(rand.NewSource(cfg.Seed))}, nil
+}
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// outcome classifies one attempt.
+type outcome struct {
+	resp       *service.WireResponse
+	shed       bool          // 429: retryable, resp still carries the shed verdicts
+	retryAfter time.Duration // server hint accompanying a shed
+	err        error         // transport error or unexpected status: retryable
+}
+
+// Schedule delivers one wire request with retries, backoff and
+// hedging per the config. It returns a response for every verdict the
+// daemon expressed (success, all-hard-failed, still-shed-after-
+// retries) and an error only when the exchange itself kept failing.
+func (c *Client) Schedule(wreq service.WireRequest) (*service.WireResponse, error) {
+	body, err := json.Marshal(wreq)
+	if err != nil {
+		return nil, err
+	}
+	var last outcome
+	for try := 0; ; try++ {
+		last = c.attempt(body)
+		if last.err == nil && !last.shed {
+			return last.resp, nil
+		}
+		if last.shed {
+			c.count(func(s *Stats) { s.Sheds++ })
+		}
+		if try == c.cfg.Retries {
+			break
+		}
+		c.count(func(s *Stats) { s.Retries++ })
+		c.cfg.Sleep(c.backoff(last.retryAfter))
+	}
+	if last.shed {
+		// Out of retries with the daemon still shedding: the shed
+		// response IS the verdict — the caller sees per-block Shed
+		// results exactly as a non-retrying client would have.
+		return last.resp, nil
+	}
+	return nil, fmt.Errorf("vcclient: %d tries failed, last: %w", c.cfg.Retries+1, last.err)
+}
+
+// attempt issues one try, hedged with a second identical request when
+// the first is slower than HedgeAfter. The loser's response is
+// discarded (the channel is buffered so its goroutine never blocks);
+// its request still runs to its TryTimeout server-side, which is safe
+// because /v1/schedule submissions are idempotent and coalesce.
+func (c *Client) attempt(body []byte) outcome {
+	if c.cfg.HedgeAfter <= 0 {
+		return c.post(body)
+	}
+	first := make(chan outcome, 2)
+	go func() { first <- c.post(body) }()
+	timer := time.NewTimer(c.cfg.HedgeAfter)
+	defer timer.Stop()
+	select {
+	case out := <-first:
+		return out
+	case <-timer.C:
+	}
+	c.count(func(s *Stats) { s.Hedges++ })
+	go func() { first <- c.post(body) }()
+	return <-first
+}
+
+// post issues a single POST /v1/schedule exchange with the per-try
+// timeout and classifies the answer.
+func (c *Client) post(body []byte) outcome {
+	c.count(func(s *Stats) { s.Tries++ })
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.TryTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/v1/schedule", bytes.NewReader(body))
+	if err != nil {
+		return outcome{err: err}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return outcome{err: err}
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusUnprocessableEntity, http.StatusTooManyRequests:
+		var wresp service.WireResponse
+		if err := json.NewDecoder(resp.Body).Decode(&wresp); err != nil {
+			return outcome{err: fmt.Errorf("decoding %s response: %w", resp.Status, err)}
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			return outcome{resp: &wresp, shed: true, retryAfter: retryAfterHint(resp)}
+		}
+		return outcome{resp: &wresp}
+	default:
+		return outcome{err: fmt.Errorf("status %s", resp.Status)}
+	}
+}
+
+// retryAfterHint reads the daemon's queue-drain estimate: the
+// millisecond-precision Retry-After-Ms when present, the standard
+// integer-seconds Retry-After otherwise.
+func retryAfterHint(resp *http.Response) time.Duration {
+	if v := resp.Header.Get("Retry-After-Ms"); v != "" {
+		if ms, err := strconv.ParseInt(v, 10, 64); err == nil && ms > 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
+	}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if s, err := strconv.ParseInt(v, 10, 64); err == nil && s > 0 {
+			return time.Duration(s) * time.Second
+		}
+	}
+	return 0
+}
+
+// backoff draws the next wait: decorrelated jitter
+// (min(cap, rand[base, 3*prev))) floored at the server's shed hint
+// when one was given.
+func (c *Client) backoff(floor time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	base := c.cfg.BackoffBase
+	prev := c.prev
+	if prev < base {
+		prev = base
+	}
+	d := base
+	if span := 3*prev - base; span > 0 {
+		d = base + time.Duration(c.rng.Int63n(int64(span)))
+	}
+	if d > c.cfg.BackoffCap {
+		d = c.cfg.BackoffCap
+	}
+	if floor > 0 && d < floor {
+		d = floor
+	}
+	c.prev = d
+	return d
+}
+
+func (c *Client) count(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}

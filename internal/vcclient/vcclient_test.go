@@ -1,0 +1,312 @@
+package vcclient
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vcsched/internal/service"
+)
+
+// sleepRecorder captures backoff sleeps instead of paying them, so the
+// retry tests are instant and the schedule is inspectable.
+type sleepRecorder struct {
+	mu     sync.Mutex
+	sleeps []time.Duration
+}
+
+func (r *sleepRecorder) sleep(d time.Duration) {
+	r.mu.Lock()
+	r.sleeps = append(r.sleeps, d)
+	r.mu.Unlock()
+}
+
+func (r *sleepRecorder) all() []time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]time.Duration(nil), r.sleeps...)
+}
+
+func okBody(t *testing.T, w http.ResponseWriter) {
+	t.Helper()
+	writeBody(t, w, service.WireResponse{Results: []service.WireResult{{Block: "b", Schedule: "s\n", Taxonomy: "ok"}}})
+}
+
+func writeBody(t *testing.T, w http.ResponseWriter, resp service.WireResponse) {
+	t.Helper()
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		t.Error(err)
+	}
+}
+
+func request() service.WireRequest {
+	return service.WireRequest{Blocks: []string{"block b1 {\n}\n"}}
+}
+
+func TestRetriesTransportErrorsThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		okBody(t, w)
+	}))
+	defer srv.Close()
+
+	rec := &sleepRecorder{}
+	c, err := New(Config{BaseURL: srv.URL, Retries: 3, Sleep: rec.sleep, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Schedule(request())
+	if err != nil || len(resp.Results) != 1 || resp.Results[0].Taxonomy != "ok" {
+		t.Fatalf("Schedule = %+v, %v; want the third try's success", resp, err)
+	}
+	st := c.Stats()
+	if st.Tries != 3 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 3 tries / 2 retries", st)
+	}
+	sleeps := rec.all()
+	if len(sleeps) != 2 {
+		t.Fatalf("backoff sleeps = %v, want 2", sleeps)
+	}
+	for i, d := range sleeps {
+		if d < 25*time.Millisecond || d > 2*time.Second {
+			t.Fatalf("sleep %d = %v outside [base, cap]", i, d)
+		}
+	}
+}
+
+func TestRetriesExhaustedReturnsError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	rec := &sleepRecorder{}
+	c, err := New(Config{BaseURL: srv.URL, Retries: 2, Sleep: rec.sleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Schedule(request()); err == nil || !strings.Contains(err.Error(), "3 tries failed") {
+		t.Fatalf("Schedule error = %v, want exhausted-tries error", err)
+	}
+	if st := c.Stats(); st.Tries != 3 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 3 tries / 2 retries", st)
+	}
+}
+
+// TestShedBackoffHonorsRetryAfter: the 429 hint must floor the backoff
+// — the client waits at least as long as the daemon's queue-drain
+// estimate, preferring the millisecond header over the seconds one.
+func TestShedBackoffHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After-Ms", "700")
+			w.WriteHeader(http.StatusTooManyRequests)
+			writeBody(t, w, service.WireResponse{
+				Results: []service.WireResult{{Block: "b", Shed: true, Taxonomy: "shed"}},
+				AllShed: true,
+			})
+			return
+		}
+		okBody(t, w)
+	}))
+	defer srv.Close()
+
+	rec := &sleepRecorder{}
+	c, err := New(Config{BaseURL: srv.URL, Retries: 5, BackoffBase: 10 * time.Millisecond, BackoffCap: 50 * time.Millisecond, Sleep: rec.sleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Schedule(request())
+	if err != nil || resp.Results[0].Taxonomy != "ok" {
+		t.Fatalf("Schedule = %+v, %v; want eventual success", resp, err)
+	}
+	st := c.Stats()
+	if st.Sheds != 2 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 2 sheds / 2 retries", st)
+	}
+	for i, d := range rec.all() {
+		// Retry-After-Ms: 700 wins over Retry-After: 1 (1000ms), and it
+		// floors a backoff whose cap is only 50ms.
+		if d != 700*time.Millisecond {
+			t.Fatalf("sleep %d = %v, want the 700ms hint as the floor", i, d)
+		}
+	}
+}
+
+// TestShedSecondsFallback: without Retry-After-Ms the standard
+// integer-seconds header is honored.
+func TestShedSecondsFallback(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			writeBody(t, w, service.WireResponse{AllShed: true})
+			return
+		}
+		okBody(t, w)
+	}))
+	defer srv.Close()
+
+	rec := &sleepRecorder{}
+	c, err := New(Config{BaseURL: srv.URL, Retries: 1, Sleep: rec.sleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Schedule(request()); err != nil {
+		t.Fatal(err)
+	}
+	if sleeps := rec.all(); len(sleeps) != 1 || sleeps[0] != 2*time.Second {
+		t.Fatalf("sleeps = %v, want one 2s wait from the seconds header", sleeps)
+	}
+}
+
+// TestShedExhaustedReturnsShedVerdict: when every retry still sheds,
+// the caller gets the shed response (per-block Shed verdicts, nil
+// error) exactly as a non-retrying client would have.
+func TestShedExhaustedReturnsShedVerdict(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After-Ms", "10")
+		w.WriteHeader(http.StatusTooManyRequests)
+		writeBody(t, w, service.WireResponse{
+			Results: []service.WireResult{{Block: "b", Shed: true, Taxonomy: "shed", Error: "admission queue full"}},
+			AllShed: true,
+		})
+	}))
+	defer srv.Close()
+
+	rec := &sleepRecorder{}
+	c, err := New(Config{BaseURL: srv.URL, Retries: 2, Sleep: rec.sleep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Schedule(request())
+	if err != nil {
+		t.Fatalf("exhausted shed returned error %v, want the shed response", err)
+	}
+	if !resp.AllShed || len(resp.Results) != 1 || !resp.Results[0].Shed {
+		t.Fatalf("response = %+v, want the shed verdict", resp)
+	}
+	if st := c.Stats(); st.Sheds != 3 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 3 sheds / 2 retries", st)
+	}
+}
+
+// TestHardFailureVerdictNotRetried: 422 is a verdict about the
+// request's content — retrying it would just burn another worker
+// execution.
+func TestHardFailureVerdictNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		writeBody(t, w, service.WireResponse{
+			Results:       []service.WireResult{{Block: "b", Error: "panic in worker", Taxonomy: "panic", HardFailure: true}},
+			AllHardFailed: true,
+			Taxonomies:    []string{"panic"},
+		})
+	}))
+	defer srv.Close()
+
+	c, err := New(Config{BaseURL: srv.URL, Retries: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Schedule(request())
+	if err != nil || !resp.AllHardFailed {
+		t.Fatalf("Schedule = %+v, %v; want the 422 verdict", resp, err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("daemon called %d times, want 1 (no retry of a hard-failure verdict)", got)
+	}
+}
+
+// TestHedgedRequestWins: when the first try stalls past HedgeAfter,
+// the hedge answers and the caller is unblocked long before the
+// stalled try's timeout.
+func TestHedgedRequestWins(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-release // first try wedges until the test ends
+		}
+		okBody(t, w)
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	c, err := New(Config{BaseURL: srv.URL, HedgeAfter: 20 * time.Millisecond, TryTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := c.Schedule(request())
+	if err != nil || resp.Results[0].Taxonomy != "ok" {
+		t.Fatalf("Schedule = %+v, %v; want the hedge's success", resp, err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hedged call took %v — the wedged first try was waited on", elapsed)
+	}
+	st := c.Stats()
+	if st.Hedges != 1 || st.Tries != 2 {
+		t.Fatalf("stats = %+v, want 1 hedge / 2 tries", st)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{},                                 // no BaseURL
+		{BaseURL: "http://x", Retries: -1}, // negative retries
+		{BaseURL: "http://x", HedgeAfter: -time.Second}, // negative hedge
+		{BaseURL: "http://x", TryTimeout: -1},           // negative timeout
+		{BaseURL: "http://x", BackoffBase: -1},          // negative backoff
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d (%+v) accepted", i, cfg)
+		}
+	}
+	if _, err := New(Config{BaseURL: "http://x"}); err != nil {
+		t.Errorf("minimal config rejected: %v", err)
+	}
+}
+
+// TestBackoffDeterministicForSeed: two clients with the same seed draw
+// the same backoff schedule — reproducible load runs.
+func TestBackoffDeterministicForSeed(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	schedule := func(seed int64) []time.Duration {
+		rec := &sleepRecorder{}
+		c, err := New(Config{BaseURL: srv.URL, Retries: 4, Seed: seed, Sleep: rec.sleep})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Schedule(request())
+		return rec.all()
+	}
+	a, b := schedule(99), schedule(99)
+	if len(a) != 4 || len(b) != 4 {
+		t.Fatalf("schedules %v / %v, want 4 sleeps each", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed drew different schedules: %v vs %v", a, b)
+		}
+	}
+}
