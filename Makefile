@@ -6,14 +6,14 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 GO_LDFLAGS := -ldflags '-X vcsched/internal/version.Version=$(VERSION)'
 
-.PHONY: check build vet test race bench bench-short bench-gate bench-figures fuzz-smoke faults service-smoke slo slo-short slo-gate chaos
+.PHONY: check build vet test race bench bench-short bench-gate bench-figures fuzz-smoke faults service-smoke fleet-smoke slo slo-short slo-gate chaos
 
 # check is the tier-1 gate (see ROADMAP.md): vet, build, the full test
 # suite under the race detector, the fault-injection suite, the
-# scheduling-service smoke run, and the chaos suite (which replays the
-# SLO scenario suite, chaos scenarios included, and gates it).
-# Everything must be green before a change lands.
-check: vet build race faults service-smoke chaos
+# scheduling-service and sharded-fleet smoke runs, and the chaos suite
+# (which replays the SLO scenario suite, chaos scenarios included, and
+# gates it). Everything must be green before a change lands.
+check: vet build race faults service-smoke fleet-smoke chaos
 
 build:
 	$(GO) build $(GO_LDFLAGS) ./...
@@ -108,6 +108,14 @@ chaos:
 # a clean SIGTERM drain.
 service-smoke:
 	VERSION=$(VERSION) GO=$(GO) ./scripts/service_smoke.sh
+
+# fleet-smoke drives the sharded fleet end to end: three vcschedd
+# shards behind vcrouter (all built with -race), duplicate-heavy vcload
+# traffic through the router, an aggregate dedup-rate floor that only
+# holds when fingerprints stick to their home shard, and a clean
+# SIGTERM drain of the router and every shard.
+fleet-smoke:
+	VERSION=$(VERSION) GO=$(GO) ./scripts/fleet_smoke.sh
 
 # fuzz-smoke is the short-budget fuzzing gate: a small differential
 # campaign (internal/difftest via cmd/vcfuzz) plus 10 seconds of each

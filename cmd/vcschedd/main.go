@@ -6,45 +6,29 @@
 //
 //	go run ./cmd/vcschedd -addr 127.0.0.1:8457
 //
-// API:
-//
-//	POST /v1/schedule   schedule one or more .sb sources (see
-//	                    service.WireRequest); answers 200, or 422 when
-//	                    every block in the batch hard-failed (the
-//	                    response names the error-taxonomy classes), or
-//	                    400 on malformed input
-//	GET  /v1/healthz    "ok" (503 "draining" during drain)
-//	GET  /v1/statsz     counter snapshot, deterministic field order
+// The HTTP surface (POST /v1/schedule, GET /v1/healthz, GET
+// /v1/statsz) lives in internal/httpapi, shared with the vcrouter
+// fleet front-end so the two cannot drift.
 package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"sort"
-	"strings"
 	"syscall"
 	"time"
 
 	"vcsched/internal/core"
-	"vcsched/internal/ir"
+	"vcsched/internal/httpapi"
 	"vcsched/internal/machine"
 	"vcsched/internal/resilient"
 	"vcsched/internal/service"
 	"vcsched/internal/version"
 )
-
-// defaults carries the per-request fallbacks requests may omit.
-type defaults struct {
-	machineKey string
-	pinSeed    int64
-	maxSteps   int
-}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8457", "listen address (port 0 = pick a free port)")
@@ -77,7 +61,7 @@ func main() {
 		MaxDeadline:     *maxDeadline,
 		Ladder:          ladderConfig(*steps, *parallel),
 	})
-	mux := newMux(svc, defaults{machineKey: *machineKey, pinSeed: *seed, maxSteps: *steps})
+	mux := httpapi.SchedulerMux(svc, httpapi.Defaults{MachineKey: *machineKey, PinSeed: *seed, MaxSteps: *steps})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -138,145 +122,4 @@ func ladderConfig(steps, parallel int) resilient.Options {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "vcschedd:", err)
 	os.Exit(1)
-}
-
-// newMux builds the daemon's handler; split from main so the HTTP
-// surface is testable with httptest.
-func newMux(svc *service.Service, d defaults) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/schedule", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			http.Error(w, "POST only", http.StatusMethodNotAllowed)
-			return
-		}
-		var wreq service.WireRequest
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 32<<20))
-		if err := dec.Decode(&wreq); err != nil {
-			http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
-			return
-		}
-		reqs, err := buildRequests(&wreq, d)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		results := svc.SubmitBatch(reqs)
-		resp := buildResponse(results)
-		status := http.StatusOK
-		switch {
-		case resp.AllHardFailed:
-			// The daemon-side analogue of cmd/vcsched exiting non-zero
-			// when every block in a batch hard-fails: a non-2xx status
-			// plus the taxonomy class names.
-			status = http.StatusUnprocessableEntity
-			fmt.Fprintf(os.Stderr, "vcschedd: batch of %d: every block hard-failed (taxonomy: %s)\n",
-				len(results), strings.Join(resp.Taxonomies, ", "))
-		case resp.AllShed:
-			// Every block was refused by admission control: 429 with a
-			// retry hint derived from queue depth × recent service time
-			// (service.RetryAfter). Retry-After is the standard header
-			// (integer seconds, rounded up so it is never 0); the
-			// millisecond-precision hint rides in Retry-After-Ms and in
-			// the body for clients that can use it.
-			status = http.StatusTooManyRequests
-			hint := svc.RetryAfter()
-			resp.RetryAfterMS = int64(hint / time.Millisecond)
-			w.Header().Set("Retry-After", fmt.Sprintf("%d", int64((hint+time.Second-1)/time.Second)))
-			w.Header().Set("Retry-After-Ms", fmt.Sprintf("%d", resp.RetryAfterMS))
-		}
-		writeJSON(w, status, resp)
-	})
-	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if svc.Stats().Draining {
-			http.Error(w, "draining", http.StatusServiceUnavailable)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
-	mux.HandleFunc("/v1/statsz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Stats())
-	})
-	return mux
-}
-
-// buildRequests expands a wire request into one service request per
-// superblock across all .sb sources.
-func buildRequests(wreq *service.WireRequest, d defaults) ([]*service.Request, error) {
-	key := wreq.Machine
-	if key == "" {
-		key = d.machineKey
-	}
-	m, err := machine.ByKey(key)
-	if err != nil {
-		return nil, err
-	}
-	seed := wreq.PinSeed
-	if seed == 0 {
-		seed = d.pinSeed
-	}
-	steps := wreq.MaxSteps
-	if steps == 0 {
-		steps = d.maxSteps
-	}
-	var reqs []*service.Request
-	for i, src := range wreq.Blocks {
-		blocks, err := ir.ReadAll(strings.NewReader(src))
-		if err != nil {
-			return nil, fmt.Errorf("blocks[%d]: %w", i, err)
-		}
-		for _, sb := range blocks {
-			req := &service.Request{
-				SB:       sb,
-				Machine:  m,
-				PinSeed:  seed,
-				Deadline: time.Duration(wreq.TimeoutMS) * time.Millisecond,
-				Core:     core.Options{MaxSteps: steps},
-			}
-			if err := req.Validate(); err != nil {
-				return nil, err
-			}
-			reqs = append(reqs, req)
-		}
-	}
-	if len(reqs) == 0 {
-		return nil, fmt.Errorf("no superblocks in request")
-	}
-	return reqs, nil
-}
-
-// buildResponse converts results and computes the batch verdicts.
-func buildResponse(results []service.Result) service.WireResponse {
-	resp := service.WireResponse{Results: make([]service.WireResult, len(results))}
-	allHard := len(results) > 0
-	allShed := len(results) > 0
-	tax := map[string]bool{}
-	for i, r := range results {
-		resp.Results[i] = r.ToWire()
-		if r.HardFailure {
-			tax[r.Taxonomy] = true
-		} else {
-			allHard = false
-		}
-		if !r.Shed {
-			allShed = false
-		}
-	}
-	if allHard {
-		resp.AllHardFailed = true
-		for name := range tax {
-			resp.Taxonomies = append(resp.Taxonomies, name)
-		}
-		sort.Strings(resp.Taxonomies)
-	}
-	resp.AllShed = allShed
-	return resp
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
 }

@@ -16,6 +16,7 @@ import (
 	"vcsched/internal/core"
 	"vcsched/internal/difftest"
 	"vcsched/internal/faultpoint"
+	"vcsched/internal/httpapi"
 	"vcsched/internal/ir"
 	"vcsched/internal/leakcheck"
 	"vcsched/internal/loadsim"
@@ -40,7 +41,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *service.Service) {
 func newTestServerWithConfig(t *testing.T, cfg service.Config) (*httptest.Server, *service.Service) {
 	t.Helper()
 	svc := service.New(cfg)
-	srv := httptest.NewServer(newMux(svc, defaults{machineKey: "2c1l", pinSeed: 1, maxSteps: 20000}))
+	srv := httptest.NewServer(httpapi.SchedulerMux(svc, httpapi.Defaults{MachineKey: "2c1l", PinSeed: 1, MaxSteps: 20000}))
 	t.Cleanup(func() {
 		srv.Close()
 		svc.Close()

@@ -44,7 +44,16 @@ type Report struct {
 	// earlier result for the same fingerprint — warm==cold byte
 	// identity must survive chaos, so this must be zero.
 	IdentityViolations int            `json:"identity_violations,omitempty"`
-	Taxonomy           map[string]int `json:"taxonomy"`
+	// Fleet-mode fields (zero for single-service runs). Shards is the
+	// replica count; LeaderExecs counts hollow executions fleet-wide —
+	// under hash routing with exact_once it equals DistinctSources, the
+	// number of distinct fingerprints that executed at least once
+	// (roundrobin re-executes duplicates, so its LeaderExecs exceeds
+	// DistinctSources by exactly the redundant work the ring avoids).
+	Shards          int            `json:"shards,omitempty"`
+	LeaderExecs     int            `json:"leader_execs,omitempty"`
+	DistinctSources int            `json:"distinct_sources,omitempty"`
+	Taxonomy        map[string]int `json:"taxonomy"`
 	HitRate            float64        `json:"hit_rate"`  // cache hits / blocks
 	ShedRate           float64        `json:"shed_rate"` // shed / blocks
 	P50MS              float64        `json:"p50_ms"`
@@ -111,6 +120,12 @@ func Merge(runs []*Report) (*Report, error) {
 		out.BreakerTrips += r.BreakerTrips
 		out.BreakerFastFails += r.BreakerFastFails
 		out.IdentityViolations += r.IdentityViolations
+		// Executions sum across repetitions like every counter; the
+		// topology and pool cardinality describe one run, so they merge
+		// by max (equal across repetitions of the same scenario).
+		out.LeaderExecs += r.LeaderExecs
+		out.Shards = max(out.Shards, r.Shards)
+		out.DistinctSources = max(out.DistinctSources, r.DistinctSources)
 		for k, v := range r.Taxonomy {
 			out.Taxonomy[k] += v
 		}
@@ -140,6 +155,10 @@ func (r *Report) WriteSummary(w io.Writer) {
 	if r.Injected+r.Poisoned+r.WatchdogKills+r.BreakerTrips+r.IdentityViolations > 0 {
 		fmt.Fprintf(w, "  chaos: injected %d  poisoned %d  watchdog-kills %d (leaks %d)  breaker-trips %d (fast-fails %d)  identity-violations %d\n",
 			r.Injected, r.Poisoned, r.WatchdogKills, r.WatchdogLeaks, r.BreakerTrips, r.BreakerFastFails, r.IdentityViolations)
+	}
+	if r.Shards > 0 {
+		fmt.Fprintf(w, "  fleet: %d shards  leader-execs %d  distinct-sources %d\n",
+			r.Shards, r.LeaderExecs, r.DistinctSources)
 	}
 	fmt.Fprintf(w, "  latency p50 %.3fms  p90 %.3fms  p99 %.3fms  max %.3fms\n",
 		r.P50MS, r.P90MS, r.P99MS, r.MaxMS)

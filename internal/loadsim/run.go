@@ -124,8 +124,23 @@ func Run(sc *Scenario) (*Report, error) {
 		defer faultpoint.Reset()
 	}
 
-	svc := service.New(cfg)
-	defer svc.Close()
+	// Fleet mode stands up N shard replicas behind the in-process
+	// consistent-hash front-end instead of one service; both expose the
+	// same submitter surface to the stage loop.
+	var (
+		svc    *service.Service
+		flt    *fleet
+		target submitter
+	)
+	if d.Fleet != nil {
+		flt = newFleet(d.Fleet, cfg)
+		target = flt
+		defer flt.Close()
+	} else {
+		svc = service.New(cfg)
+		target = svc
+		defer svc.Close()
+	}
 
 	col := &collector{
 		rep:       Report{Scenario: d.Name, Runs: 1, Taxonomy: map[string]int{}},
@@ -135,7 +150,7 @@ func Run(sc *Scenario) (*Report, error) {
 	if d.Overload != nil {
 		err = runOverload(&d, svc, hollow, pool, m, coreOpts, clock, col)
 	} else {
-		err = runStages(&d, svc, pool, m, coreOpts, clock, chaos, col)
+		err = runStages(&d, target, pool, m, coreOpts, clock, chaos, col)
 	}
 	if err != nil {
 		return nil, err
@@ -144,9 +159,16 @@ func Run(sc *Scenario) (*Report, error) {
 
 	// Drain before snapshotting the service counters: watchdog leaks
 	// must have settled (a residue means a worker execution never
-	// returned) and the breaker/watchdog totals must be final.
-	svc.Close()
-	st := svc.Stats()
+	// returned) and the breaker/watchdog totals must be final. Fleet
+	// runs drain every shard and sum their counters.
+	var st service.Stats
+	if flt != nil {
+		flt.Close()
+		st = service.MergeStats(flt.stats()...)
+	} else {
+		svc.Close()
+		st = svc.Stats()
+	}
 	col.rep.WatchdogKills = int(st.WatchdogKills)
 	col.rep.WatchdogLeaks = int(st.WatchdogLeaks)
 	col.rep.BreakerTrips = int(st.BreakerTrips)
@@ -157,6 +179,20 @@ func Run(sc *Scenario) (*Report, error) {
 		}
 		if err := leakcheck.Settle(baseline, 0); err != nil {
 			return nil, fmt.Errorf("loadsim: scenario %s: %w", d.Name, err)
+		}
+	}
+	if flt != nil {
+		col.rep.Shards = len(flt.shards)
+		col.rep.LeaderExecs = hollow.Calls()
+		for _, src := range pool {
+			n := hollow.CallsFor(src.fp)
+			if n > 0 {
+				col.rep.DistinctSources++
+			}
+			if d.Fleet.ExactOnce && n > 1 {
+				return nil, fmt.Errorf("loadsim: scenario %s: fingerprint %s executed %d times across the fleet (exact_once requires 1)",
+					d.Name, src.fp, n)
+			}
 		}
 	}
 	col.rep.finalize()
@@ -257,7 +293,7 @@ func drawSubmissions(d *Scenario) []submission {
 // loop — pacing, submission and measurement interleave in one
 // goroutine, so virtual-clock latencies are exact. Higher concurrency
 // uses a dispatcher plus a worker pool like cmd/vcload.
-func runStages(d *Scenario, svc *service.Service, pool []source, mach *machine.Config, opts core.Options, clock Clock, chaos *chaosController, col *collector) error {
+func runStages(d *Scenario, svc submitter, pool []source, mach *machine.Config, opts core.Options, clock Clock, chaos *chaosController, col *collector) error {
 	subs := drawSubmissions(d)
 
 	deliver := func(s submission) {

@@ -72,6 +72,11 @@ type Scenario struct {
 	// invariant checks: watchdog leaks and goroutine count must settle
 	// to the baseline after the drain.
 	Faults []FaultWindow `json:"faults,omitempty"`
+	// Fleet shards the scenario across N service replicas behind an
+	// in-process consistent-hash front-end — the loadsim analogue of
+	// cmd/vcrouter over N vcschedd shards (requires Hollow; see
+	// fleet.go). nil runs the single service the other scenarios use.
+	Fleet *FleetSpec `json:"fleet,omitempty"`
 }
 
 // Stage is one rung of the rps ramp.
@@ -116,6 +121,31 @@ type HollowSpec struct {
 	// breaker. Poison failures count as injected, not escaped, in the
 	// report.
 	Poison []int `json:"poison,omitempty"`
+}
+
+// FleetSpec configures fleet mode: the offered load is routed across
+// Shards identical service replicas (each sized by ServiceSpec, all
+// sharing one hollow runner and one clock) the way cmd/vcrouter routes
+// across vcschedd backends. "hash" routing sends every fingerprint to
+// its consistent-hash home shard with router-side coalescing, so the
+// fleet-wide cache is a partition; "roundrobin" is the strawman that
+// sprays duplicates across shards and re-executes them — kept so the
+// two policies can be compared on the same traffic.
+type FleetSpec struct {
+	// Shards is the replica count (>= 1; 1 = the single-service
+	// topology expressed through the fleet path, the baseline the
+	// sharded runs are compared against).
+	Shards int `json:"shards"`
+	// Replicas is virtual nodes per shard on the hash ring (0 = the
+	// ring default).
+	Replicas int `json:"replicas,omitempty"`
+	// Routing is "hash" (default) or "roundrobin".
+	Routing string `json:"routing,omitempty"`
+	// ExactOnce makes the run fail if any fingerprint executed more
+	// than once across the whole fleet — the partition-correctness
+	// invariant for hash routing (incompatible with roundrobin, which
+	// re-executes by design).
+	ExactOnce bool `json:"exact_once,omitempty"`
 }
 
 // OverloadSpec configures the deterministic overload flow.
@@ -222,6 +252,31 @@ func (sc Scenario) Validate() error {
 		}
 		if err := validateFaults(d.Faults); err != nil {
 			return fail("%v", err)
+		}
+	}
+	if d.Fleet != nil {
+		if d.Fleet.Shards < 1 {
+			return fail("fleet.shards must be >= 1")
+		}
+		if d.Fleet.Replicas < 0 {
+			return fail("fleet.replicas must be >= 0")
+		}
+		switch d.Fleet.Routing {
+		case "", "hash", "roundrobin":
+		default:
+			return fail("fleet.routing %q is not \"hash\" or \"roundrobin\"", d.Fleet.Routing)
+		}
+		if d.Hollow == nil {
+			return fail("fleet requires hollow workers (N real ladders would fight for the same CPUs)")
+		}
+		if d.Overload != nil {
+			return fail("fleet and overload cannot be combined (overload fills one specific queue)")
+		}
+		if len(d.Faults) > 0 {
+			return fail("fleet and faults cannot be combined (the chaos registry is process-global)")
+		}
+		if d.Fleet.ExactOnce && d.Fleet.Routing == "roundrobin" {
+			return fail("fleet.exact_once is incompatible with roundrobin routing (it re-executes duplicates by design)")
 		}
 	}
 	if d.Overload != nil {

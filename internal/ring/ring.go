@@ -1,0 +1,187 @@
+// Package ring is a consistent-hash ring with virtual nodes: the
+// placement layer of the sharded scheduling fleet. Each member (a
+// vcschedd backend) contributes Replicas points on a 64-bit hash
+// circle; a key (a request fingerprint) is owned by the member whose
+// point is the first at or clockwise after the key's hash.
+//
+// Two properties make this the right router for a partitioned result
+// cache:
+//
+//   - deterministic placement: the ring is a pure function of its
+//     member set, so every router replica — and the in-process loadsim
+//     fleet harness — maps a fingerprint to the same home shard;
+//   - minimal movement: removing a member moves only the keys that
+//     member owned (they spill to their ring successors), and adding
+//     one steals only the keys it now owns. The rest of the fleet's
+//     cache partition is untouched, which is what keeps the aggregate
+//     hit rate flat through membership churn.
+//
+// The ring is safe for concurrent use: the router mutates membership
+// from health pollers and breaker ejections while request goroutines
+// look keys up.
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultReplicas is the virtual-node count used when New is given a
+// non-positive replica count. 128 points per member keeps the
+// worst-case ownership skew across a handful of shards within a few
+// tens of percent of fair share (see TestDistributionSkew).
+const DefaultReplicas = 128
+
+// ErrEmpty is returned by lookups on a ring with no members — the
+// fleet analogue of "no live backends".
+var ErrEmpty = errors.New("ring: no members")
+
+// point is one virtual node: a position on the hash circle and the
+// member that owns it.
+type point struct {
+	hash   uint64
+	member string
+}
+
+// Ring is a consistent-hash ring. The zero value is not usable; build
+// with New.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []point // sorted by (hash, member)
+	members  map[string]struct{}
+}
+
+// New builds an empty ring with the given virtual-node count per
+// member (non-positive selects DefaultReplicas).
+func New(replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	return &Ring{replicas: replicas, members: make(map[string]struct{})}
+}
+
+// hashKey is the ring's placement hash: FNV-1a (stable across
+// processes and Go versions, so placement is deterministic fleet-wide)
+// pushed through a splitmix64 finalizer — raw FNV of near-identical
+// strings ("shard-0#1", "shard-0#2", …) clusters on the circle, and
+// clustered virtual nodes are exactly what skews ownership shares.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Add inserts a member's virtual nodes. Adding a present member is a
+// no-op, so health pollers can re-admit without tracking state.
+func (r *Ring) Add(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; ok {
+		return
+	}
+	r.members[member] = struct{}{}
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, point{hash: hashKey(fmt.Sprintf("%s#%d", member, i)), member: member})
+	}
+	// Ties (two virtual nodes hashing identically) are broken by member
+	// name so the sorted order — and therefore placement — is total.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+}
+
+// Remove ejects a member and all its virtual nodes. Its keys fall to
+// their ring successors; no other key moves. Removing an absent member
+// is a no-op.
+func (r *Ring) Remove(member string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.members[member]; !ok {
+		return
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Contains reports whether member is in the ring.
+func (r *Ring) Contains(member string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	_, ok := r.members[member]
+	return ok
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Members returns the member set in sorted order.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for m := range r.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the member that owns key, or ErrEmpty on an empty ring.
+func (r *Ring) Get(key string) (string, error) {
+	succ := r.Successors(key, 1)
+	if len(succ) == 0 {
+		return "", ErrEmpty
+	}
+	return succ[0], nil
+}
+
+// Successors returns up to n distinct members in ring order starting
+// at key's owner: the home shard first, then the shards its keys would
+// spill to as members ahead of it are ejected. The result is the
+// fleet's per-key failover (and cross-shard hedging) order.
+func (r *Ring) Successors(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]struct{}, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if _, dup := seen[p.member]; dup {
+			continue
+		}
+		seen[p.member] = struct{}{}
+		out = append(out, p.member)
+	}
+	return out
+}

@@ -1,0 +1,214 @@
+package ring
+
+import (
+	"fmt"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("fingerprint-%06d", i)
+	}
+	return out
+}
+
+func build(members ...string) *Ring {
+	r := New(0)
+	for _, m := range members {
+		r.Add(m)
+	}
+	return r
+}
+
+// Every key maps to exactly one live member, and the mapping is
+// deterministic across repeated lookups and across independently
+// built rings with the same member set.
+func TestEveryKeyMapsToExactlyOneLiveMember(t *testing.T) {
+	members := []string{"shard-0", "shard-1", "shard-2", "shard-3", "shard-4"}
+	r := build(members...)
+	other := build("shard-4", "shard-2", "shard-0", "shard-3", "shard-1") // insertion order must not matter
+	live := make(map[string]bool, len(members))
+	for _, m := range members {
+		live[m] = true
+	}
+	for _, k := range keys(10000) {
+		owner, err := r.Get(k)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", k, err)
+		}
+		if !live[owner] {
+			t.Fatalf("Get(%q) = %q, not a live member", k, owner)
+		}
+		if again, _ := r.Get(k); again != owner {
+			t.Fatalf("Get(%q) unstable: %q then %q", k, owner, again)
+		}
+		if indep, _ := other.Get(k); indep != owner {
+			t.Fatalf("Get(%q) differs across identically-membered rings: %q vs %q", k, owner, indep)
+		}
+	}
+}
+
+// With the default virtual-node count, ownership shares stay within a
+// generous band around fair share — the property that makes the ring a
+// cache partitioner rather than a hot-spot generator.
+func TestDistributionSkew(t *testing.T) {
+	members := []string{"shard-0", "shard-1", "shard-2", "shard-3"}
+	r := build(members...)
+	counts := make(map[string]int, len(members))
+	ks := keys(20000)
+	for _, k := range ks {
+		owner, err := r.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[owner]++
+	}
+	fair := float64(len(ks)) / float64(len(members))
+	for _, m := range members {
+		share := float64(counts[m]) / fair
+		if share < 0.5 || share > 1.6 {
+			t.Errorf("member %s owns %.2fx fair share (%d of %d keys)", m, share, counts[m], len(ks))
+		}
+	}
+}
+
+// Removing one of N members moves exactly the removed member's keys
+// (they spill to successors) and roughly 1/N of the keyspace — the
+// minimal-movement property.
+func TestMinimalKeyMovementOnRemove(t *testing.T) {
+	members := []string{"shard-0", "shard-1", "shard-2", "shard-3", "shard-4"}
+	r := build(members...)
+	ks := keys(10000)
+	before := make(map[string]string, len(ks))
+	for _, k := range ks {
+		before[k], _ = r.Get(k)
+	}
+
+	const victim = "shard-2"
+	r.Remove(victim)
+	moved := 0
+	for _, k := range ks {
+		after, err := r.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after == victim {
+			t.Fatalf("key %q still owned by removed member", k)
+		}
+		if before[k] != after {
+			if before[k] != victim {
+				t.Fatalf("key %q moved from surviving member %q to %q — removal must only move the victim's keys",
+					k, before[k], after)
+			}
+			moved++
+		}
+	}
+	frac := float64(moved) / float64(len(ks))
+	if frac < 0.05 || frac > 0.45 {
+		t.Errorf("removal moved %.1f%% of keys, want roughly 1/N = 20%%", 100*frac)
+	}
+}
+
+// Adding a member steals keys only for itself: no key moves between
+// two pre-existing members.
+func TestMinimalKeyMovementOnAdd(t *testing.T) {
+	r := build("shard-0", "shard-1", "shard-2")
+	ks := keys(10000)
+	before := make(map[string]string, len(ks))
+	for _, k := range ks {
+		before[k], _ = r.Get(k)
+	}
+	r.Add("shard-3")
+	stolen := 0
+	for _, k := range ks {
+		after, _ := r.Get(k)
+		if after != before[k] {
+			if after != "shard-3" {
+				t.Fatalf("key %q moved from %q to pre-existing member %q on add", k, before[k], after)
+			}
+			stolen++
+		}
+	}
+	if stolen == 0 {
+		t.Error("new member owns no keys")
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(64)
+	if _, err := r.Get("anything"); err != ErrEmpty {
+		t.Fatalf("Get on empty ring: err = %v, want ErrEmpty", err)
+	}
+	if succ := r.Successors("anything", 3); succ != nil {
+		t.Fatalf("Successors on empty ring = %v, want nil", succ)
+	}
+	// Draining the last member brings ErrEmpty back.
+	r.Add("only")
+	r.Remove("only")
+	if _, err := r.Get("anything"); err != ErrEmpty {
+		t.Fatalf("Get after removing last member: err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestSuccessorsDistinctAndOrdered(t *testing.T) {
+	members := []string{"a", "b", "c", "d"}
+	r := build(members...)
+	for _, k := range keys(500) {
+		succ := r.Successors(k, 4)
+		if len(succ) != 4 {
+			t.Fatalf("Successors(%q, 4) = %v", k, succ)
+		}
+		seen := map[string]bool{}
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("Successors(%q, 4) repeats %q: %v", k, m, succ)
+			}
+			seen[m] = true
+		}
+		if home, _ := r.Get(k); home != succ[0] {
+			t.Fatalf("Successors(%q)[0] = %q, Get = %q", k, succ[0], home)
+		}
+		// Asking for more than the membership truncates.
+		if all := r.Successors(k, 10); len(all) != 4 {
+			t.Fatalf("Successors(%q, 10) = %v, want 4 members", k, all)
+		}
+		// The spill target after ejecting the home is the next successor.
+		r2 := build(members...)
+		r2.Remove(succ[0])
+		if spill, _ := r2.Get(k); spill != succ[1] {
+			t.Fatalf("key %q spilled to %q, want ring successor %q", k, spill, succ[1])
+		}
+	}
+}
+
+func TestMembershipOps(t *testing.T) {
+	r := New(8)
+	r.Add("x")
+	r.Add("x") // idempotent
+	r.Add("y")
+	if got := r.Members(); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Fatalf("Members = %v", got)
+	}
+	if r.Len() != 2 || !r.Contains("x") || r.Contains("z") {
+		t.Fatalf("Len/Contains inconsistent: %v", r.Members())
+	}
+	r.Remove("z") // absent: no-op
+	r.Remove("x")
+	if r.Contains("x") || r.Len() != 1 {
+		t.Fatalf("remove failed: %v", r.Members())
+	}
+	// Re-adding restores the exact same placement (pure function of
+	// the member set and replica count).
+	a := New(8)
+	a.Add("x")
+	a.Add("y")
+	r.Add("x")
+	for _, k := range keys(200) {
+		want, _ := a.Get(k)
+		got, _ := r.Get(k)
+		if got != want {
+			t.Fatalf("placement after remove+re-add differs for %q: %q vs %q", k, got, want)
+		}
+	}
+}

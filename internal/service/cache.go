@@ -2,58 +2,62 @@ package service
 
 import "container/list"
 
-// lru is a fingerprint-keyed result cache with least-recently-used
-// eviction. It is not safe for concurrent use on its own; the Service
-// guards it with its mutex, which also makes the cache-insert /
-// singleflight-remove handoff atomic.
-type lru struct {
+// Cache is a fingerprint-keyed result cache with least-recently-used
+// eviction: the cache stage of the pipeline as a standalone piece. It
+// is not safe for concurrent use on its own; the Service guards it
+// with its mutex, which also makes the cache-insert / singleflight-
+// remove handoff atomic. A standalone user (none today — the fleet
+// router deliberately keeps results only on its shards) must bring its
+// own lock.
+type Cache struct {
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[string]*list.Element
 }
 
-type lruEntry struct {
+type cacheEntry struct {
 	key string
 	res Result
 }
 
-// newLRU requires capacity >= 1 and panics otherwise: capacity is
+// NewCache requires capacity >= 1 and panics otherwise: capacity is
 // validated by Config.withDefaults (0 means "default 4096", negative
-// means "caching disabled" — New then never constructs an lru), so a
+// means "caching disabled" — New then never constructs a Cache), so a
 // non-positive value reaching this point is a programming error.
 // Silently clamping it to 1 used to mask such errors as a cache that
 // thrashed on every insert.
-func newLRU(capacity int) *lru {
+func NewCache(capacity int) *Cache {
 	if capacity < 1 {
-		panic("service: newLRU capacity must be >= 1 (Config validation owns the defaulting)")
+		panic("service: NewCache capacity must be >= 1 (Config validation owns the defaulting)")
 	}
-	return &lru{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+	return &Cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
-func (c *lru) len() int { return c.ll.Len() }
+// Len is the number of cached results.
+func (c *Cache) Len() int { return c.ll.Len() }
 
-// get returns the cached result and refreshes its recency.
-func (c *lru) get(key string) (Result, bool) {
+// Get returns the cached result and refreshes its recency.
+func (c *Cache) Get(key string) (Result, bool) {
 	el, ok := c.items[key]
 	if !ok {
 		return Result{}, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).res, true
+	return el.Value.(*cacheEntry).res, true
 }
 
-// add inserts (or refreshes) an entry, evicting from the cold end
+// Add inserts (or refreshes) an entry, evicting from the cold end
 // while over capacity.
-func (c *lru) add(key string, res Result) {
+func (c *Cache) Add(key string, res Result) {
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).res = res
+		el.Value.(*cacheEntry).res = res
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, res: res})
 	for c.ll.Len() > c.cap {
 		cold := c.ll.Back()
 		c.ll.Remove(cold)
-		delete(c.items, cold.Value.(*lruEntry).key)
+		delete(c.items, cold.Value.(*cacheEntry).key)
 	}
 }

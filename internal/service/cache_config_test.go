@@ -4,8 +4,8 @@ import "testing"
 
 // Regression tests for cache-capacity validation: Config.withDefaults
 // owns the "0 means 4096, negative means disabled" semantics, and
-// newLRU no longer papers over a non-positive capacity by clamping it
-// to a one-entry cache that evicts on every insert.
+// NewCache no longer papers over a non-positive capacity by clamping
+// it to a one-entry cache that evicts on every insert.
 
 func TestCacheEntriesDefaulting(t *testing.T) {
 	if got := (Config{}).withDefaults().CacheEntries; got != 4096 {
@@ -33,19 +33,19 @@ func TestNewServiceCacheWiring(t *testing.T) {
 	}
 }
 
-func TestNewLRURejectsNonPositiveCapacity(t *testing.T) {
+func TestNewCacheRejectsNonPositiveCapacity(t *testing.T) {
 	for _, capacity := range []int{0, -1, -4096} {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("newLRU(%d) did not panic; it used to clamp silently to 1", capacity)
+					t.Errorf("NewCache(%d) did not panic; it used to clamp silently to 1", capacity)
 				}
 			}()
-			newLRU(capacity)
+			NewCache(capacity)
 		}()
 	}
 	// And the boundary that is valid stays valid.
-	if c := newLRU(1); c.cap != 1 {
-		t.Fatalf("newLRU(1).cap = %d, want 1", c.cap)
+	if c := NewCache(1); c.cap != 1 {
+		t.Fatalf("NewCache(1).cap = %d, want 1", c.cap)
 	}
 }

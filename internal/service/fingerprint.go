@@ -42,7 +42,7 @@ func Fingerprint(req *Request) string {
 	fmt.Fprintf(h, "opts steps=%d shave=%d cand=%d cyccand=%d awct=%d retries=%d variant=%d nostage3=%t\n",
 		o.MaxSteps, o.ShaveRounds, o.CandidateLimit, o.CycleCandLimit,
 		o.MaxAWCTIters, o.Retries, o.VariantOffset, o.NoStage3Matching)
-	canonicalSB(req.SB).Write(h)
+	Canonical(req.SB).Write(h)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -56,9 +56,12 @@ func normalizeOptions(o core.Options) core.Options {
 	return o.Normalized()
 }
 
-// canonicalSB returns a copy whose printed form is independent of edge
-// declaration order.
-func canonicalSB(sb *ir.Superblock) *ir.Superblock {
+// Canonical returns a copy whose printed form is independent of edge
+// declaration order. It is the canonicalization stage of the pipeline:
+// the bytes a Canonical superblock Writes are the bytes Fingerprint
+// hashes, and the fleet router re-serializes blocks through it so a
+// shard receives exactly the bytes the routing fingerprint addressed.
+func Canonical(sb *ir.Superblock) *ir.Superblock {
 	cp := sb.Clone()
 	cp.SortEdges()
 	return cp

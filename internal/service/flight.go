@@ -1,0 +1,100 @@
+package service
+
+import "sync"
+
+// Call is one in-flight computation for a fingerprint. The leader that
+// created it publishes exactly one Result; any number of followers wait
+// on Done and read Result afterwards.
+type Call struct {
+	done chan struct{}
+	res  Result
+}
+
+// Done is closed once the leader published the result.
+func (c *Call) Done() <-chan struct{} { return c.done }
+
+// Result returns the published result. It is only meaningful after
+// Done is closed.
+func (c *Call) Result() Result { return c.res }
+
+// Flight is a fingerprint-keyed singleflight registry: the coalescing
+// stage of the pipeline as a standalone piece. The Service layers it
+// under its own mutex (so cache insertion and flight removal stay one
+// atomic step); the fleet router and the loadsim fleet harness use it
+// directly to coalesce duplicates fleet-wide before they reach a
+// shard. Flight carries its own lock, so standalone use is safe for
+// arbitrary concurrency.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[string]*Call
+}
+
+// NewFlight returns an empty registry.
+func NewFlight() *Flight {
+	return &Flight{calls: make(map[string]*Call)}
+}
+
+// Join coalesces on key: if a call is in flight the caller becomes a
+// follower of it (leader == false); otherwise a new call is registered
+// and the caller is its leader, obliged to eventually Finish (or
+// Forget) the key.
+func (f *Flight) Join(key string) (c *Call, leader bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.calls[key]; ok {
+		return c, false
+	}
+	c = &Call{done: make(chan struct{})}
+	f.calls[key] = c
+	return c, true
+}
+
+// Lookup returns the in-flight call for key, if any, without
+// registering one.
+func (f *Flight) Lookup(key string) (*Call, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c, ok := f.calls[key]
+	return c, ok
+}
+
+// Register unconditionally creates a new call for key. The caller must
+// know key is absent (e.g. it holds a lock serializing admissions and
+// just Lookup'd); registering over a live call would strand its
+// followers.
+func (f *Flight) Register(key string) *Call {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := &Call{done: make(chan struct{})}
+	f.calls[key] = c
+	return c
+}
+
+// Forget drops key without publishing a result — the shed path, taken
+// only while the caller can still guarantee no follower has joined.
+func (f *Flight) Forget(key string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.calls, key)
+}
+
+// Finish publishes the leader's result and removes the key: followers
+// unblock, and later submissions of the fingerprint start fresh.
+func (f *Flight) Finish(key string, res Result) {
+	f.mu.Lock()
+	c, ok := f.calls[key]
+	delete(f.calls, key)
+	f.mu.Unlock()
+	if !ok {
+		return
+	}
+	c.res = res
+	close(c.done)
+}
+
+// Len is the number of in-flight calls.
+func (f *Flight) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}

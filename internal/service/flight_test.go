@@ -1,0 +1,126 @@
+package service
+
+import (
+	"sync"
+	"testing"
+)
+
+// While one call is in flight, every concurrent joiner is a follower
+// of it, and all followers see the leader's exact result.
+func TestFlightSingleLeader(t *testing.T) {
+	f := NewFlight()
+	c0, leader := f.Join("fp-hot")
+	if !leader {
+		t.Fatal("first Join must lead")
+	}
+	const followers = 32
+	var wg, joined sync.WaitGroup
+	var mu sync.Mutex
+	results := make([]Result, 0, followers)
+	wg.Add(followers)
+	joined.Add(followers)
+	for i := 0; i < followers; i++ {
+		go func() {
+			defer wg.Done()
+			c, leads := f.Join("fp-hot")
+			joined.Done()
+			if leads {
+				t.Error("second leader while a call is in flight")
+				return
+			}
+			if c != c0 {
+				t.Error("follower joined a different call")
+				return
+			}
+			<-c.Done()
+			mu.Lock()
+			results = append(results, c.Result())
+			mu.Unlock()
+		}()
+	}
+	// Finish only after every follower has joined, so none can race
+	// past the removal and lead a fresh flight.
+	joined.Wait()
+	if f.Len() != 1 {
+		t.Fatalf("Len mid-flight = %d, want 1", f.Len())
+	}
+	f.Finish("fp-hot", Result{Fingerprint: "fp-hot", Tier: "sg"})
+	wg.Wait()
+	if len(results) != followers {
+		t.Fatalf("results = %d, want %d", len(results), followers)
+	}
+	for _, r := range results {
+		if r.Fingerprint != "fp-hot" || r.Tier != "sg" {
+			t.Fatalf("follower saw %+v, want the leader's result", r)
+		}
+	}
+	if f.Len() != 0 {
+		t.Fatalf("Len after Finish = %d, want 0", f.Len())
+	}
+}
+
+// Finish removes the key, so the next Join starts a fresh flight;
+// Forget drops a registration without publishing.
+func TestFlightLifecycle(t *testing.T) {
+	f := NewFlight()
+	if _, ok := f.Lookup("k"); ok {
+		t.Fatal("Lookup on empty flight")
+	}
+	c := f.Register("k")
+	if got, ok := f.Lookup("k"); !ok || got != c {
+		t.Fatal("Lookup did not find the registered call")
+	}
+	f.Forget("k")
+	if _, ok := f.Lookup("k"); ok {
+		t.Fatal("Forget left the call behind")
+	}
+	if _, leader := f.Join("k"); !leader {
+		t.Fatal("Join after Forget should lead a fresh flight")
+	}
+	f.Finish("k", Result{})
+	if _, leader := f.Join("k"); !leader {
+		t.Fatal("Join after Finish should lead a fresh flight")
+	}
+	f.Finish("k", Result{})
+	// Finishing an absent key is a no-op, not a panic.
+	f.Finish("absent", Result{})
+}
+
+// ToResult is the exact inverse of ToWire.
+func TestWireResultRoundTrip(t *testing.T) {
+	in := Result{
+		Block: "b", Fingerprint: "fp", Tier: "sg", AWCT: 3.25,
+		ExitCycles: "e0=4", Schedule: "sched", Err: "boom",
+		Taxonomy: "internal", HardFailure: true, CacheHit: true,
+		Coalesced: true, Shed: true,
+	}
+	if got := in.ToWire().ToResult(); got != in {
+		t.Fatalf("round trip mangled the result:\n got %+v\nwant %+v", got, in)
+	}
+}
+
+func TestMergeStats(t *testing.T) {
+	a := Stats{Workers: 2, Requests: 100, CacheHits: 40, AvgServiceMS: 2.0, Draining: true, BreakerOpen: 1}
+	b := Stats{Workers: 4, Requests: 300, CacheHits: 200, AvgServiceMS: 4.0, Draining: false, BreakerOpen: 2}
+	m := MergeStats(a, b)
+	if m.Workers != 6 || m.Requests != 400 || m.CacheHits != 240 || m.BreakerOpen != 3 {
+		t.Fatalf("sums wrong: %+v", m)
+	}
+	if m.Draining {
+		t.Fatal("Draining should be false unless every shard drains")
+	}
+	// Request-weighted mean: (2*100 + 4*300) / 400 = 3.5.
+	if m.AvgServiceMS != 3.5 {
+		t.Fatalf("AvgServiceMS = %v, want 3.5", m.AvgServiceMS)
+	}
+	if m.Version != "" {
+		t.Fatalf("Version = %q, want empty for the caller to stamp", m.Version)
+	}
+	both := MergeStats(Stats{Draining: true}, Stats{Draining: true})
+	if !both.Draining {
+		t.Fatal("Draining should be true when every shard drains")
+	}
+	if empty := MergeStats(); empty.Draining || empty.Requests != 0 {
+		t.Fatalf("MergeStats() = %+v, want zero value", empty)
+	}
+}

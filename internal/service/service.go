@@ -203,18 +203,12 @@ type Stats struct {
 	TierNaive    int64   `json:"tier_naive"`
 }
 
-// call is one in-flight computation; followers coalesce on it.
-type call struct {
-	done chan struct{}
-	res  Result
-}
-
 // job is one admitted request waiting for (or on) a worker.
 type job struct {
 	req      *Request
 	fp       string
 	deadline time.Time
-	call     *call
+	call     *Call
 }
 
 // Service is the scheduling service. Create with New, stop with Close.
@@ -229,9 +223,14 @@ type Service struct {
 	sweepDone chan struct{}
 	drained   chan struct{} // closed once the first Close finishes
 
+	// s.mu serializes admissions and result publication. flight and
+	// cache carry their own (or no) locking for standalone use, but the
+	// Service always touches them under s.mu: that is what makes
+	// "insert the cache entry and remove the flight entry" one atomic
+	// step, and what guarantees at most one leader per fingerprint.
 	mu       sync.Mutex
-	cache    *lru // nil when caching is disabled
-	flight   map[string]*call
+	cache    *Cache // nil when caching is disabled
+	flight   *Flight
 	inflight map[*execution]struct{} // watchdog-tracked executions
 	breakers map[string]*breaker     // only fingerprints with recent hard failures
 	ewma     time.Duration           // EWMA per-job service time
@@ -252,12 +251,12 @@ func New(cfg Config) *Service {
 		queue:    make(chan *job, cfg.QueueDepth),
 		now:      cfg.Now,
 		drained:  make(chan struct{}),
-		flight:   make(map[string]*call),
+		flight:   NewFlight(),
 		inflight: make(map[*execution]struct{}),
 		breakers: make(map[string]*breaker),
 	}
 	if cfg.CacheEntries > 0 {
-		s.cache = newLRU(cfg.CacheEntries)
+		s.cache = NewCache(cfg.CacheEntries)
 	}
 	if cfg.WatchdogGrace > 0 {
 		s.stopSweep = make(chan struct{})
@@ -282,7 +281,7 @@ func (s *Service) Stats() Stats {
 	st.QueueLen = len(s.queue)
 	st.Draining = s.draining
 	if s.cache != nil {
-		st.CacheEntries = s.cache.len()
+		st.CacheEntries = s.cache.Len()
 	}
 	for _, b := range s.breakers {
 		if b.state == breakerOpen {
@@ -336,7 +335,7 @@ func (s *Service) Submit(req *Request) Result {
 			expired = timer.C
 		}
 		select {
-		case <-c.done:
+		case <-c.Done():
 			if timer != nil {
 				timer.Stop()
 			}
@@ -352,13 +351,13 @@ func (s *Service) Submit(req *Request) Result {
 				Coalesced:   true,
 			}
 		}
-		out := c.res
+		out := c.Result()
 		out.CacheHit = false
 		out.Coalesced = true
 		return out
 	}
-	<-c.done
-	return c.res
+	<-c.Done()
+	return c.Result()
 }
 
 // SubmitBatch schedules every block concurrently and returns results
@@ -382,7 +381,7 @@ func (s *Service) SubmitBatch(reqs []*Request) []Result {
 // singleflight, fault point, bounded queue. It returns either a final
 // result (call == nil: hit, shed, draining, admit failure) or the call
 // to wait on; res.Coalesced distinguishes followers from the leader.
-func (s *Service) admit(req *Request) (res Result, c *call, deadline time.Time) {
+func (s *Service) admit(req *Request) (res Result, c *Call, deadline time.Time) {
 	// An injected service.admit panic (or a real one in the front half)
 	// must refuse one request, not kill the accept loop. The panic can
 	// only strike before the locked section, whose own deferred Unlock
@@ -417,13 +416,13 @@ func (s *Service) admit(req *Request) (res Result, c *call, deadline time.Time) 
 		return Result{Block: req.SB.Name, Fingerprint: fp, Err: "service draining", Taxonomy: "draining", Shed: true}, nil, deadline
 	}
 	if s.cache != nil {
-		if cached, ok := s.cache.get(fp); ok {
+		if cached, ok := s.cache.Get(fp); ok {
 			s.stats.CacheHits++
 			cached.CacheHit = true
 			return cached, nil, deadline
 		}
 	}
-	if inflight, ok := s.flight[fp]; ok {
+	if inflight, ok := s.flight.Lookup(fp); ok {
 		// Coalescing runs before the breaker check so duplicates of a
 		// half-open probe join the probe instead of fast-failing.
 		s.stats.Coalesced++
@@ -445,14 +444,17 @@ func (s *Service) admit(req *Request) (res Result, c *call, deadline time.Time) 
 		s.stats.Shed++
 		return Result{Block: req.SB.Name, Fingerprint: fp, Err: forcedShed.Error(), Taxonomy: "shed", Shed: true}, nil, deadline
 	}
-	leader := &call{done: make(chan struct{})}
+	// Register-then-maybe-Forget is safe only because s.mu is held: no
+	// concurrent submission can Lookup the entry between the two, so a
+	// shed leaves no stranded followers behind.
+	leader := s.flight.Register(fp)
 	j := &job{req: req, fp: fp, deadline: deadline, call: leader}
 	select {
 	case s.queue <- j:
-		s.flight[fp] = leader
 		s.stats.CacheMisses++
 		return Result{Fingerprint: fp}, leader, deadline
 	default:
+		s.flight.Forget(fp)
 		s.stats.Shed++
 		return Result{Block: req.SB.Name, Fingerprint: fp, Err: "admission queue full", Taxonomy: "shed", Shed: true}, nil, deadline
 	}
@@ -477,15 +479,15 @@ func (s *Service) worker() {
 
 // finish publishes a job's result: cache (when eligible), close the
 // singleflight entry, bump counters, feed the breaker and the
-// service-time EWMA. The flight entry is removed under the same lock
-// that inserts the cache entry, so a submission arriving in between
-// sees the cache hit rather than missing the result.
+// service-time EWMA. The cache entry is inserted before the flight
+// entry is removed (the removal happens in Flight.Finish below, after
+// this lock is released), so a submission arriving in between sees
+// either the cache hit or the still-in-flight call — never neither.
 func (s *Service) finish(j *job, res Result, cacheable bool, dur time.Duration) {
 	s.mu.Lock()
 	if cacheable && s.cache != nil {
-		s.cache.add(j.fp, res)
+		s.cache.Add(j.fp, res)
 	}
-	delete(s.flight, j.fp)
 	if s.cfg.BreakerThreshold > 0 {
 		s.breakerRecord(j.fp, res)
 	}
@@ -518,8 +520,7 @@ func (s *Service) finish(j *job, res Result, cacheable bool, dur time.Duration) 
 		}
 	}
 	s.mu.Unlock()
-	j.call.res = res
-	close(j.call.done)
+	s.flight.Finish(j.fp, res)
 }
 
 // run executes one job on the calling worker: deadline bookkeeping,

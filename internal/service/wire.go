@@ -1,7 +1,10 @@
 package service
 
-// Wire types for the vcschedd HTTP/JSON API, shared by the daemon and
-// the vcload load generator so the two cannot drift.
+import "sort"
+
+// Wire types for the vcschedd HTTP/JSON API, shared by the daemon, the
+// vcrouter fleet front-end and the vcload load generator so the three
+// cannot drift.
 
 // WireRequest is the body of POST /v1/schedule. Blocks holds one or
 // more .sb sources; each source may itself contain several
@@ -63,4 +66,104 @@ func (r Result) ToWire() WireResult {
 		Coalesced:   r.Coalesced,
 		Shed:        r.Shed,
 	}
+}
+
+// ToResult is ToWire's inverse: it rehydrates a Result from the wire
+// so a proxy (the fleet router) can carry shard responses through the
+// same pipeline types the in-process service uses.
+func (w WireResult) ToResult() Result {
+	return Result{
+		Block:       w.Block,
+		Fingerprint: w.Fingerprint,
+		Tier:        w.Tier,
+		AWCT:        w.AWCT,
+		ExitCycles:  w.ExitCycles,
+		Schedule:    w.Schedule,
+		Err:         w.Error,
+		Taxonomy:    w.Taxonomy,
+		HardFailure: w.HardFailure,
+		CacheHit:    w.CacheHit,
+		Coalesced:   w.Coalesced,
+		Shed:        w.Shed,
+	}
+}
+
+// BuildWireResponse converts a batch of results and computes the batch
+// verdicts: AllHardFailed plus the sorted distinct taxonomy classes
+// when every block hard-failed, AllShed when every block was refused.
+// It is the single verdict implementation shared by the daemon and the
+// router, so a fleet answers a poisoned batch exactly like one shard
+// would. The caller owns the transport consequences (HTTP status,
+// Retry-After hint).
+func BuildWireResponse(results []Result) WireResponse {
+	resp := WireResponse{Results: make([]WireResult, len(results))}
+	allHard := len(results) > 0
+	allShed := len(results) > 0
+	tax := map[string]bool{}
+	for i, r := range results {
+		resp.Results[i] = r.ToWire()
+		if r.HardFailure {
+			tax[r.Taxonomy] = true
+		} else {
+			allHard = false
+		}
+		if !r.Shed {
+			allShed = false
+		}
+	}
+	if allHard {
+		resp.AllHardFailed = true
+		for name := range tax {
+			resp.Taxonomies = append(resp.Taxonomies, name)
+		}
+		sort.Strings(resp.Taxonomies)
+	}
+	resp.AllShed = allShed
+	return resp
+}
+
+// MergeStats folds per-shard snapshots into one fleet-wide view:
+// counters and capacities sum, Draining is true only when every shard
+// drains, AvgServiceMS is the request-weighted mean, and BreakerOpen
+// sums the per-shard gauges. Version is left empty — the caller stamps
+// its own (the router's version, not any one shard's).
+func MergeStats(snaps ...Stats) Stats {
+	var out Stats
+	var weighted float64
+	var weight int64
+	draining := len(snaps) > 0
+	for _, s := range snaps {
+		out.Workers += s.Workers
+		out.QueueDepth += s.QueueDepth
+		out.QueueLen += s.QueueLen
+		out.Requests += s.Requests
+		out.CacheHits += s.CacheHits
+		out.CacheMisses += s.CacheMisses
+		out.CacheEntries += s.CacheEntries
+		out.Coalesced += s.Coalesced
+		out.Shed += s.Shed
+		out.QueueTimeouts += s.QueueTimeouts
+		out.Scheduled += s.Scheduled
+		out.HardFailures += s.HardFailures
+		out.WatchdogKills += s.WatchdogKills
+		out.WatchdogLeaks += s.WatchdogLeaks
+		out.BreakerTrips += s.BreakerTrips
+		out.BreakerHalfOpens += s.BreakerHalfOpens
+		out.BreakerFastFails += s.BreakerFastFails
+		out.BreakerOpen += s.BreakerOpen
+		out.TierSG += s.TierSG
+		out.TierRetry += s.TierRetry
+		out.TierCARS += s.TierCARS
+		out.TierNaive += s.TierNaive
+		if !s.Draining {
+			draining = false
+		}
+		weighted += s.AvgServiceMS * float64(s.Requests)
+		weight += s.Requests
+	}
+	out.Draining = draining
+	if weight > 0 {
+		out.AvgServiceMS = weighted / float64(weight)
+	}
+	return out
 }

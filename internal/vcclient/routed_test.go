@@ -1,0 +1,124 @@
+package vcclient
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A retry walks the selector to the next target instead of re-hitting
+// the failed one.
+func TestScheduleViaRotatesTargetsAcrossRetries(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		okBody(t, w)
+	}))
+	defer good.Close()
+
+	rec := &sleepRecorder{}
+	var mu sync.Mutex
+	var seen []TryInfo
+	c, err := NewRouted(Config{
+		Retries: 2,
+		Sleep:   rec.sleep,
+		Observe: func(ti TryInfo) {
+			mu.Lock()
+			seen = append(seen, ti)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []string{bad.URL, good.URL}
+	resp, err := c.ScheduleVia(func(try int) string { return targets[try%len(targets)] }, request())
+	if err != nil {
+		t.Fatalf("ScheduleVia: %v", err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Schedule == "" {
+		t.Fatalf("response = %+v, want the good backend's schedule", resp)
+	}
+	if got := c.Stats().Tries; got != 2 {
+		t.Fatalf("tries = %d, want 2 (one failure, one rotated success)", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("Observe saw %d tries, want 2: %+v", len(seen), seen)
+	}
+	if seen[0].Target != bad.URL || seen[0].Err == nil || seen[0].Hedge {
+		t.Fatalf("first try = %+v, want an error against %s", seen[0], bad.URL)
+	}
+	if seen[1].Target != good.URL || seen[1].Err != nil {
+		t.Fatalf("second try = %+v, want success against %s", seen[1], good.URL)
+	}
+}
+
+// The hedge consumes the next selector index, so it races a DIFFERENT
+// backend than the slow primary — the cross-shard hedging the router
+// needs.
+func TestHedgeGoesToDifferentTarget(t *testing.T) {
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		okBody(t, w)
+	}))
+	defer slow.Close()
+	defer close(release)
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		okBody(t, w)
+	}))
+	defer fast.Close()
+
+	var mu sync.Mutex
+	var seen []TryInfo
+	c, err := NewRouted(Config{
+		HedgeAfter: 5 * time.Millisecond,
+		Observe: func(ti TryInfo) {
+			mu.Lock()
+			seen = append(seen, ti)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []string{slow.URL, fast.URL}
+	resp, err := c.ScheduleVia(func(try int) string { return targets[try%len(targets)] }, request())
+	if err != nil {
+		t.Fatalf("ScheduleVia: %v", err)
+	}
+	if len(resp.Results) != 1 {
+		t.Fatalf("response = %+v", resp)
+	}
+	if got := c.Stats().Hedges; got != 1 {
+		t.Fatalf("hedges = %d, want 1", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// The primary is still parked on the slow backend; only the hedge
+	// has been classified.
+	if len(seen) != 1 || !seen[0].Hedge || seen[0].Target != fast.URL {
+		t.Fatalf("observed = %+v, want one hedged try against %s", seen, fast.URL)
+	}
+}
+
+// A nil selector needs a BaseURL to fall back to.
+func TestScheduleViaNilSelectorRequiresBaseURL(t *testing.T) {
+	c, err := NewRouted(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ScheduleVia(nil, request()); err == nil {
+		t.Fatal("ScheduleVia(nil) without BaseURL should error")
+	}
+	// New still refuses a missing BaseURL outright.
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New without BaseURL should error")
+	}
+}

@@ -67,6 +67,26 @@ type Config struct {
 	// Sleep pays the backoff (nil = time.Sleep; tests inject a
 	// recorder).
 	Sleep func(time.Duration)
+	// Observe, when non-nil, is called once per HTTP attempt after it
+	// has been classified — the router uses it to drive per-shard
+	// counters and breakers. Hedged attempts race, so Observe must be
+	// safe for concurrent use.
+	Observe func(TryInfo)
+}
+
+// TargetSelector picks the base URL for the nth HTTP attempt of one
+// logical exchange (retries and hedges both consume indices, in
+// launch order). The router hands ScheduleVia a selector that walks a
+// fingerprint's ring successors, so a retry — and, crucially, a hedge
+// — lands on a *different* backend than the try it races.
+type TargetSelector func(try int) string
+
+// TryInfo describes one classified HTTP attempt for Config.Observe.
+type TryInfo struct {
+	Target string // base URL the attempt was sent to
+	Hedge  bool   // this was the hedged second request of its try
+	Shed   bool   // 429 all-shed answer
+	Err    error  // transport error or unexpected status; nil otherwise
 }
 
 // Stats counts what the client did across its lifetime.
@@ -92,11 +112,23 @@ type Client struct {
 	stats Stats
 }
 
-// New validates the config and builds a client.
+// New validates the config and builds a single-endpoint client: every
+// request goes to BaseURL, which is therefore required.
 func New(cfg Config) (*Client, error) {
 	if cfg.BaseURL == "" {
 		return nil, fmt.Errorf("vcclient: BaseURL is required")
 	}
+	return newClient(cfg)
+}
+
+// NewRouted builds a client whose targets come from per-call
+// TargetSelectors (see ScheduleVia); BaseURL is optional and used only
+// as the fallback when a call passes a nil selector.
+func NewRouted(cfg Config) (*Client, error) {
+	return newClient(cfg)
+}
+
+func newClient(cfg Config) (*Client, error) {
 	if cfg.Retries < 0 {
 		return nil, fmt.Errorf("vcclient: retries must be >= 0, got %d", cfg.Retries)
 	}
@@ -148,13 +180,30 @@ type outcome struct {
 // daemon expressed (success, all-hard-failed, still-shed-after-
 // retries) and an error only when the exchange itself kept failing.
 func (c *Client) Schedule(wreq service.WireRequest) (*service.WireResponse, error) {
+	return c.ScheduleVia(nil, wreq)
+}
+
+// ScheduleVia is Schedule with a per-attempt target selector: attempt
+// n (retries and hedges both count) goes to sel(n). A nil selector
+// falls back to the configured BaseURL, which makes Schedule a plain
+// delegation — single-endpoint behavior is byte-for-byte what it was
+// before selectors existed.
+func (c *Client) ScheduleVia(sel TargetSelector, wreq service.WireRequest) (*service.WireResponse, error) {
+	if sel == nil {
+		base := c.cfg.BaseURL
+		if base == "" {
+			return nil, fmt.Errorf("vcclient: nil TargetSelector and no BaseURL to fall back to")
+		}
+		sel = func(int) string { return base }
+	}
 	body, err := json.Marshal(wreq)
 	if err != nil {
 		return nil, err
 	}
 	var last outcome
+	next := 0
 	for try := 0; ; try++ {
-		last = c.attempt(body)
+		last = c.attempt(sel, &next, body)
 		if last.err == nil && !last.shed {
 			return last.resp, nil
 		}
@@ -181,12 +230,17 @@ func (c *Client) Schedule(wreq service.WireRequest) (*service.WireResponse, erro
 // discarded (the channel is buffered so its goroutine never blocks);
 // its request still runs to its TryTimeout server-side, which is safe
 // because /v1/schedule submissions are idempotent and coalesce.
-func (c *Client) attempt(body []byte) outcome {
+// Selector indices are consumed in the calling goroutine, so the hedge
+// deterministically gets the index after its primary — with a
+// ring-successor selector that is a different backend.
+func (c *Client) attempt(sel TargetSelector, next *int, body []byte) outcome {
+	target := sel(*next)
+	*next++
 	if c.cfg.HedgeAfter <= 0 {
-		return c.post(body)
+		return c.post(target, false, body)
 	}
 	first := make(chan outcome, 2)
-	go func() { first <- c.post(body) }()
+	go func() { first <- c.post(target, false, body) }()
 	timer := time.NewTimer(c.cfg.HedgeAfter)
 	defer timer.Stop()
 	select {
@@ -194,18 +248,28 @@ func (c *Client) attempt(body []byte) outcome {
 		return out
 	case <-timer.C:
 	}
+	hedged := sel(*next)
+	*next++
 	c.count(func(s *Stats) { s.Hedges++ })
-	go func() { first <- c.post(body) }()
+	go func() { first <- c.post(hedged, true, body) }()
 	return <-first
 }
 
-// post issues a single POST /v1/schedule exchange with the per-try
-// timeout and classifies the answer.
-func (c *Client) post(body []byte) outcome {
+// post issues a single POST /v1/schedule exchange against target with
+// the per-try timeout and classifies the answer.
+func (c *Client) post(target string, hedge bool, body []byte) outcome {
 	c.count(func(s *Stats) { s.Tries++ })
+	out := c.doPost(target, body)
+	if c.cfg.Observe != nil {
+		c.cfg.Observe(TryInfo{Target: target, Hedge: hedge, Shed: out.shed, Err: out.err})
+	}
+	return out
+}
+
+func (c *Client) doPost(target string, body []byte) outcome {
 	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.TryTimeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+"/v1/schedule", bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target+"/v1/schedule", bytes.NewReader(body))
 	if err != nil {
 		return outcome{err: err}
 	}
