@@ -28,6 +28,9 @@ type result struct {
 	NsOp     float64 `json:"ns_op"`     // mean over runs
 	BOp      float64 `json:"b_op"`      // mean over runs; -1 when not reported
 	AllocsOp float64 `json:"allocs_op"` // mean over runs; -1 when not reported
+	// Extra holds custom b.ReportMetric units (e.g. nogoods/op), keyed
+	// by unit with the "/op" suffix stripped, each a mean over runs.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 type acc struct {
@@ -35,6 +38,7 @@ type acc struct {
 	n               int64
 	ns, b, allocs   float64
 	hasB, hasAllocs bool
+	extra           map[string]float64
 }
 
 func main() {
@@ -50,7 +54,7 @@ func main() {
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
-		name, n, ns, b, allocs, hasMem, ok := parseLine(sc.Text())
+		name, n, ns, b, allocs, extra, hasMem, ok := parseLine(sc.Text())
 		if !ok {
 			continue
 		}
@@ -67,6 +71,12 @@ func main() {
 			a.b += b
 			a.allocs += allocs
 			a.hasB, a.hasAllocs = true, true
+		}
+		for unit, v := range extra {
+			if a.extra == nil {
+				a.extra = map[string]float64{}
+			}
+			a.extra[unit] += v
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -93,6 +103,12 @@ func main() {
 		if a.hasAllocs {
 			r.AllocsOp = a.allocs / float64(a.runs)
 		}
+		if a.extra != nil {
+			r.Extra = map[string]float64{}
+			for unit, v := range a.extra {
+				r.Extra[unit] = v / float64(a.runs)
+			}
+		}
 		out.Benchmarks = append(out.Benchmarks, r)
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -107,9 +123,16 @@ func main() {
 //
 //	BenchmarkShave/099.go-8   2805   381463 ns/op   101532 B/op   2541 allocs/op
 //
-// The trailing -P GOMAXPROCS suffix is stripped so runs on machines of
+// including custom b.ReportMetric units, which the testing package
+// prints between ns/op and the -benchmem pair:
+//
+//	BenchmarkScheduleLearn/on-8   2120   575565 ns/op   9.00 nogoods/op   81811 B/op   2669 allocs/op
+//
+// Everything after the iteration count is scanned as value/unit pairs;
+// unknown "<x>/op" units land in extra keyed without the suffix. The
+// trailing -P GOMAXPROCS suffix is stripped so runs on machines of
 // different widths aggregate under one name.
-func parseLine(line string) (name string, n int64, ns, b, allocs float64, hasMem, ok bool) {
+func parseLine(line string) (name string, n int64, ns, b, allocs float64, extra map[string]float64, hasMem, ok bool) {
 	f := strings.Fields(line)
 	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
 		return
@@ -124,19 +147,29 @@ func parseLine(line string) (name string, n int64, ns, b, allocs float64, hasMem
 	if n, err = strconv.ParseInt(f[1], 10, 64); err != nil {
 		return
 	}
-	if f[3] != "ns/op" {
-		return
-	}
-	if ns, err = strconv.ParseFloat(f[2], 64); err != nil {
-		return
-	}
-	ok = true
-	if len(f) >= 8 && f[5] == "B/op" && f[7] == "allocs/op" {
-		bb, err1 := strconv.ParseFloat(f[4], 64)
-		aa, err2 := strconv.ParseFloat(f[6], 64)
-		if err1 == nil && err2 == nil {
-			b, allocs, hasMem = bb, aa, true
+	hasNs := false
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			ns, hasNs = v, true
+		case "B/op":
+			b = v
+			hasMem = true
+		case "allocs/op":
+			allocs = v
+		default:
+			if rest, isOp := strings.CutSuffix(unit, "/op"); isOp {
+				if extra == nil {
+					extra = map[string]float64{}
+				}
+				extra[rest] = v
+			}
 		}
 	}
+	ok = hasNs
 	return
 }

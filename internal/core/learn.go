@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+
+	"vcsched/internal/deduce"
+	"vcsched/internal/nogood"
+)
+
+// Conflict-driven learning (Options.Learn) — the scheduler side.
+//
+// Every attempt opens a nogood.Run over the scheduler's store: the ops
+// committed to the live state (combination choices, pair drops, cycle
+// fixes, window tightenings, VC fusions/splits) are assigned to the
+// run's decision log, every candidate/boundary probe first consults
+// the store for a unit prediction, and every refuted probe learns the
+// nogood "current log + refuted candidate".
+//
+// The default mode, LearnOn, is observational: predictions never
+// change what the search does — every probe still runs, on the same
+// budget, in the same order — they are only *verified* against the
+// probe's actual outcome (a predicted refutation the probe survives is
+// a mispredict, which the difftest nogood kind treats as a soundness
+// violation). This keeps the default byte-identical to LearnOff and to
+// the pre-learning scheduler, which is what lets the serial/parallel
+// identity guarantee and the difftest corpus carry over unchanged,
+// while the counters measure exactly how much a pruning mode would
+// save. LearnAggressive cashes the predictions in: unit hits skip
+// their probes (the saved steps change budget accounting, so the mode
+// forfeits byte-identity with the other modes and the serial/parallel
+// replay argument), candidate studies are ordered by VSIDS decision
+// activity, and a Luby-sequence restart policy abandons attempts whose
+// conflict count shows the current decision order is hopeless.
+
+// Learn mode values for Options.Learn.
+const (
+	// LearnOn is the deterministic default: learn and predict on every
+	// probe, change nothing about the search.
+	LearnOn = "on"
+	// LearnOff disables the learning layer entirely.
+	LearnOff = "off"
+	// LearnAggressive prunes predicted probes, orders candidates by
+	// decision activity and restarts on the Luby schedule. Schedules
+	// remain valid (every prediction is backed by a stored refutation)
+	// but are not byte-identical to the other modes, and Parallelism >
+	// 1 loses the serial-identity guarantee.
+	LearnAggressive = "aggressive"
+)
+
+// LearnStats reports the conflict-learning layer's work.
+type LearnStats struct {
+	Nogoods     int // nogoods admitted to the store (learned + merged)
+	Rejected    int // rejected: duplicate, subsumed, overlong or store full
+	Propagated  int // stored nogoods carried into later attempts
+	Probes      int // decision probes issued (study candidates + shave boundaries)
+	Refuted     int // probes that contradicted
+	Hits        int // refutations a stored nogood predicted
+	Mispredicts int // predicted refutations the probe then survived (soundness alarm)
+	Restarts    int // Luby restarts taken (aggressive mode)
+	SavedSteps  int // deduction steps spent by predicted probes (or skipped, aggressive)
+}
+
+func (a *LearnStats) add(b LearnStats) {
+	a.Nogoods += b.Nogoods
+	a.Rejected += b.Rejected
+	a.Propagated += b.Propagated
+	a.Probes += b.Probes
+	a.Refuted += b.Refuted
+	a.Hits += b.Hits
+	a.Mispredicts += b.Mispredicts
+	a.Restarts += b.Restarts
+	a.SavedSteps += b.SavedSteps
+}
+
+// errLearnRestart aborts an attempt on the Luby schedule. It is a
+// contradiction as far as the drivers are concerned: the attempt is
+// abandoned and the search moves on, keeping everything it learned.
+var errLearnRestart = fmt.Errorf("%w: luby restart", deduce.ErrContradiction)
+
+// learnCtx is the store-partition key of an exit-cycle vector: nogoods
+// are consequences of the deadline vector they were learned under, so
+// they may only fire in attempts on the same vector (same key).
+func learnCtx(v []int) string {
+	b := make([]byte, 0, len(v)*3)
+	for _, x := range v {
+		b = append(b, byte(x), byte(x>>8), ';')
+	}
+	return string(b)
+}
+
+// learnEnabled reports whether the learning layer is active on this
+// scheduler.
+func (s *scheduler) learnEnabled() bool { return s.learn != nil }
+
+// assign records an op committed to the live state on the run's
+// decision log. Safe to call with no run active (probes outside
+// attempts, learning off).
+func (s *scheduler) assign(d nogood.Decision) {
+	if s.lrun != nil {
+		s.lrun.Assign(d)
+	}
+}
+
+// hit reports whether probing d from the current decision log is
+// predicted to contradict.
+func (s *scheduler) hit(d nogood.Decision) bool {
+	return s.lrun != nil && s.lrun.Hit(d)
+}
+
+// noteProbe records one decision probe's outcome against the
+// prediction made for it and learns from the refutation when it is
+// new knowledge. Returns errLearnRestart when the conflict crosses the
+// Luby threshold in aggressive mode.
+func (s *scheduler) noteProbe(d nogood.Decision, predicted, refuted bool, steps int) error {
+	if s.lrun == nil {
+		return nil
+	}
+	s.lstats.Probes++
+	if !refuted {
+		if predicted {
+			s.lstats.Mispredicts++
+		}
+		return nil
+	}
+	s.lstats.Refuted++
+	if predicted {
+		s.lstats.Hits++
+		s.lstats.SavedSteps += steps
+		return nil
+	}
+	s.lrun.Learn(d)
+	s.conflicts++
+	if s.opts.Learn == LearnAggressive && s.learn.RestartDue(s.conflicts) {
+		s.lstats.Restarts++
+		return errLearnRestart
+	}
+	return nil
+}
+
+// beginLearn opens the attempt's run; endLearn closes it and, in the
+// serial driver, drains freshly journaled nogoods to the LearnSink.
+func (s *scheduler) beginLearn(vector []int) {
+	if s.learn == nil {
+		return
+	}
+	s.lrun = s.learn.Begin(learnCtx(vector), s.sb.N(), s.sb.N()+s.m.Clusters)
+}
+
+func (s *scheduler) endLearn() {
+	if s.lrun != nil {
+		s.lrun.End()
+		s.lrun = nil
+	}
+}
+
+// drainLearnSink reports nogoods journaled since the last drain to
+// Options.LearnSink (serial driver only; the sink order would be
+// timing-dependent under the portfolio).
+func (s *scheduler) drainLearnSink(deadlines map[int]int) {
+	if s.learn == nil || s.opts.LearnSink == nil {
+		return
+	}
+	for _, ln := range s.learn.Export(s.sinkMark) {
+		s.opts.LearnSink(deadlines, ln)
+	}
+	s.sinkMark = s.learn.JournalLen()
+}
+
+// foldCounters folds the store-counter delta since base into ls.
+// Nogoods counts fresh admissions only — imports are re-admissions of
+// nogoods a worker already counted, so folding them too would double
+// count under the portfolio.
+func foldCounters(ls LearnStats, c, base nogood.Counters) LearnStats {
+	ls.Nogoods += c.Learned - base.Learned
+	ls.Rejected += (c.Duplicate - base.Duplicate) + (c.Subsumed - base.Subsumed) +
+		(c.Overlong - base.Overlong) + (c.Overflow - base.Overflow)
+	ls.Propagated += c.Propagated - base.Propagated
+	return ls
+}
+
+// learnStats folds the scheduler-side probe accounting with the
+// store's admission counters into the public stats block. Under the
+// portfolio the worker-side blocks have already been summed into
+// s.lstats at the commit points.
+func (s *scheduler) learnStats() LearnStats {
+	if s.learn == nil {
+		return s.lstats
+	}
+	return foldCounters(s.lstats, s.learn.Counters(), nogood.Counters{})
+}
+
+// Shave's ProbeObserver: the scheduler itself adapts boundary probes
+// onto the run. FixProbe predicts; in aggressive mode a predicted
+// refutation skips the probe (Shave then tightens directly). FixResult
+// verifies the prediction, learns from new refutations and mirrors the
+// tightening Shave is about to apply onto the decision log.
+func (s *scheduler) FixProbe(node, cycle int, atEst bool) bool {
+	s.shavePred = s.hit(nogood.FixCycle(node, cycle))
+	return s.shavePred && s.opts.Learn == LearnAggressive
+}
+
+func (s *scheduler) FixResult(node, cycle int, atEst, refuted bool, steps int) {
+	if s.lrun == nil {
+		return
+	}
+	pred := s.shavePred
+	s.shavePred = false
+	// Restart pressure from shave conflicts is deliberately not
+	// applied — Shave has no error path for it — so the restart error
+	// is discarded; the Luby sequence only advances from study probes.
+	if err := s.noteProbe(nogood.FixCycle(node, cycle), pred, refuted, steps); err != nil {
+		s.lstats.Restarts--
+	}
+	if refuted {
+		if atEst {
+			s.assign(nogood.TightenEst(node, cycle+1))
+		} else {
+			s.assign(nogood.TightenLst(node, cycle-1))
+		}
+	}
+}

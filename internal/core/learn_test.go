@@ -1,0 +1,262 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"vcsched/internal/deduce"
+	"vcsched/internal/machine"
+	"vcsched/internal/nogood"
+	"vcsched/internal/sg"
+	"vcsched/internal/workload"
+)
+
+// TestLearnObserveModeByteIdentity is the determinism contract of the
+// default learning mode: LearnOn observes every probe but never changes
+// the search, so schedules, error classes, AWCT enumeration and step
+// accounting must all be byte-identical to LearnOff. It also checks the
+// observational soundness alarm: a predicted refutation the probe then
+// survives (a mispredict) would mean a stored nogood was wrong.
+func TestLearnObserveModeByteIdentity(t *testing.T) {
+	const wantBlocks = 30
+	maxSteps := 25000
+	if raceEnabled {
+		maxSteps = 6000
+	}
+	machines := machine.EvaluationConfigs()
+	profiles := workload.Benchmarks()
+	checked := 0
+	sawRefuted, sawHit := false, false
+	for i := 0; checked < wantBlocks; i++ {
+		p := profiles[i%len(profiles)]
+		sb := p.GenerateBlock(i, 0)
+		if sb.N() > 35 {
+			continue
+		}
+		m := machines[i%len(machines)]
+		pins := workload.PinsFor(sb, m.Clusters, 1)
+		on := Options{Pins: pins, MaxSteps: maxSteps, Learn: LearnOn}
+		off := Options{Pins: pins, MaxSteps: maxSteps, Learn: LearnOff}
+		s1, st1, err1 := Schedule(sb, m, on)
+		s2, st2, err2 := Schedule(sb, m, off)
+		checked++
+		name := p.Name + "/" + sb.Name
+
+		var b1, b2 bytes.Buffer
+		o1, o2 := "", ""
+		if err1 == nil {
+			if err := s1.WriteText(&b1); err != nil {
+				t.Fatalf("%s: WriteText: %v", name, err)
+			}
+			o1 = b1.String()
+		} else {
+			o1 = errClassOf(err1)
+		}
+		if err2 == nil {
+			if err := s2.WriteText(&b2); err != nil {
+				t.Fatalf("%s: WriteText: %v", name, err)
+			}
+			o2 = b2.String()
+		} else {
+			o2 = errClassOf(err2)
+		}
+		if o1 != o2 {
+			t.Fatalf("%s: learn=on vs learn=off outcomes differ:\n%s\nvs\n%s", name, o1, o2)
+		}
+		if st1.AWCTTried != st2.AWCTTried || st1.StepsSpent != st2.StepsSpent {
+			t.Fatalf("%s: search accounting differs: awct %d/%d steps %d/%d",
+				name, st1.AWCTTried, st2.AWCTTried, st1.StepsSpent, st2.StepsSpent)
+		}
+		if st1.Learn.Mispredicts != 0 {
+			t.Fatalf("%s: %d mispredicts — a stored nogood predicted a refutation the probe survived",
+				name, st1.Learn.Mispredicts)
+		}
+		if st2.Learn != (LearnStats{}) {
+			t.Fatalf("%s: learn=off must report zero learn stats, got %+v", name, st2.Learn)
+		}
+		if st1.Learn.Refuted > 0 {
+			sawRefuted = true
+		}
+		if st1.Learn.Hits > 0 {
+			sawHit = true
+		}
+	}
+	if !sawRefuted {
+		t.Fatalf("no block exercised a refuted probe — the sweep tests nothing")
+	}
+	if !sawHit {
+		t.Fatalf("no block produced a predicted refutation — propagation untested")
+	}
+}
+
+func errClassOf(err error) string {
+	switch {
+	case errors.Is(err, ErrExhausted):
+		return "err:exhausted"
+	case errors.Is(err, ErrTimeout):
+		return "err:timeout"
+	default:
+		return "err:" + err.Error()
+	}
+}
+
+// TestLearnPortfolioShareIdentity pins the cross-worker sharing claim:
+// with learning on, a Parallelism=4 portfolio — workers seeded from the
+// driver journal, batches merged back in commit order — must still
+// render byte-identical schedules to the serial driver. Run under
+// -race this doubles as the data-race proof for the seed/merge paths.
+func TestLearnPortfolioShareIdentity(t *testing.T) {
+	const wantBlocks = 16
+	maxSteps := 25000
+	if raceEnabled {
+		maxSteps = 6000
+	}
+	machines := machine.EvaluationConfigs()
+	profiles := workload.Benchmarks()
+	checked := 0
+	for i := 0; checked < wantBlocks; i++ {
+		p := profiles[i%len(profiles)]
+		sb := p.GenerateBlock(1000+i, 0)
+		if sb.N() > 35 {
+			continue
+		}
+		m := machines[i%len(machines)]
+		pins := workload.PinsFor(sb, m.Clusters, 1)
+		base := Options{Pins: pins, MaxSteps: maxSteps, Learn: LearnOn}
+		s1, st1, err1 := Schedule(sb, m, base)
+		par := base
+		par.Parallelism = 4
+		s2, st2, err2 := Schedule(sb, m, par)
+		checked++
+		name := p.Name + "/" + sb.Name
+
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: serial err=%v, parallel err=%v", name, err1, err2)
+		}
+		if err1 != nil {
+			if errClassOf(err1) != errClassOf(err2) {
+				t.Fatalf("%s: error classes differ: %v vs %v", name, err1, err2)
+			}
+			if st1.AWCTTried != st2.AWCTTried {
+				t.Errorf("%s: failing AWCTTried %d serial vs %d parallel", name, st1.AWCTTried, st2.AWCTTried)
+			}
+			continue
+		}
+		var b1, b2 bytes.Buffer
+		if err := s1.WriteText(&b1); err != nil {
+			t.Fatalf("%s: serial WriteText: %v", name, err)
+		}
+		if err := s2.WriteText(&b2); err != nil {
+			t.Fatalf("%s: parallel WriteText: %v", name, err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatalf("%s: rendered schedules differ with learning on\nserial:\n%s\nparallel:\n%s",
+				name, b1.String(), b2.String())
+		}
+		if st2.Learn.Mispredicts != 0 {
+			t.Fatalf("%s: parallel run mispredicted %d times", name, st2.Learn.Mispredicts)
+		}
+	}
+}
+
+// TestLearnSinkReplay is the soundness check behind the difftest nogood
+// kind, at its source: every stable nogood the serial driver journals
+// is an ordered replay recipe — applying its literals in order to a
+// fresh pinned state must end in a contradiction. A clean replay would
+// mean the scheduler stored (and could later act on) a refutation that
+// does not hold.
+func TestLearnSinkReplay(t *testing.T) {
+	machines := machine.EvaluationConfigs()
+	profiles := workload.Benchmarks()
+	replayed := 0
+	for i := 0; i < 40 && replayed < 25; i++ {
+		p := profiles[i%len(profiles)]
+		sb := p.GenerateBlock(i, 0)
+		if sb.N() > 30 {
+			continue
+		}
+		m := machines[i%len(machines)]
+		pins := workload.PinsFor(sb, m.Clusters, 1)
+		type caught struct {
+			deadlines map[int]int
+			ln        nogood.Learned
+		}
+		var got []caught
+		opts := Options{
+			Pins:     pins,
+			MaxSteps: 25000,
+			LearnSink: func(deadlines map[int]int, ln nogood.Learned) {
+				got = append(got, caught{deadlines, ln})
+			},
+		}
+		_, _, _ = Schedule(sb, m, opts)
+		if len(got) == 0 {
+			continue
+		}
+		g := sg.Build(sb, m)
+		for _, c := range got {
+			st, err := deduce.NewState(sb, m, g, c.deadlines, deduce.Options{Pins: pins, PinExits: true})
+			if err != nil {
+				if deduce.IsContradiction(err) {
+					replayed++ // vector infeasible from the start: refutation holds trivially
+					continue
+				}
+				t.Fatalf("%s: replay NewState: %v", sb.Name, err)
+			}
+			contradicted := false
+			for _, d := range c.ln.Lits {
+				if aerr := nogood.Apply(st, d); aerr != nil {
+					if !deduce.IsContradiction(aerr) {
+						t.Fatalf("%s: replay of %v aborted: %v", sb.Name, d, aerr)
+					}
+					contradicted = true
+					break
+				}
+			}
+			if !contradicted {
+				t.Fatalf("%s: nogood %v replayed without contradiction — stored refutation does not hold",
+					sb.Name, c.ln.Lits)
+			}
+			replayed++
+		}
+	}
+	if replayed == 0 {
+		t.Fatalf("no nogood was journaled across the sweep — sink untested")
+	}
+}
+
+// TestLearnAggressiveSchedulesValid: the pruning mode gives up byte
+// identity, not validity — every schedule it produces must still pass
+// validation (Schedule validates internally; reaching err == nil is the
+// assertion) and its stats must show the mode actually pruned.
+func TestLearnAggressiveSchedulesValid(t *testing.T) {
+	machines := machine.EvaluationConfigs()
+	profiles := workload.Benchmarks()
+	succeeded := 0
+	var agg LearnStats
+	for i := 0; i < 24; i++ {
+		p := profiles[i%len(profiles)]
+		sb := p.GenerateBlock(i, 0)
+		if sb.N() > 30 {
+			continue
+		}
+		m := machines[i%len(machines)]
+		pins := workload.PinsFor(sb, m.Clusters, 1)
+		opts := Options{Pins: pins, MaxSteps: 25000, Retries: 4, Learn: LearnAggressive}
+		s, st, err := Schedule(sb, m, opts)
+		if err == nil {
+			if s == nil {
+				t.Fatalf("%s: nil schedule without error", sb.Name)
+			}
+			succeeded++
+		}
+		agg.add(st.Learn)
+	}
+	if succeeded == 0 {
+		t.Fatalf("aggressive mode scheduled nothing across the sweep")
+	}
+	if agg.Probes == 0 || agg.Nogoods == 0 {
+		t.Fatalf("aggressive sweep recorded no learning work: %+v", agg)
+	}
+}

@@ -40,6 +40,13 @@ type Arena struct {
 	cc *graphutil.OffsetUF
 	vc *vcg.Graph
 
+	// tr is the speculation trail's backing storage (entry log +
+	// checkpoint stack). The trail is live only between Begin and the
+	// matching outermost Commit/Rollback of the arena's current state,
+	// so owning it here makes Begin/Rollback allocation-free after the
+	// first probe on a block — the last piece of the flat-state push.
+	tr trail
+
 	// cc-groups cache (CSR) + rebuild scratch.
 	ccRoots   []int
 	ccStart   []int

@@ -1,8 +1,6 @@
 package deduce
 
 import (
-	"sync"
-
 	"vcsched/internal/vcg"
 )
 
@@ -63,14 +61,15 @@ type trailCP struct {
 }
 
 // trail is the mutation log of one State while speculation is active.
-// Trails are pooled: the backing arrays survive across probes, so a
-// steady-state probe records and undoes without allocating.
+// The backing arrays live on the state's Arena (one live state — and
+// therefore at most one live trail — per arena), so a steady-state
+// probe records and undoes without allocating, and the storage is
+// reused across every state the arena backs rather than bouncing
+// through a global pool.
 type trail struct {
 	entries []trailEntry
 	cps     []trailCP
 }
-
-var trailPool = sync.Pool{New: func() any { return new(trail) }}
 
 // Begin opens a trail checkpoint. Checkpoints nest; each Commit or
 // Rollback closes the innermost one. While any checkpoint is open the
@@ -78,14 +77,16 @@ var trailPool = sync.Pool{New: func() any { return new(trail) }}
 // the underlying structures panic on the attempt).
 func (st *State) Begin() {
 	if st.tr == nil {
-		tr := trailPool.Get().(*trail)
-		if tr.entries == nil {
-			// First use of this pooled trail: size the log for a typical
+		tr := &st.ar.tr
+		if cap(tr.entries) == 0 {
+			// First trail on this arena: size the log for a typical
 			// probe on this SG — a few bound moves per node plus pair
 			// mutations — so steady state never grows it.
 			tr.entries = make([]trailEntry, 0, 4*len(st.est)+3*len(st.pairs)+16)
 			tr.cps = make([]trailCP, 0, 4)
 		}
+		tr.entries = tr.entries[:0]
+		tr.cps = tr.cps[:0]
 		st.tr = tr
 	}
 	st.tr.cps = append(st.tr.cps, trailCP{
@@ -148,7 +149,6 @@ func (st *State) releaseTrail() {
 	st.vc.TrailStop()
 	tr.entries = tr.entries[:0]
 	tr.cps = tr.cps[:0]
-	trailPool.Put(tr)
 }
 
 // undoTo reverts the entry log down to checkpoint cp, then the

@@ -1,0 +1,135 @@
+package difftest
+
+import (
+	"bytes"
+
+	"vcsched/internal/core"
+	"vcsched/internal/deduce"
+	"vcsched/internal/ir"
+	"vcsched/internal/nogood"
+	"vcsched/internal/sg"
+	"vcsched/internal/workload"
+)
+
+// nogoodReplayCap bounds how many journaled nogoods one check replays —
+// the per-context store caps already bound the journal, this is a
+// belt-and-braces guard so a pathological block cannot stall a
+// campaign. Skipping is deterministic (journal order), so replays and
+// the shrinker agree on what was verified.
+const nogoodReplayCap = 200
+
+// CheckNogood runs only the conflict-learning cross-checks on the
+// superblock (Check runs them too when Options.Nogood is set; this
+// entry exists so property-test campaigns can skip the other oracles).
+//
+// Two claims are checked:
+//
+//  1. Determinism of the default mode: scheduling with Learn=on must be
+//     byte-identical to Learn=off — same rendered schedule or error
+//     class, same AWCT enumeration, same step accounting — and must
+//     report zero mispredicts (a mispredict means a stored nogood
+//     predicted a refutation the probe then survived: the learned
+//     clause was wrong).
+//
+//  2. Soundness of every learned nogood: each stable nogood the serial
+//     driver journals is an ordered replay recipe. Rebuilding a fresh
+//     pinned state under the nogood's deadline vector and applying its
+//     decision literals in order must end in a contradiction; a clean
+//     replay means the scheduler stored a refutation that does not
+//     hold. (Replays that run out of budget are skipped, not failed.)
+func CheckNogood(sb *ir.Superblock, opts Options) *Report {
+	opts = opts.withDefaults()
+	rep := &Report{SB: sb, Opts: opts, Pins: workload.PinsFor(sb, opts.Machine.Clusters, opts.PinSeed)}
+	checkNogood(rep)
+	return rep
+}
+
+func checkNogood(rep *Report) {
+	sb, m, pins := rep.SB, rep.Opts.Machine, rep.Pins
+
+	type caught struct {
+		deadlines map[int]int
+		ln        nogood.Learned
+	}
+	var got []caught
+	on := core.Options{
+		Pins: pins, MaxSteps: rep.Opts.MaxSteps, Learn: core.LearnOn,
+		LearnSink: func(deadlines map[int]int, ln nogood.Learned) {
+			got = append(got, caught{deadlines, ln})
+		},
+	}
+	off := core.Options{Pins: pins, MaxSteps: rep.Opts.MaxSteps, Learn: core.LearnOff}
+	vcOn, stOn, errOn := core.Schedule(sb, m, on)
+	vcOff, stOff, errOff := core.Schedule(sb, m, off)
+
+	// (1) learning-on vs learning-off identity.
+	if errClass(errOn) != errClass(errOff) {
+		rep.violate(KindNogood, "learn=on %s vs learn=off %s", errClass(errOn), errClass(errOff))
+		return
+	}
+	if errOn == nil {
+		var bon, boff bytes.Buffer
+		if werr := vcOn.WriteText(&bon); werr != nil {
+			rep.violate(KindNogood, "learn=on WriteText: %v", werr)
+			return
+		}
+		if werr := vcOff.WriteText(&boff); werr != nil {
+			rep.violate(KindNogood, "learn=off WriteText: %v", werr)
+			return
+		}
+		if !bytes.Equal(bon.Bytes(), boff.Bytes()) {
+			rep.violate(KindNogood, "rendered schedules differ:\nlearn=on:\n%slearn=off:\n%s",
+				bon.String(), boff.String())
+			return
+		}
+	}
+	if stOn.AWCTTried != stOff.AWCTTried || stOn.StepsSpent != stOff.StepsSpent {
+		rep.violate(KindNogood, "search accounting differs: awct %d/%d steps %d/%d",
+			stOn.AWCTTried, stOff.AWCTTried, stOn.StepsSpent, stOff.StepsSpent)
+	}
+	if stOn.Learn.Mispredicts != 0 {
+		rep.violate(KindNogood, "%d mispredicts: a stored nogood predicted a refutation the probe survived",
+			stOn.Learn.Mispredicts)
+	}
+
+	// (2) every journaled nogood re-verified unsatisfiable by replay.
+	if len(got) == 0 {
+		return
+	}
+	g := sg.Build(sb, m)
+	replayBudget := 4 * rep.Opts.MaxSteps
+	for i, c := range got {
+		if i >= nogoodReplayCap {
+			break
+		}
+		st, err := deduce.NewState(sb, m, g, c.deadlines, deduce.Options{
+			Pins:     pins,
+			PinExits: true,
+			Budget:   deduce.NewBudget(replayBudget),
+		})
+		if err != nil {
+			if deduce.IsContradiction(err) {
+				continue // vector infeasible outright: the refutation holds trivially
+			}
+			continue // budget — skip, deterministic
+		}
+		contradicted, inconclusive := false, false
+		for _, d := range c.ln.Lits {
+			aerr := nogood.Apply(st, d)
+			if aerr == nil {
+				continue
+			}
+			if deduce.IsContradiction(aerr) {
+				contradicted = true
+			} else {
+				inconclusive = true // budget abort: skip, deterministically
+			}
+			break
+		}
+		if !contradicted && !inconclusive {
+			rep.violate(KindNogood, "nogood %v replayed without contradiction — stored refutation does not hold",
+				c.ln.Lits)
+			return
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package difftest
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestNogoodReplay50 is the property test of the learning layer: 50
+// generated superblocks, each scheduled with learning on and off
+// through the full Check pipeline (so the flag wiring is covered too).
+// Any schedule divergence, mispredict, or learned nogood that fails
+// its unsatisfiability replay is a violation.
+func TestNogoodReplay50(t *testing.T) {
+	gen := NewGen(11, 16)
+	for i := 0; i < 50; i++ {
+		sb := gen.Next()
+		rep := Check(sb, Options{
+			PinSeed:     int64(i),
+			Parallelism: -1,
+			OracleLimit: -1,
+			Nogood:      true,
+		})
+		for _, v := range rep.Violations {
+			if v.Kind == KindNogood {
+				t.Fatalf("block %d (%s): %s", i, sb.Name, v.Detail)
+			}
+		}
+	}
+}
+
+// TestNogoodReplay200 drives the dedicated entry point over a larger
+// corpus (short mode covers it in miniature above).
+func TestNogoodReplay200(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long corpus; covered in miniature by TestNogoodReplay50")
+	}
+	gen := NewGen(12, 24)
+	for i := 0; i < 200; i++ {
+		sb := gen.Next()
+		rep := CheckNogood(sb, Options{PinSeed: int64(i % 7)})
+		for _, v := range rep.Violations {
+			if v.Kind == KindNogood {
+				t.Fatalf("block %d (%s): %s", i, sb.Name, v.Detail)
+			}
+		}
+	}
+}
+
+// TestNogoodReproRoundTrip pins the `# nogood 1` repro header: a
+// violating report checked with the nogood oracle must round-trip
+// through the on-disk form with the flag intact, so Replay re-runs the
+// same check.
+func TestNogoodReproRoundTrip(t *testing.T) {
+	gen := NewGen(3, 10)
+	sb := gen.Next()
+	rep := Check(sb, Options{Nogood: true, Parallelism: -1, OracleLimit: -1})
+	r, err := ReproOf(rep)
+	if err != nil {
+		t.Fatalf("ReproOf: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := r.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if !strings.Contains(buf.String(), "# nogood 1") {
+		t.Fatalf("repro header misses '# nogood 1':\n%s", buf.String())
+	}
+	back, err := ReadRepro(&buf)
+	if err != nil {
+		t.Fatalf("ReadRepro: %v", err)
+	}
+	if !back.Nogood {
+		t.Fatalf("Nogood flag lost on round trip")
+	}
+	opts, err := back.Options()
+	if err != nil {
+		t.Fatalf("Options: %v", err)
+	}
+	if !opts.Nogood {
+		t.Fatalf("reconstructed Options drop Nogood")
+	}
+}

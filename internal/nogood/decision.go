@@ -1,0 +1,224 @@
+// Package nogood is the conflict-driven learning layer of the
+// scheduler: it turns refuted probes into reusable knowledge the way a
+// CDCL SAT solver turns conflicts into learned clauses.
+//
+// The deduction engine (internal/deduce) explores by *decisions* —
+// choose a combination, drop a pair, fix a cycle, fuse or split
+// virtual clusters — each probed speculatively on the trail and rolled
+// back on contradiction. Before this package, a contradiction's only
+// effect was discarding one candidate; the *reason* was thrown away,
+// so later probes, later AWCT iterations and sibling portfolio workers
+// rediscovered the same dead ends. Here every refutation is recorded
+// as a nogood: a set of decisions that cannot all hold under a given
+// deadline vector. Nogoods live in a watched-decision store
+// (store.go), fire as predictions when all but one of their decisions
+// are committed, and carry VSIDS-style activity so restart-capable
+// modes can steer candidate order toward recently conflicting
+// territory.
+//
+// Soundness rests on the monotonicity of the deduction process: within
+// one attempt, committed decisions only ever narrow the state (bounds
+// tighten, combinations disappear, arcs and incompatibilities
+// accumulate), so a candidate refuted against a decision prefix stays
+// refuted against any extension of it. Because the engine holds one
+// decision level open at a time — each probe is a single decision that
+// either survives or conflicts immediately — the failing decision is
+// its own first unique implication point, and the 1-UIP cut is the
+// failing decision plus reason-side literals drawn from the earlier
+// levels. We over-approximate the reason side by the full committed
+// decision log, which keeps extraction O(1) per conflict and, crucially,
+// keeps every learned nogood *replayable*: applying its decisions in
+// order to a fresh state under the same deadlines deterministically
+// reproduces the contradiction (the difftest `nogood` kind verifies
+// exactly that).
+package nogood
+
+import (
+	"fmt"
+
+	"vcsched/internal/deduce"
+)
+
+// Kind enumerates the decision atoms of the deduction engine. The
+// zero value is reserved so a zero Decision never collides with a real
+// atom.
+type Kind uint8
+
+const (
+	// KChooseComb commits pair (A,B), A < B, to combination C
+	// (canonical sign: C is Cyc(A)−Cyc(B)).
+	KChooseComb Kind = iota + 1
+	// KDiscardComb removes combination C from pair (A,B)'s set.
+	KDiscardComb
+	// KDropPair drops pair (A,B) from the schedule.
+	KDropPair
+	// KFixCycle fixes node A's issue cycle to B.
+	KFixCycle
+	// KTightenEst raises node A's earliest start to B.
+	KTightenEst
+	// KTightenLst lowers node A's latest start to B.
+	KTightenLst
+	// KFuseVC fuses the virtual clusters of VCG nodes A and B (A < B).
+	KFuseVC
+	// KSplitVC marks the virtual clusters of A and B incompatible
+	// (A < B).
+	KSplitVC
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KChooseComb:
+		return "choose"
+	case KDiscardComb:
+		return "discard"
+	case KDropPair:
+		return "drop"
+	case KFixCycle:
+		return "fix"
+	case KTightenEst:
+		return "est"
+	case KTightenLst:
+		return "lst"
+	case KFuseVC:
+		return "fuse"
+	case KSplitVC:
+		return "split"
+	}
+	return "?"
+}
+
+// Decision is one canonical decision atom. Canonical means the
+// constructors below have normalized operand order (and combination
+// sign) so that equal decisions compare equal with ==; Decision is
+// comparable and used directly as a map key by the store.
+type Decision struct {
+	K       Kind
+	A, B, C int32
+}
+
+func (d Decision) String() string {
+	switch d.K {
+	case KChooseComb, KDiscardComb:
+		return fmt.Sprintf("%s(%d,%d)=%d", d.K, d.A, d.B, d.C)
+	case KDropPair, KFuseVC, KSplitVC:
+		return fmt.Sprintf("%s(%d,%d)", d.K, d.A, d.B)
+	default:
+		return fmt.Sprintf("%s(%d)=%d", d.K, d.A, d.B)
+	}
+}
+
+// ChooseComb returns the canonical decision for committing pair (a,b)
+// to comb, mirroring deduce.ChooseComb's normalization: the stored
+// combination is always relative to the lower-numbered instruction.
+func ChooseComb(a, b, comb int) Decision {
+	if a > b {
+		a, b, comb = b, a, -comb
+	}
+	return Decision{K: KChooseComb, A: int32(a), B: int32(b), C: int32(comb)}
+}
+
+// DiscardComb returns the canonical decision for removing comb from
+// pair (a,b)'s combination set.
+func DiscardComb(a, b, comb int) Decision {
+	if a > b {
+		a, b, comb = b, a, -comb
+	}
+	return Decision{K: KDiscardComb, A: int32(a), B: int32(b), C: int32(comb)}
+}
+
+// DropPair returns the canonical decision for dropping pair (a,b).
+func DropPair(a, b int) Decision {
+	if a > b {
+		a, b = b, a
+	}
+	return Decision{K: KDropPair, A: int32(a), B: int32(b)}
+}
+
+// FixCycle returns the decision fixing node's issue cycle.
+func FixCycle(node, cycle int) Decision {
+	return Decision{K: KFixCycle, A: int32(node), B: int32(cycle)}
+}
+
+// TightenEst returns the decision raising node's earliest start to v.
+func TightenEst(node, v int) Decision {
+	return Decision{K: KTightenEst, A: int32(node), B: int32(v)}
+}
+
+// TightenLst returns the decision lowering node's latest start to v.
+func TightenLst(node, v int) Decision {
+	return Decision{K: KTightenLst, A: int32(node), B: int32(v)}
+}
+
+// FuseVC returns the canonical decision fusing the VCs of a and b
+// (fusion is symmetric).
+func FuseVC(a, b int) Decision {
+	if a > b {
+		a, b = b, a
+	}
+	return Decision{K: KFuseVC, A: int32(a), B: int32(b)}
+}
+
+// SplitVC returns the canonical decision splitting the VCs of a and b.
+func SplitVC(a, b int) Decision {
+	if a > b {
+		a, b = b, a
+	}
+	return Decision{K: KSplitVC, A: int32(a), B: int32(b)}
+}
+
+// StableUnder reports whether the decision's operands survive across
+// attempts: pair atoms always reference original instructions; node
+// atoms are stable below nOrig (communication copies materialize in
+// attempt-dependent order, so copy-node ids mean different things in
+// different attempts); VC atoms are stable below vcLimit (original
+// instructions plus cluster anchors). Nogoods containing an unstable
+// atom are attempt-local: they memoize refutations within the attempt
+// that learned them and are dropped at its end.
+func (d Decision) StableUnder(nOrig, vcLimit int) bool {
+	switch d.K {
+	case KChooseComb, KDiscardComb, KDropPair:
+		return true
+	case KFixCycle, KTightenEst, KTightenLst:
+		return int(d.A) < nOrig
+	case KFuseVC, KSplitVC:
+		return int(d.A) < vcLimit && int(d.B) < vcLimit
+	}
+	return false
+}
+
+// Apply replays the decision against a live state, returning the
+// deduction engine's error (a contradiction when the decision conflicts
+// with the state). It is the bridge the difftest `nogood` kind uses to
+// re-verify a learned nogood: applying its decisions in order to a
+// fresh state under the learning deadlines must end in a contradiction.
+func Apply(st *deduce.State, d Decision) error {
+	switch d.K {
+	case KChooseComb:
+		return st.ChooseComb(int(d.A), int(d.B), int(d.C))
+	case KDiscardComb:
+		return st.DiscardComb(int(d.A), int(d.B), int(d.C))
+	case KDropPair:
+		return st.DropPair(int(d.A), int(d.B))
+	case KFixCycle:
+		return st.FixCycle(int(d.A), int(d.B))
+	case KTightenEst:
+		return st.TightenEst(int(d.A), int(d.B))
+	case KTightenLst:
+		return st.TightenLst(int(d.A), int(d.B))
+	case KFuseVC:
+		return st.FuseVC(int(d.A), int(d.B))
+	case KSplitVC:
+		return st.SplitVC(int(d.A), int(d.B))
+	}
+	return fmt.Errorf("nogood: unknown decision kind %d", d.K)
+}
+
+// Learned is one admitted nogood in exportable form: the context key
+// of the deadline vector it was learned under, plus its decisions in
+// application order (the last literal is the refuted candidate). The
+// portfolio ships Learned values from workers back to the driver and
+// seeds dispatched workers with them; the difftest sink replays them.
+type Learned struct {
+	Ctx  string
+	Lits []Decision
+}

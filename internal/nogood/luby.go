@@ -1,0 +1,33 @@
+package nogood
+
+// Luby returns the i-th element (1-based) of the Luby restart
+// sequence 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,… — the universally optimal
+// restart schedule of Luby, Sinclair and Zuckerman. Restart-capable
+// modes abort an attempt after restartUnit·Luby(k) conflicts, so learned
+// nogoods get replayed against a fresh candidate ordering with
+// geometrically growing patience.
+func Luby(i int) int {
+	for k := uint(1); ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i < (1<<k)-1 {
+			i -= (1 << (k - 1)) - 1
+			k = 0
+		}
+	}
+}
+
+// restartUnit scales the Luby sequence into a conflict budget.
+const restartUnit = 32
+
+// RestartDue reports whether the cumulative conflict count has crossed
+// the next Luby restart threshold, advancing the restart sequence when
+// it has. Deterministic: a pure function of the conflict counts fed in.
+func (s *Store) RestartDue(conflicts int) bool {
+	if conflicts >= restartUnit*Luby(s.restartSeq+1) {
+		s.restartSeq++
+		return true
+	}
+	return false
+}

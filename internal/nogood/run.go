@@ -1,0 +1,236 @@
+package nogood
+
+// Run is the attempt-scoped view of a Store: it tracks the attempt's
+// committed decision log (the assignment), keeps the two-watch index
+// posted on that assignment, fires unit predictions, and extracts
+// nogoods from conflicts. A store has exactly one reusable Run —
+// attempts on one store are strictly sequential — so all of the run's
+// maps and buffers amortize across the whole scheduling call.
+type Run struct {
+	s       *Store
+	p       *partition
+	ctx     string
+	active  bool
+	nOrig   int
+	vcLimit int
+
+	// assigned maps each committed decision to its log position; log
+	// is the application-ordered decision list (the replay recipe of
+	// any nogood learned now); unstable counts log entries whose
+	// operands do not survive the attempt.
+	assigned map[Decision]int32
+	log      []Decision
+	unstable int
+
+	// unitOn lists, per unassigned decision d, the nogoods whose every
+	// other literal is committed: probing d is predicted to contradict.
+	// unitTrail records registrations in order so Undo can pop them.
+	unitOn    map[Decision][]int32
+	unitTrail []Decision
+
+	conflicts int
+
+	// scratch
+	learnBuf   []Decision
+	sigScratch []Decision
+	subScratch map[Decision]struct{}
+}
+
+// Mark is an undo point in a run (see Undo).
+type Mark struct{ log, unit int }
+
+// Begin starts an attempt-scoped run under the given context. nOrig
+// and vcLimit are the stability limits (original instruction count and
+// VCG id limit below which operands are attempt-independent; see
+// Decision.StableUnder). Nogoods already stored for this context count
+// as propagated: they were learned by earlier attempts and are live in
+// this one from the first probe.
+func (s *Store) Begin(ctx string, nOrig, vcLimit int) *Run {
+	r := &s.run
+	if r.active {
+		panic("nogood: Begin with a run already active")
+	}
+	r.s = s
+	r.ctx = ctx
+	r.p = s.part(ctx)
+	r.active = true
+	r.nOrig, r.vcLimit = nOrig, vcLimit
+	if r.assigned == nil {
+		r.assigned = map[Decision]int32{}
+		r.unitOn = map[Decision][]int32{}
+	}
+	clear(r.assigned)
+	clear(r.unitOn)
+	r.log = r.log[:0]
+	r.unitTrail = r.unitTrail[:0]
+	r.unstable = 0
+	r.conflicts = 0
+	s.c.Propagated += r.p.n()
+	// With nothing assigned, every size-1 nogood is already unit on its
+	// only literal.
+	for i := int32(0); i < int32(r.p.n()); i++ {
+		if r.p.start[i+1]-r.p.start[i] == 1 {
+			lit := r.p.lits[r.p.start[i]]
+			r.unitOn[lit] = append(r.unitOn[lit], i)
+		}
+	}
+	return r
+}
+
+// End closes the run: the assignment is discarded and nogoods that
+// referenced attempt-local operands (communication-copy node ids) are
+// compacted away, since their literals would mean something else in
+// the next attempt.
+func (r *Run) End() {
+	if !r.active {
+		return
+	}
+	r.active = false
+	p := r.p
+	r.p = nil
+	p.dropUnstable()
+}
+
+// Assign commits a decision to the run's log, advancing the watch
+// index: nogoods watching the decision relocate their watch to another
+// uncommitted literal, become unit (registering a prediction on their
+// last free literal), or — when the assignment completes them — count
+// as a store conflict. Redundant assignments are ignored.
+func (r *Run) Assign(d Decision) {
+	if !r.active {
+		return
+	}
+	if _, ok := r.assigned[d]; ok {
+		return
+	}
+	r.assigned[d] = int32(len(r.log))
+	r.log = append(r.log, d)
+	if !d.StableUnder(r.nOrig, r.vcLimit) {
+		r.unstable++
+	}
+	p := r.p
+	list := p.watch[d]
+	if len(list) == 0 {
+		if len(r.unitOn[d]) > 0 {
+			// Completing a single-literal nogood (those carry no
+			// watches).
+			r.s.c.Conflicts += len(r.unitOn[d])
+		}
+		return
+	}
+	kept := list[:0]
+	for _, ref := range list {
+		id, side := ref>>1, ref&1
+		lo, hi := p.start[id], p.start[id+1]
+		otherPos := p.w1[id]
+		if side == 1 {
+			otherPos = p.w0[id]
+		}
+		other := p.lits[lo+otherPos]
+		// Try to relocate this watch to an uncommitted literal that is
+		// not the other watch.
+		rep := int32(-1)
+		for j := lo; j < hi; j++ {
+			if j-lo == otherPos {
+				continue
+			}
+			ld := p.lits[j]
+			if _, as := r.assigned[ld]; !as {
+				rep = j - lo
+				break
+			}
+		}
+		if rep >= 0 {
+			if side == 0 {
+				p.w0[id] = rep
+			} else {
+				p.w1[id] = rep
+			}
+			nd := p.lits[lo+rep]
+			p.watch[nd] = append(p.watch[nd], ref)
+			continue
+		}
+		kept = append(kept, ref)
+		if _, as := r.assigned[other]; !as {
+			r.unitOn[other] = append(r.unitOn[other], id)
+			r.unitTrail = append(r.unitTrail, other)
+		} else {
+			r.s.c.Conflicts++
+		}
+	}
+	p.watch[d] = kept
+}
+
+// Hit reports whether probing decision d from the current assignment
+// is predicted to contradict: some stored nogood has every literal but
+// d committed.
+func (r *Run) Hit(d Decision) bool {
+	if !r.active {
+		return false
+	}
+	if _, as := r.assigned[d]; as {
+		return false
+	}
+	return len(r.unitOn[d]) > 0
+}
+
+// Learn extracts a nogood from a refuted probe of candidate c: the
+// committed decision log plus c, in application order (the cut
+// described in the package comment). It bumps the activity of every
+// literal involved, then tries to admit the nogood; the return value
+// reports admission (duplicates, subsumed, overlong and overflow
+// conflicts are rejected and counted by the store).
+func (r *Run) Learn(c Decision) bool {
+	if !r.active {
+		return false
+	}
+	if _, as := r.assigned[c]; as {
+		// The candidate is already committed — a conflict of the
+		// assignment itself, not a learnable refutation.
+		return false
+	}
+	r.conflicts++
+	buf := append(r.learnBuf[:0], r.log...)
+	buf = append(buf, c)
+	r.learnBuf = buf
+	r.s.bump(buf, r.s.caps.Decay)
+	stable := r.unstable == 0 && c.StableUnder(r.nOrig, r.vcLimit)
+	if r.s.admit(r.p, r.ctx, buf, stable) {
+		r.s.c.Learned++
+		return true
+	}
+	return false
+}
+
+// Conflicts returns how many conflicts this run has learned from.
+func (r *Run) Conflicts() int { return r.conflicts }
+
+// Activity returns d's current VSIDS score (see Store.Activity).
+func (r *Run) Activity(d Decision) float64 { return r.s.Activity(d) }
+
+// CurMark returns an undo point capturing the current assignment.
+func (r *Run) CurMark() Mark { return Mark{log: len(r.log), unit: len(r.unitTrail)} }
+
+// Undo pops every assignment and unit registration made since the
+// mark. Watch relocations are deliberately not undone: a relocated
+// watch points at a literal that was uncommitted when it moved, and
+// undoing assignments only uncommits more, so the two-watch invariant
+// (a nogood's watches are uncommitted unless the nogood was registered
+// unit or conflicting, and that registration is popped here) still
+// holds.
+func (r *Run) Undo(m Mark) {
+	for i := len(r.log) - 1; i >= m.log; i-- {
+		d := r.log[i]
+		delete(r.assigned, d)
+		if !d.StableUnder(r.nOrig, r.vcLimit) {
+			r.unstable--
+		}
+	}
+	r.log = r.log[:m.log]
+	for i := len(r.unitTrail) - 1; i >= m.unit; i-- {
+		lit := r.unitTrail[i]
+		l := r.unitOn[lit]
+		r.unitOn[lit] = l[:len(l)-1]
+	}
+	r.unitTrail = r.unitTrail[:m.unit]
+}

@@ -1,0 +1,399 @@
+package nogood
+
+import (
+	"sort"
+)
+
+// Caps bounds the store. Nogoods beyond MaxLen decisions are not worth
+// their matching cost (they almost never re-fire) and partitions
+// beyond MaxNogoods stop admitting; both rejections are counted, never
+// silent.
+type Caps struct {
+	MaxNogoods int // per context partition
+	MaxLen     int // decisions per nogood
+	// Decay is the VSIDS activity decay factor in (0,1); scores of
+	// decisions not involved in recent conflicts fade by this factor
+	// per conflict. Zero means the default.
+	Decay float64
+}
+
+// DefaultCaps are the caps the scheduler uses.
+func DefaultCaps() Caps { return Caps{MaxNogoods: 256, MaxLen: 64, Decay: 0.95} }
+
+// Counters is the store's own tally; the scheduler folds it into
+// core.Stats at the end of a run.
+type Counters struct {
+	Learned    int // nogoods admitted
+	Duplicate  int // rejected: byte-equal (as a set) to a stored nogood
+	Subsumed   int // rejected: a stored nogood is a subset
+	Overlong   int // rejected: longer than Caps.MaxLen
+	Overflow   int // rejected: partition at Caps.MaxNogoods
+	Imported   int // admitted via Import (portfolio merge)
+	Propagated int // nogoods carried into a later run at Begin
+	Conflicts  int // assignments that completed a stored nogood
+}
+
+// Store holds learned nogoods partitioned by context (the canonical
+// key of the deadline vector an attempt runs under — a nogood is a
+// consequence of its deadlines, so it may only fire in attempts with
+// the same context). The layout is flat per partition: one shared
+// literal arena indexed CSR-style, parallel watch-position arrays, and
+// reused maps, so steady-state learning and matching allocate only
+// when a partition genuinely grows — the same discipline as the
+// deduction arena.
+//
+// A Store is confined to one goroutine (the serial driver, or one
+// portfolio worker); cross-worker sharing goes through Export/Import
+// at the portfolio's deterministic commit points.
+type Store struct {
+	caps  Caps
+	parts map[string]*partition
+
+	// journal is the append-only log of admitted *stable* nogoods, in
+	// admission order: the unit of cross-worker sharing and the
+	// difftest sink's feed.
+	journal []Learned
+
+	c Counters
+
+	// run is the single reusable attempt-scoped view (runs are strictly
+	// sequential on one store).
+	run Run
+
+	// activity: VSIDS-style per-decision scores with an exponentially
+	// growing increment (equivalent to decaying all scores, without the
+	// O(decisions) sweep).
+	act    map[Decision]float64
+	actInc float64
+
+	// luby restart bookkeeping (aggressive mode).
+	restartSeq int
+}
+
+// partition is the nogood set of one context.
+type partition struct {
+	lits   []Decision // all literals, CSR via start
+	start  []int32    // nogood i is lits[start[i]:start[i+1]]
+	stable []bool     // all literals stable (survives the learning run)
+	sigv   []uint64   // per-nogood set signature
+	w0, w1 []int32    // watch positions, relative to each nogood's start
+	watch  map[Decision][]int32 // decision → refs (ngID<<1 | side)
+	sigs   map[uint64]struct{}  // order-independent signatures (dup check)
+}
+
+const activityRescale = 1e100
+
+// NewStore returns an empty store.
+func NewStore(caps Caps) *Store {
+	if caps.MaxNogoods <= 0 {
+		caps.MaxNogoods = DefaultCaps().MaxNogoods
+	}
+	if caps.MaxLen <= 0 {
+		caps.MaxLen = DefaultCaps().MaxLen
+	}
+	if caps.Decay <= 0 || caps.Decay >= 1 {
+		caps.Decay = DefaultCaps().Decay
+	}
+	return &Store{
+		caps:   caps,
+		parts:  map[string]*partition{},
+		act:    map[Decision]float64{},
+		actInc: 1,
+	}
+}
+
+// Counters returns the tally so far.
+func (s *Store) Counters() Counters { return s.c }
+
+// Nogoods returns the number of stored nogoods across all contexts.
+func (s *Store) Nogoods() int {
+	n := 0
+	for _, p := range s.parts {
+		n += p.n()
+	}
+	return n
+}
+
+// Export returns the admitted stable nogoods from position `since` in
+// admission order; Export(0) is the full journal. The returned slice
+// aliases the journal — callers must not mutate it.
+func (s *Store) Export(since int) []Learned {
+	if since < 0 || since > len(s.journal) {
+		return nil
+	}
+	return s.journal[since:]
+}
+
+// JournalLen returns the journal position for a later Export.
+func (s *Store) JournalLen() int { return len(s.journal) }
+
+// Import admits foreign learned nogoods (duplicates and subsumed
+// entries rejected exactly like local learning) and returns how many
+// were admitted. Importing the same sequence in the same order is
+// idempotent, which is what makes the portfolio's commit-ordered merge
+// deterministic.
+func (s *Store) Import(batch []Learned) int {
+	added := 0
+	for _, ln := range batch {
+		p := s.part(ln.Ctx)
+		if s.admit(p, ln.Ctx, ln.Lits, true) {
+			s.c.Imported++
+			added++
+		}
+	}
+	return added
+}
+
+func (s *Store) part(ctx string) *partition {
+	p := s.parts[ctx]
+	if p == nil {
+		p = &partition{
+			watch: map[Decision][]int32{},
+			sigs:  map[uint64]struct{}{},
+		}
+		s.parts[ctx] = p
+	}
+	return p
+}
+
+func (p *partition) n() int {
+	if len(p.start) == 0 {
+		return 0
+	}
+	return len(p.start) - 1
+}
+
+func (p *partition) ng(i int32) []Decision {
+	return p.lits[p.start[i]:p.start[i+1]]
+}
+
+// sig hashes a nogood as a *set*: FNV over the literals after sorting
+// a scratch copy, so application order does not split duplicates.
+func (s *Store) sig(lits []Decision) uint64 {
+	scratch := s.run.sigScratch[:0]
+	scratch = append(scratch, lits...)
+	s.run.sigScratch = scratch
+	sort.Slice(scratch, func(i, j int) bool { return decLess(scratch[i], scratch[j]) })
+	h := uint64(1469598103934665603)
+	mix := func(v int32) {
+		h ^= uint64(uint32(v))
+		h *= 1099511628211
+	}
+	for _, d := range scratch {
+		mix(int32(d.K))
+		mix(d.A)
+		mix(d.B)
+		mix(d.C)
+	}
+	return h
+}
+
+func decLess(a, b Decision) bool {
+	if a.K != b.K {
+		return a.K < b.K
+	}
+	if a.A != b.A {
+		return a.A < b.A
+	}
+	if a.B != b.B {
+		return a.B < b.B
+	}
+	return a.C < b.C
+}
+
+// admit adds a nogood to partition p unless it is overlong, a
+// duplicate, subsumed by a stored nogood, or the partition is full.
+// Literals are stored in the given order (replay order). Stable
+// nogoods are journaled; unstable ones only fire until the current
+// run ends.
+func (s *Store) admit(p *partition, ctx string, lits []Decision, stable bool) bool {
+	if len(lits) == 0 {
+		return false
+	}
+	if len(lits) > s.caps.MaxLen {
+		s.c.Overlong++
+		return false
+	}
+	if p.n() >= s.caps.MaxNogoods {
+		s.c.Overflow++
+		return false
+	}
+	sig := s.sig(lits)
+	if _, dup := p.sigs[sig]; dup {
+		s.c.Duplicate++
+		return false
+	}
+	if s.subsumed(p, lits) {
+		s.c.Subsumed++
+		return false
+	}
+	if len(p.start) == 0 {
+		p.start = append(p.start, 0)
+	}
+	id := int32(p.n())
+	base := len(p.lits)
+	p.lits = append(p.lits, lits...)
+	p.start = append(p.start, int32(len(p.lits)))
+	p.stable = append(p.stable, stable)
+	p.sigv = append(p.sigv, sig)
+	p.sigs[sig] = struct{}{}
+	// Watch selection. Default (no run active, e.g. a portfolio merge
+	// between attempts): last literal — the refuted candidate, the one
+	// most likely to be probed again — plus the first. Mid-run, honour
+	// the two-watch invariant against the live assignment: watch two
+	// uncommitted literals, or register the nogood unit (a learned
+	// nogood is typically unit immediately — every literal but the
+	// candidate is committed), or count a conflict.
+	w0, w1 := int32(len(lits)-1), int32(0)
+	if r := &s.run; r.active && r.p == p {
+		u0, u1 := int32(-1), int32(-1)
+		for j, d := range lits {
+			if _, as := r.assigned[d]; !as {
+				if u0 < 0 {
+					u0 = int32(j)
+				} else {
+					u1 = int32(j)
+					break
+				}
+			}
+		}
+		switch {
+		case u0 < 0:
+			s.c.Conflicts++
+		case u1 < 0:
+			r.unitOn[lits[u0]] = append(r.unitOn[lits[u0]], id)
+			r.unitTrail = append(r.unitTrail, lits[u0])
+			w0 = u0
+			if w1 == w0 && len(lits) > 1 {
+				w1 = w0 - 1
+				if w1 < 0 {
+					w1 = 1
+				}
+			}
+		default:
+			w0, w1 = u0, u1
+		}
+	}
+	p.w0 = append(p.w0, w0)
+	p.w1 = append(p.w1, w1)
+	if len(lits) > 1 {
+		p.watch[p.lits[base+int(w0)]] = append(p.watch[p.lits[base+int(w0)]], id<<1)
+		p.watch[p.lits[base+int(w1)]] = append(p.watch[p.lits[base+int(w1)]], id<<1|1)
+	}
+	if stable {
+		cp := make([]Decision, len(lits))
+		copy(cp, lits)
+		s.journal = append(s.journal, Learned{Ctx: ctx, Lits: cp})
+	}
+	return true
+}
+
+// subsumed reports whether a stored nogood is a subset of lits (in
+// which case lits adds nothing: whenever it would fire, the stored
+// subset fires first).
+func (s *Store) subsumed(p *partition, lits []Decision) bool {
+	if p.n() == 0 {
+		return false
+	}
+	set := s.run.subScratch
+	if set == nil {
+		set = map[Decision]struct{}{}
+		s.run.subScratch = set
+	}
+	clear(set)
+	for _, d := range lits {
+		set[d] = struct{}{}
+	}
+	for i := int32(0); i < int32(p.n()); i++ {
+		ng := p.ng(i)
+		if len(ng) > len(lits) {
+			continue
+		}
+		all := true
+		for _, d := range ng {
+			if _, ok := set[d]; !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+// bump raises the activity of every literal of a fresh conflict and
+// inflates the increment, which is the classic constant-time
+// formulation of exponential decay.
+func (s *Store) bump(lits []Decision, decay float64) {
+	for _, d := range lits {
+		s.act[d] += s.actInc
+	}
+	if decay > 0 && decay < 1 {
+		s.actInc /= decay
+	}
+	if s.actInc > activityRescale {
+		for d := range s.act {
+			s.act[d] /= activityRescale
+		}
+		s.actInc /= activityRescale
+	}
+}
+
+// Activity returns a decision's current VSIDS score.
+func (s *Store) Activity(d Decision) float64 { return s.act[d] }
+
+// Restarts returns how many Luby restarts the store has signalled.
+func (s *Store) Restarts() int { return s.restartSeq }
+
+// dropUnstable compacts a partition down to its stable nogoods,
+// rebuilding the watch index from scratch (legal because no run is
+// active: with nothing assigned, any two literals are valid watches).
+func (p *partition) dropUnstable() {
+	n := p.n()
+	if n == 0 {
+		return
+	}
+	keep := 0
+	for i := 0; i < n; i++ {
+		if p.stable[i] {
+			keep++
+		}
+	}
+	if keep == n {
+		return
+	}
+	lits := p.lits[:0]
+	start := p.start[:1]
+	stable := p.stable[:0]
+	sigv := p.sigv[:0]
+	w0, w1 := p.w0[:0], p.w1[:0]
+	clear(p.watch)
+	for i := 0; i < n; i++ {
+		if !p.stable[i] {
+			// Forget the signature too: the same literal pattern can
+			// legitimately be re-learned by a later attempt (where the
+			// copy-node ids mean something else) and must not be
+			// rejected as a duplicate of knowledge we dropped.
+			delete(p.sigs, p.sigv[i])
+			continue
+		}
+		ng := p.lits[p.start[i]:p.start[i+1]]
+		// Shift left in place: kept nogoods only move down.
+		id := int32(len(start) - 1)
+		base := len(lits)
+		lits = append(lits, ng...)
+		start = append(start, int32(len(lits)))
+		stable = append(stable, true)
+		sigv = append(sigv, p.sigv[i])
+		last := int32(len(ng) - 1)
+		w0 = append(w0, last)
+		w1 = append(w1, 0)
+		if len(ng) > 1 {
+			p.watch[lits[base+int(last)]] = append(p.watch[lits[base+int(last)]], id<<1)
+			p.watch[lits[base]] = append(p.watch[lits[base]], id<<1|1)
+		}
+	}
+	p.lits, p.start, p.stable, p.sigv, p.w0, p.w1 = lits, start, stable, sigv, w0, w1
+}

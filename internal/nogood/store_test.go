@@ -1,0 +1,235 @@
+package nogood
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func dec(k Kind, a, b, c int32) Decision { return Decision{K: k, A: a, B: b, C: c} }
+
+// TestLuby pins the restart sequence to its textbook prefix.
+func TestLuby(t *testing.T) {
+	want := []int{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, 1}
+	for i, w := range want {
+		if got := Luby(i + 1); got != w {
+			t.Fatalf("Luby(%d) = %d, want %d", i+1, got, w)
+		}
+	}
+}
+
+// TestUnitFiringAndRelocation drives the two-watch index through
+// assignment, relocation, rollback and reassignment, checking that
+// unit predictions appear and disappear exactly when they should.
+func TestUnitFiringAndRelocation(t *testing.T) {
+	a := FixCycle(1, 3)
+	b := FixCycle(2, 5)
+	c := ChooseComb(4, 3, -1) // canonicalizes to (3,4)=1
+	s := NewStore(Caps{})
+	if n := s.Import([]Learned{{Ctx: "v", Lits: []Decision{a, b, c}}}); n != 1 {
+		t.Fatalf("Import admitted %d, want 1", n)
+	}
+	r := s.Begin("v", 100, 110)
+	defer r.End()
+
+	if r.Hit(a) || r.Hit(b) || r.Hit(c) {
+		t.Fatalf("no assignment yet, nothing should be unit")
+	}
+	r.Assign(a) // forces the watch off a (relocation to an uncommitted literal)
+	if r.Hit(b) || r.Hit(c) {
+		t.Fatalf("one of three assigned, nogood must not be unit")
+	}
+	m := r.CurMark()
+	r.Assign(b)
+	if !r.Hit(c) {
+		t.Fatalf("a,b assigned: nogood must be unit on c")
+	}
+	if r.Hit(b) {
+		t.Fatalf("assigned decision must never report a hit")
+	}
+	r.Undo(m)
+	if r.Hit(c) {
+		t.Fatalf("rollback must clear the unit registration on c")
+	}
+	// Reassign the other way round: the relocated watches must still
+	// detect unitness.
+	r.Assign(c)
+	if !r.Hit(b) {
+		t.Fatalf("a,c assigned: nogood must be unit on b")
+	}
+	// Completing the nogood counts a conflict.
+	before := s.Counters().Conflicts
+	r.Assign(b)
+	if s.Counters().Conflicts != before+1 {
+		t.Fatalf("completing the nogood must count a store conflict")
+	}
+}
+
+// TestLearnMemoizesRefutation checks the within-attempt path: a nogood
+// learned from a refuted candidate is unit on that candidate
+// immediately, and stays unit as the log grows.
+func TestLearnMemoizesRefutation(t *testing.T) {
+	s := NewStore(Caps{})
+	r := s.Begin("v", 100, 110)
+	r.Assign(ChooseComb(1, 2, 0))
+	cand := FixCycle(3, 7)
+	if !r.Learn(cand) {
+		t.Fatalf("fresh nogood must be admitted")
+	}
+	if !r.Hit(cand) {
+		t.Fatalf("learned nogood must fire on its candidate immediately")
+	}
+	r.Assign(DropPair(4, 5))
+	if !r.Hit(cand) {
+		t.Fatalf("hit must survive log growth")
+	}
+	r.End()
+	// Stable nogood: survives into the next run, where it is not unit
+	// until the prefix is re-committed.
+	r = s.Begin("v", 100, 110)
+	defer r.End()
+	if r.Hit(cand) {
+		t.Fatalf("fresh run: prefix not committed, must not fire")
+	}
+	r.Assign(ChooseComb(1, 2, 0))
+	if !r.Hit(cand) {
+		t.Fatalf("prefix re-committed in a later run: must fire")
+	}
+}
+
+// TestDuplicateSubsumedRejection covers the admission filters:
+// set-equal duplicates (any order), subsumption by a stored subset,
+// overlong nogoods and partition overflow.
+func TestDuplicateSubsumedRejection(t *testing.T) {
+	a, b, c := FixCycle(1, 1), FixCycle(2, 2), FixCycle(3, 3)
+	s := NewStore(Caps{MaxNogoods: 4, MaxLen: 2})
+	if s.Import([]Learned{{Ctx: "v", Lits: []Decision{a, b}}}) != 1 {
+		t.Fatalf("first admit failed")
+	}
+	if s.Import([]Learned{{Ctx: "v", Lits: []Decision{b, a}}}) != 0 {
+		t.Fatalf("set-equal duplicate (reordered) must be rejected")
+	}
+	if got := s.Counters().Duplicate; got != 1 {
+		t.Fatalf("Duplicate = %d, want 1", got)
+	}
+	// {a,b} ⊂ {a,b,c}: the superset adds nothing — but is also overlong
+	// under MaxLen=2, so check subsumption with a fresh 2-literal set
+	// first.
+	if s.Import([]Learned{{Ctx: "v", Lits: []Decision{c, a, b}}}) != 0 {
+		t.Fatalf("overlong nogood must be rejected")
+	}
+	if got := s.Counters().Overlong; got != 1 {
+		t.Fatalf("Overlong = %d, want 1", got)
+	}
+	s2 := NewStore(Caps{MaxNogoods: 4, MaxLen: 8})
+	s2.Import([]Learned{{Ctx: "v", Lits: []Decision{a, b}}})
+	if s2.Import([]Learned{{Ctx: "v", Lits: []Decision{c, a, b}}}) != 0 {
+		t.Fatalf("superset of a stored nogood must be rejected as subsumed")
+	}
+	if got := s2.Counters().Subsumed; got != 1 {
+		t.Fatalf("Subsumed = %d, want 1", got)
+	}
+	// The same literals under a different context are new knowledge.
+	if s2.Import([]Learned{{Ctx: "w", Lits: []Decision{a, b}}}) != 1 {
+		t.Fatalf("other context must admit independently")
+	}
+	// Overflow.
+	s3 := NewStore(Caps{MaxNogoods: 1, MaxLen: 8})
+	s3.Import([]Learned{{Ctx: "v", Lits: []Decision{a}}})
+	if s3.Import([]Learned{{Ctx: "v", Lits: []Decision{b}}}) != 0 {
+		t.Fatalf("full partition must reject")
+	}
+	if got := s3.Counters().Overflow; got != 1 {
+		t.Fatalf("Overflow = %d, want 1", got)
+	}
+}
+
+// TestActivityDecayDeterminism feeds two stores the same pseudo-random
+// conflict stream and requires bit-identical activity tables; it also
+// checks the decay direction (recent conflicts outweigh old ones with
+// equal bump counts).
+func TestActivityDecayDeterminism(t *testing.T) {
+	gen := func(seed int64) *Store {
+		s := NewStore(Caps{})
+		rng := rand.New(rand.NewSource(seed))
+		r := s.Begin("v", 100, 110)
+		for i := 0; i < 200; i++ {
+			r.Learn(FixCycle(rng.Intn(50), rng.Intn(20)))
+		}
+		r.End()
+		return s
+	}
+	s1, s2 := gen(42), gen(42)
+	if !reflect.DeepEqual(s1.act, s2.act) {
+		t.Fatalf("same seed must produce identical activity tables")
+	}
+	// Decay direction: d1 bumped once early, d2 bumped once late, with
+	// many conflicts in between.
+	s := NewStore(Caps{})
+	r := s.Begin("v", 1000, 1100)
+	d1, d2 := FixCycle(900, 0), FixCycle(901, 0)
+	r.Learn(d1)
+	for i := 0; i < 50; i++ {
+		r.Learn(FixCycle(i, 1))
+	}
+	r.Learn(d2)
+	if s.Activity(d2) <= s.Activity(d1) {
+		t.Fatalf("late bump must outweigh early bump: d1=%g d2=%g",
+			s.Activity(d1), s.Activity(d2))
+	}
+	r.End()
+}
+
+// TestUnstableDroppedAtEnd: nogoods with copy-node operands are
+// attempt-local — they fire within the learning run and are gone in
+// the next.
+func TestUnstableDroppedAtEnd(t *testing.T) {
+	s := NewStore(Caps{})
+	r := s.Begin("v", 10, 12) // node ids ≥ 10 are copies
+	copyFix := FixCycle(11, 4)
+	if !r.Learn(copyFix) {
+		t.Fatalf("unstable nogood must still be admitted for the run")
+	}
+	if !r.Hit(copyFix) {
+		t.Fatalf("unstable nogood must fire within its run")
+	}
+	if len(s.Export(0)) != 0 {
+		t.Fatalf("unstable nogood must not be journaled")
+	}
+	r.End()
+	if s.Nogoods() != 0 {
+		t.Fatalf("unstable nogood must be dropped at run end, have %d", s.Nogoods())
+	}
+	// And it may be re-learned afterwards (the signature was forgotten).
+	r = s.Begin("v", 10, 12)
+	if !r.Learn(copyFix) {
+		t.Fatalf("re-learning after drop must succeed, not hit the dup filter")
+	}
+	r.End()
+}
+
+// TestImportExportRoundTrip: journal export reimports cleanly and
+// idempotently — the property the portfolio's commit-ordered merge
+// rests on.
+func TestImportExportRoundTrip(t *testing.T) {
+	s := NewStore(Caps{})
+	r := s.Begin("v", 100, 110)
+	r.Assign(ChooseComb(0, 1, 2))
+	r.Learn(FixCycle(5, 5))
+	r.Learn(DropPair(2, 3))
+	r.End()
+	exp := s.Export(0)
+	if len(exp) != 2 {
+		t.Fatalf("journal = %d entries, want 2", len(exp))
+	}
+	dst := NewStore(Caps{})
+	if got := dst.Import(exp); got != 2 {
+		t.Fatalf("first import admitted %d, want 2", got)
+	}
+	if got := dst.Import(exp); got != 0 {
+		t.Fatalf("reimport must be idempotent, admitted %d", got)
+	}
+	if dst.Nogoods() != s.Nogoods() {
+		t.Fatalf("store sizes diverge: %d vs %d", dst.Nogoods(), s.Nogoods())
+	}
+}
